@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures.
+
+Datasets are simulated once per session; trained models come from the
+weight cache (`artifacts/weights/`, trained on first use).  Every bench
+writes its paper-vs-measured table to ``artifacts/results/<name>.txt``
+so EXPERIMENTS.md can reference frozen outputs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import load_eval_models
+from repro.ultrasound import (
+    phantom_contrast,
+    phantom_resolution,
+    simulation_contrast,
+    simulation_resolution,
+)
+
+_RESULTS_DIR = Path(__file__).resolve().parents[1] / "artifacts" / "results"
+
+
+@pytest.fixture(scope="session")
+def sim_contrast():
+    return simulation_contrast()
+
+
+@pytest.fixture(scope="session")
+def sim_resolution():
+    return simulation_resolution()
+
+
+@pytest.fixture(scope="session")
+def vitro_contrast():
+    return phantom_contrast()
+
+
+@pytest.fixture(scope="session")
+def vitro_resolution():
+    return phantom_resolution()
+
+
+@pytest.fixture(scope="session")
+def models():
+    """Trained learned beamformers (cached weights)."""
+    return load_eval_models(("tiny_vbf", "tiny_cnn", "fcnn"))
+
+
+@pytest.fixture(scope="session")
+def figures_dir():
+    path = _RESULTS_DIR.parent / "bench_figures"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write a named result table to artifacts/results and echo it."""
+    _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _record(name: str, text: str) -> Path:
+        path = _RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[recorded to {path}]")
+        return path
+
+    return _record

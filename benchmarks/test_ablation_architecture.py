@@ -1,0 +1,66 @@
+"""Ablations: Tiny-VBF architecture knobs vs complexity (DESIGN.md items).
+
+Analytic sweeps (no training): patch size and transformer depth vs
+GOPs/frame, and PE-array size vs accelerator latency.  Shape: complexity
+scales as designed — coarser patches and fewer blocks cut GOPs;
+latency scales ~1/PEs until the non-linear units dominate.
+"""
+
+from dataclasses import replace
+
+from repro.fpga.scheduler import schedule_tiny_vbf
+from repro.models.tiny_vbf import paper_config, small_config, tiny_vbf_gops
+
+
+def _patch_sweep():
+    gops = {}
+    for patch in ((8, 8), (16, 16), (23, 16)):
+        config = replace(paper_config(), patch_size=patch)
+        gops[f"{patch[0]}x{patch[1]}"] = tiny_vbf_gops(config)
+    return gops
+
+
+def _depth_sweep():
+    return {
+        n_blocks: tiny_vbf_gops(replace(paper_config(), n_blocks=n_blocks))
+        for n_blocks in (1, 2, 3)
+    }
+
+
+def _pe_sweep():
+    return {
+        n_pes: schedule_tiny_vbf(small_config(), n_pes=n_pes).latency_s
+        for n_pes in (1, 2, 4, 8, 16)
+    }
+
+
+def test_ablation_patch_size(benchmark, record_result):
+    gops = benchmark.pedantic(_patch_sweep, rounds=1, iterations=1)
+    lines = ["Ablation: patch size vs GOPs/frame (paper-scale config)"]
+    for name, value in gops.items():
+        lines.append(f"  patch {name:7s} {value:7.3f} GOPs")
+    record_result("ablation_patch_size", "\n".join(lines))
+    # Finer patches mean more tokens -> more attention compute.
+    assert gops["8x8"] > gops["16x16"]
+
+
+def test_ablation_transformer_depth(benchmark, record_result):
+    gops = benchmark.pedantic(_depth_sweep, rounds=1, iterations=1)
+    lines = ["Ablation: transformer blocks vs GOPs/frame"]
+    for n_blocks, value in gops.items():
+        lines.append(f"  {n_blocks} block(s) {value:7.3f} GOPs")
+    record_result("ablation_transformer_depth", "\n".join(lines))
+    assert gops[1] < gops[2] < gops[3]
+    # The paper's 2-block design point stays within its envelope.
+    assert gops[2] < 0.7
+
+
+def test_ablation_pe_array(benchmark, record_result):
+    latency = benchmark.pedantic(_pe_sweep, rounds=1, iterations=1)
+    lines = ["Ablation: PE count vs frame latency @100 MHz (small scale)"]
+    for n_pes, seconds in latency.items():
+        lines.append(f"  {n_pes:2d} PEs  {seconds * 1e3:8.2f} ms")
+    record_result("ablation_pe_array", "\n".join(lines))
+    assert latency[1] > latency[4] > latency[16]
+    # Scaling 1 -> 4 PEs is near-linear (matmul-bound regime).
+    assert latency[1] / latency[4] > 2.5

@@ -1,0 +1,34 @@
+"""Complexity comparison (paper Sections I and IV).
+
+Paper GOPs/frame at 368 x 128: Tiny-VBF 0.34, FCNN 1.4, Tiny-CNN 11.7,
+MVDR ~98.78 (and the cited U-Net CNNs at 50-199).  Shape under test:
+DAS < Tiny-VBF << FCNN < Tiny-CNN << MVDR, with Tiny-VBF in the paper's
+envelope.
+"""
+
+from repro.eval.tables import PAPER_COMPLEXITY
+from repro.metrics.complexity import beamformer_gops
+
+KINDS = ("das", "tiny_vbf", "fcnn", "tiny_cnn", "mvdr")
+
+
+def _collect():
+    return {kind: beamformer_gops(kind, "paper") for kind in KINDS}
+
+
+def test_gops_per_frame(benchmark, record_result):
+    gops = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    lines = ["GOPs/frame at 368x128x128 (measured | paper)"]
+    for kind in KINDS:
+        paper = PAPER_COMPLEXITY.get(kind, {}).get("gops")
+        paper_str = f"{paper:8.2f}" if paper is not None else "      --"
+        lines.append(f"  {kind:10s} {gops[kind]:8.3f} | {paper_str}")
+    record_result("complexity_gops", "\n".join(lines))
+
+    assert gops["das"] < gops["tiny_vbf"] < gops["fcnn"]
+    assert gops["fcnn"] < gops["tiny_cnn"] < gops["mvdr"]
+    assert 0.2 < gops["tiny_vbf"] < 0.7  # paper: 0.34
+    assert 8.0 < gops["tiny_cnn"] < 16.0  # paper: 11.7
+    assert 0.9 < gops["fcnn"] < 2.5  # paper: 1.4
+    assert 50.0 < gops["mvdr"] < 250.0  # paper: 98.78

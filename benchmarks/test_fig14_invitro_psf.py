@@ -1,0 +1,53 @@
+"""Fig. 14: lateral PSFs at 14.01 and 32.79 mm (in-vitro points).
+
+Exports the profile series and checks that Tiny-VBF's mainlobe is not
+wider than DAS's at -6 dB on the impaired data.
+"""
+
+import numpy as np
+
+from repro.eval import beamform_with, export_lateral_profiles
+from repro.metrics.profiles import lateral_profile_db
+from repro.metrics.resolution import fwhm
+
+METHODS = ("das", "mvdr", "tiny_cnn", "tiny_vbf")
+DEPTHS_M = (14.01e-3, 32.79e-3)
+HALF_WINDOW_M = 1.05e-3
+
+
+def _mainlobe_widths(dataset, models, depth_m):
+    iq = {
+        method: beamform_with(dataset, method, models)
+        for method in METHODS
+    }
+    widths = {}
+    for method, image in iq.items():
+        x_mm, values = lateral_profile_db(
+            np.abs(image), dataset.grid, depth_m,
+            x_span_m=(-HALF_WINDOW_M, HALF_WINDOW_M),
+        )
+        widths[method] = fwhm(x_mm, 10 ** (values / 20.0))
+    return iq, widths
+
+
+def test_fig14_psf_profiles(
+    benchmark, vitro_resolution, models, figures_dir, record_result
+):
+    iq, widths = benchmark.pedantic(
+        _mainlobe_widths, args=(vitro_resolution, models, DEPTHS_M[0]),
+        rounds=1, iterations=1,
+    )
+    for depth in DEPTHS_M:
+        export_lateral_profiles(
+            iq, vitro_resolution, depth,
+            figures_dir / f"fig14_psf_{depth*1e3:.2f}mm.csv",
+            x_span_m=(-HALF_WINDOW_M, HALF_WINDOW_M),
+        )
+
+    lines = ["Fig. 14: -6 dB mainlobe width (mm) at 14.01 mm"]
+    for method, width in widths.items():
+        lines.append(f"  {method:10s} {width:6.3f}")
+    record_result("fig14_invitro_psf", "\n".join(lines))
+
+    assert widths["tiny_vbf"] <= widths["das"] * 1.3
+    assert widths["mvdr"] <= widths["das"] * 1.05

@@ -1,0 +1,40 @@
+"""Fig. 1(b): resource consumption, float vs hybrid-quantized Tiny-VBF.
+
+The paper's headline deployment claim: the hybrid scheme cuts resource
+consumption by ~50 % while preserving image quality.
+"""
+
+from repro.fpga.resources import (
+    RESOURCE_FIELDS,
+    estimate_resources,
+    reduction_vs_float,
+)
+from repro.quant.schemes import SCHEMES
+
+
+def _compare():
+    float_est = estimate_resources(SCHEMES["float"])
+    hybrid_est = estimate_resources(SCHEMES["hybrid-2"])
+    return float_est, hybrid_est, reduction_vs_float(hybrid_est)
+
+
+def test_fig1b_float_vs_hybrid(benchmark, record_result):
+    float_est, hybrid_est, reductions = benchmark.pedantic(
+        _compare, rounds=1, iterations=1
+    )
+
+    lines = ["Fig. 1(b): float vs hybrid-2 resource consumption"]
+    for field in RESOURCE_FIELDS:
+        lines.append(
+            f"  {field:8s} float={getattr(float_est, field):>10.1f}  "
+            f"hybrid-2={getattr(hybrid_est, field):>10.1f}  "
+            f"reduction={reductions[field]:5.1f} %"
+        )
+    record_result("fig1b_resource_comparison", "\n".join(lines))
+
+    # Headline: >50 % on the logic resources, large cuts everywhere.
+    assert reductions["lut"] > 50.0
+    assert reductions["ff"] > 50.0
+    assert reductions["lutram"] > 50.0
+    assert reductions["bram"] > 25.0
+    assert reductions["power_w"] > 0.0

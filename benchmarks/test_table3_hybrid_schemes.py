@@ -1,0 +1,45 @@
+"""Table III: hybrid quantization bit-width allocation.
+
+A configuration table rather than a measurement: the bench verifies our
+scheme definitions match the paper exactly and records them.
+"""
+
+from repro.quant.schemes import HYBRID1, HYBRID2, SCHEMES
+
+PAPER_TABLE_III = {
+    "hybrid-1": {"weights": 8, "softmax": 24, "arithmetic": 20,
+                 "intermediate": 20},
+    "hybrid-2": {"weights": 8, "softmax": 24, "arithmetic": 16,
+                 "intermediate": 16},
+}
+
+
+def _scheme_rows():
+    rows = {}
+    for name in PAPER_TABLE_III:
+        scheme = SCHEMES[name]
+        rows[name] = {
+            role: scheme.role_bits(role)
+            for role in ("weights", "softmax", "arithmetic",
+                         "intermediate")
+        }
+    return rows
+
+
+def test_table3_bit_widths(benchmark, record_result):
+    rows = benchmark.pedantic(_scheme_rows, rounds=1, iterations=1)
+
+    lines = ["Table III: hybrid quantization bit-widths "
+             "(ours == paper asserted)"]
+    for name, row in rows.items():
+        lines.append(
+            f"  {name:10s} weights={row['weights']} "
+            f"softmax={row['softmax']} mul/add={row['arithmetic']} "
+            f"intermediate={row['intermediate']}"
+        )
+    record_result("table3_hybrid_schemes", "\n".join(lines))
+
+    assert rows == PAPER_TABLE_III
+    # And the format invariants the datapath relies on.
+    assert HYBRID1.weights.max_value < 2.0
+    assert HYBRID2.softmax.max_value >= 1.0

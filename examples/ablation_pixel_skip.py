@@ -1,0 +1,78 @@
+"""Ablation: Tiny-VBF with and without the per-pixel decoder skip path.
+
+DESIGN.md documents one deliberate architectural interpretation: the
+decoder combines token (context) features with a per-pixel skip path.
+This script trains both variants briefly and shows that the pure
+token-bottleneck decoder collapses to near-zero output amplitude (it
+cannot carry per-pixel IQ texture through d_model dims per patch), while
+the skip variant reconstructs the image.
+
+Usage:
+    python examples/ablation_pixel_skip.py [--epochs N] [--frames N]
+"""
+
+import argparse
+from dataclasses import replace
+
+import numpy as np
+
+import repro.models.tiny_vbf as tiny_vbf_module
+from repro.models.tiny_vbf import build_tiny_vbf, small_config
+from repro.nn import Adam, CyclicPolynomialDecay, Trainer
+from repro.training.groundtruth import model_arrays, prepare_frame
+from repro.training.pipeline import assemble_arrays
+from repro.ultrasound.datasets import training_frames
+
+
+def train_variant(use_skip: bool, x, y, epochs: int) -> dict:
+    config = replace(small_config(seed=0), use_pixel_skip=use_skip)
+    model = build_tiny_vbf(config)
+    schedule = CyclicPolynomialDecay(5e-4, 1e-6,
+                                     decay_steps=epochs * len(x) // 2)
+    trainer = Trainer(model, Adam(model.parameters(), schedule), seed=0)
+    history = trainer.fit(x, y, epochs=epochs, batch_size=2)
+    prediction = model.forward(x[:1])
+    target = y[:1]
+    pred_env = np.hypot(prediction[..., 0], prediction[..., 1])
+    target_env = np.hypot(target[..., 0], target[..., 1])
+    return {
+        "final_loss": history.final_loss,
+        "amplitude_ratio": pred_env.mean() / target_env.mean(),
+        "envelope_correlation": np.corrcoef(
+            pred_env.ravel(), target_env.ravel()
+        )[0, 1],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--frames", type=int, default=8)
+    args = parser.parse_args()
+
+    print(f"Preparing {args.frames} training frames "
+          "(simulation + MVDR ground truth)...")
+    frames = training_frames(args.frames, seed=0)
+    pairs = [prepare_frame(frame) for frame in frames]
+    x, y = assemble_arrays("tiny_vbf", pairs)
+
+    print(f"Training both variants for {args.epochs} epochs each...")
+    rows = {
+        "with pixel skip": train_variant(True, x, y, args.epochs),
+        "token bottleneck only": train_variant(False, x, y, args.epochs),
+    }
+    print(f"\n{'variant':24s} {'loss':>10s} {'amp ratio':>10s} "
+          f"{'env corr':>9s}")
+    for name, row in rows.items():
+        print(
+            f"{name:24s} {row['final_loss']:10.3e} "
+            f"{row['amplitude_ratio']:10.3f} "
+            f"{row['envelope_correlation']:9.3f}"
+        )
+    print("\nAn amplitude ratio near 0 means the decoder collapsed to "
+          "predicting ~zero everywhere (MSE-optimal when the bottleneck "
+          "cannot carry the texture).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Render B-mode images of every beamformer on every dataset preset.
+
+Writes the images behind the paper's Figs. 9-11, 13 (PGM files) plus the
+lateral-variation CSVs behind Figs. 9b, 12 and 14.
+
+Usage:
+    python examples/compare_beamformers.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.eval import (
+    beamform_with,
+    export_bmode_images,
+    export_lateral_profiles,
+    load_eval_models,
+)
+from repro.ultrasound import (
+    phantom_contrast,
+    phantom_resolution,
+    simulation_contrast,
+    simulation_resolution,
+)
+
+METHODS = ("das", "mvdr", "tiny_cnn", "tiny_vbf")
+
+
+def main(output_dir: Path) -> None:
+    models = load_eval_models(("tiny_vbf", "tiny_cnn"))
+    datasets = [
+        simulation_contrast(),
+        phantom_contrast(),
+        simulation_resolution(),
+        phantom_resolution(),
+    ]
+    for dataset in datasets:
+        iq = {
+            method: beamform_with(dataset, method, models)
+            for method in METHODS
+        }
+        paths = export_bmode_images(iq, dataset, output_dir)
+        print(f"{dataset.name}: wrote {len(paths)} B-mode images")
+
+        if dataset.spec.kind == "contrast":
+            depth = dataset.spec.cyst_centers_m[-1][1]
+        else:
+            depth = dataset.points[0][1]
+        csv_path = export_lateral_profiles(
+            iq, dataset, depth,
+            output_dir / f"{dataset.name}_lateral_{depth*1e3:.0f}mm.csv",
+        )
+        print(f"{dataset.name}: lateral profiles -> {csv_path}")
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("artifacts/figures")
+    main(target)

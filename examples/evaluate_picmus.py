@@ -1,0 +1,52 @@
+"""Regenerate the paper's Tables I and II on the PICMUS-style presets.
+
+Evaluates DAS, MVDR, Tiny-CNN and Tiny-VBF on all four datasets
+(in-silico/in-vitro x contrast/resolution) and prints the paper's
+reference values next to the measured ones.
+
+Usage:
+    python examples/evaluate_picmus.py
+"""
+
+from repro.eval import (
+    PAPER_TABLE_I,
+    PAPER_TABLE_II,
+    format_contrast_table,
+    format_resolution_table,
+    load_eval_models,
+    run_contrast_experiment,
+    run_resolution_experiment,
+)
+from repro.ultrasound import (
+    phantom_contrast,
+    phantom_resolution,
+    simulation_contrast,
+    simulation_resolution,
+)
+
+
+def main() -> None:
+    print("Loading trained models from the cache "
+          "(training them on first use)...")
+    models = load_eval_models(("tiny_vbf", "tiny_cnn"))
+
+    for split, contrast_ds, resolution_ds in (
+        ("simulation", simulation_contrast(), simulation_resolution()),
+        ("phantom", phantom_contrast(), phantom_resolution()),
+    ):
+        contrast = run_contrast_experiment(contrast_ds, models=models)
+        print()
+        print(format_contrast_table(
+            contrast, PAPER_TABLE_I[split],
+            title=f"Table I [{split}]  (measured | paper)",
+        ))
+        resolution = run_resolution_experiment(resolution_ds, models=models)
+        print()
+        print(format_resolution_table(
+            resolution, PAPER_TABLE_II[split],
+            title=f"Table II [{split}]  (measured | paper)",
+        ))
+
+
+if __name__ == "__main__":
+    main()

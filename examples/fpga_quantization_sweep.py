@@ -1,0 +1,53 @@
+"""Sweep Tiny-VBF through every quantization scheme on the simulated FPGA.
+
+Reproduces the paper's Section IV-A story: image quality under
+quantization (Tables IV/V), resource utilization (Table VI) and the
+accelerator's cycle schedule at 100 MHz.
+
+Usage:
+    python examples/fpga_quantization_sweep.py
+"""
+
+from repro.eval import run_quantized_experiments
+from repro.fpga import TinyVbfAccelerator, estimate_resources
+from repro.fpga.resources import reduction_vs_float, utilization_table
+from repro.quant.schemes import SCHEMES
+from repro.training import get_trained_model
+from repro.ultrasound import simulation_contrast, simulation_resolution
+
+
+def main() -> None:
+    print("Loading trained Tiny-VBF...")
+    model = get_trained_model("tiny_vbf")
+
+    print("\n--- accelerator schedule (float) ---")
+    report = TinyVbfAccelerator(model, SCHEMES["float"]).report()
+    print(report.schedule.table())
+    print(report.bram.report())
+
+    print("\n--- resource utilization (Table VI model) ---")
+    estimates = [estimate_resources(SCHEMES[name]) for name in SCHEMES]
+    print(utilization_table(estimates))
+    hybrid2 = estimate_resources(SCHEMES["hybrid-2"])
+    reductions = reduction_vs_float(hybrid2)
+    print("\nHybrid-2 reduction vs float (Fig. 1b):")
+    for resource, percent in reductions.items():
+        print(f"  {resource:8s} {percent:6.1f} %")
+
+    print("\n--- image quality per scheme (Tables IV/V) ---")
+    results = run_quantized_experiments(
+        simulation_contrast(), simulation_resolution(), model=model
+    )
+    print(f"{'scheme':10s} {'CR[dB]':>8s} {'CNR':>6s} {'GCNR':>6s} "
+          f"{'axial[mm]':>10s} {'lateral[mm]':>12s}")
+    for name, row in results.items():
+        contrast, resolution = row["contrast"], row["resolution"]
+        print(
+            f"{name:10s} {contrast.cr_db:8.2f} {contrast.cnr:6.2f} "
+            f"{contrast.gcnr:6.2f} {resolution.axial_mm:10.3f} "
+            f"{resolution.lateral_mm:12.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Beamforming substrate: ToF correction, DAS, MVDR, envelope, B-mode.
+
+This package implements the classical reconstruction chain the paper
+builds on:
+
+* time-of-flight correction of plane-wave channel data onto a pixel grid
+  (producing the ToFC cube that is the input of every beamformer and of
+  the learned models),
+* Delay-and-Sum (DAS) with f-number controlled apodization,
+* Minimum Variance Distortionless Response (MVDR) with subaperture
+  smoothing and diagonal loading — the paper's training ground truth,
+* coherent plane-wave compounding (multi-angle reference),
+* analytic-signal / IQ demodulation, envelope detection, log compression.
+"""
+
+from repro.beamform.geometry import ImagingGrid
+from repro.beamform.tof import tof_correct, analytic_rf
+from repro.beamform.apodization import (
+    boxcar_rx_apodization,
+    hann_rx_apodization,
+)
+from repro.beamform.das import das_beamform
+from repro.beamform.mvdr import MvdrConfig, mvdr_beamform
+from repro.beamform.compounding import compound_das
+from repro.beamform.envelope import (
+    baseband_demodulate,
+    envelope_detect,
+    log_compress,
+)
+from repro.beamform.bmode import beamform_dataset, bmode_image
+
+__all__ = [
+    "ImagingGrid",
+    "tof_correct",
+    "analytic_rf",
+    "boxcar_rx_apodization",
+    "hann_rx_apodization",
+    "das_beamform",
+    "MvdrConfig",
+    "mvdr_beamform",
+    "compound_das",
+    "baseband_demodulate",
+    "envelope_detect",
+    "log_compress",
+    "beamform_dataset",
+    "bmode_image",
+]

@@ -1,0 +1,55 @@
+"""Coherent plane-wave compounding (Montaldo et al. [3]).
+
+Compounding averages the beamformed IQ images of several steered plane
+waves, trading frame rate for image quality.  The paper cites it as the
+classical remedy for single-angle quality loss; we use it for the
+CUBDL-style multi-angle training targets and as an ablation reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.beamform.das import das_beamform
+from repro.beamform.geometry import ImagingGrid
+from repro.beamform.tof import analytic_tofc
+from repro.ultrasound.probe import LinearProbe
+
+
+def compound_das(
+    rf_stack: np.ndarray,
+    angles_rad: np.ndarray,
+    probe: LinearProbe,
+    grid: ImagingGrid,
+    sound_speed_m_s: float = 1540.0,
+    apodization: np.ndarray | None = None,
+) -> np.ndarray:
+    """Coherently compound DAS images over a set of steering angles.
+
+    Args:
+        rf_stack: ``(n_angles, n_samples, n_elements)`` channel data, one
+            acquisition per angle.
+        angles_rad: ``(n_angles,)`` steering angles matching the stack.
+        probe: receiving array.
+        grid: target pixel grid.
+        sound_speed_m_s: assumed propagation speed.
+        apodization: optional receive apodization shared by all angles.
+
+    Returns:
+        ``(nz, nx)`` complex compounded IQ image (mean over angles).
+    """
+    rf_stack = np.asarray(rf_stack)
+    angles = np.atleast_1d(np.asarray(angles_rad, dtype=float))
+    if rf_stack.ndim != 3 or rf_stack.shape[0] != angles.size:
+        raise ValueError(
+            "rf_stack must be (n_angles, n_samples, n_elements) matching "
+            f"angles, got {rf_stack.shape} for {angles.size} angles"
+        )
+    accumulator = np.zeros(grid.shape, dtype=complex)
+    for rf, angle in zip(rf_stack, angles):
+        tofc = analytic_tofc(
+            rf, probe, grid, angle_rad=angle,
+            sound_speed_m_s=sound_speed_m_s,
+        )
+        accumulator += das_beamform(tofc, apodization)
+    return accumulator / angles.size

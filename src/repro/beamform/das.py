@@ -1,0 +1,43 @@
+"""Delay-and-Sum beamformer.
+
+DAS is the paper's low-complexity baseline (Section I): delay the channel
+data to each pixel (ToF correction) and sum across the aperture with a
+data-independent apodization.  On the complex (analytic) ToFC cube the sum
+directly yields the IQ image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def das_beamform(
+    tofc: np.ndarray,
+    apodization: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sum the ToFC cube across the aperture.
+
+    Args:
+        tofc: ``(nz, nx, n_elements)`` ToF-corrected channel data,
+            real RF or complex analytic.
+        apodization: optional ``(nz, nx, n_elements)`` weights (e.g. from
+            :mod:`repro.beamform.apodization`).  ``None`` means uniform
+            weighting (mean over elements).
+
+    Returns:
+        ``(nz, nx)`` beamformed image, same dtype class as ``tofc``.
+    """
+    tofc = np.asarray(tofc)
+    if tofc.ndim != 3:
+        raise ValueError(
+            f"tofc must be (nz, nx, n_elements), got {tofc.shape}"
+        )
+    if apodization is None:
+        return tofc.mean(axis=-1)
+    apodization = np.asarray(apodization, dtype=float)
+    if apodization.shape != tofc.shape:
+        raise ValueError(
+            "apodization shape must match tofc, got "
+            f"{apodization.shape} vs {tofc.shape}"
+        )
+    return (tofc * apodization).sum(axis=-1)

@@ -1,0 +1,116 @@
+"""Imaging grid: the pixel lattice reconstruction is evaluated on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ImagingGrid:
+    """Rectangular pixel grid in the (x, z) imaging plane.
+
+    Attributes:
+        x_m: ``(nx,)`` lateral pixel coordinates (monotonically increasing).
+        z_m: ``(nz,)`` depth pixel coordinates (monotonically increasing,
+            all positive — the array sits at z = 0).
+    """
+
+    x_m: np.ndarray
+    z_m: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x_m, dtype=float)
+        z = np.asarray(self.z_m, dtype=float)
+        if x.ndim != 1 or x.size < 2:
+            raise ValueError(f"x_m must be 1-D with >= 2 points, got {x.shape}")
+        if z.ndim != 1 or z.size < 2:
+            raise ValueError(f"z_m must be 1-D with >= 2 points, got {z.shape}")
+        if np.any(np.diff(x) <= 0) or np.any(np.diff(z) <= 0):
+            raise ValueError("grid coordinates must be strictly increasing")
+        if z[0] <= 0:
+            raise ValueError(f"depths must be positive, got z[0]={z[0]}")
+        object.__setattr__(self, "x_m", x)
+        object.__setattr__(self, "z_m", z)
+
+    @classmethod
+    def from_spans(
+        cls,
+        x_span_m: tuple[float, float],
+        z_span_m: tuple[float, float],
+        nx: int,
+        nz: int,
+    ) -> "ImagingGrid":
+        """Build a uniform grid covering the given spans."""
+        if nx < 2 or nz < 2:
+            raise ValueError(f"nx and nz must be >= 2, got nx={nx}, nz={nz}")
+        check_positive("x span", x_span_m[1] - x_span_m[0])
+        check_positive("z span", z_span_m[1] - z_span_m[0])
+        return cls(
+            x_m=np.linspace(x_span_m[0], x_span_m[1], nx),
+            z_m=np.linspace(z_span_m[0], z_span_m[1], nz),
+        )
+
+    @property
+    def nx(self) -> int:
+        return self.x_m.size
+
+    @property
+    def nz(self) -> int:
+        return self.z_m.size
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Image shape as (nz, nx) — depth-major, matching all image arrays."""
+        return (self.nz, self.nx)
+
+    @property
+    def dx_m(self) -> float:
+        """Mean lateral pixel spacing."""
+        return float(np.mean(np.diff(self.x_m)))
+
+    @property
+    def dz_m(self) -> float:
+        """Mean axial pixel spacing."""
+        return float(np.mean(np.diff(self.z_m)))
+
+    def meshgrid(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(X, Z)`` pixel coordinate arrays of shape (nz, nx)."""
+        return np.meshgrid(self.x_m, self.z_m)
+
+    def nearest_pixel(self, x_m: float, z_m: float) -> tuple[int, int]:
+        """Indices (iz, ix) of the pixel closest to a physical point."""
+        ix = int(np.argmin(np.abs(self.x_m - x_m)))
+        iz = int(np.argmin(np.abs(self.z_m - z_m)))
+        return iz, ix
+
+    def region_mask(
+        self,
+        center_m: tuple[float, float],
+        radius_m: float,
+    ) -> np.ndarray:
+        """Boolean (nz, nx) mask of pixels inside a disk."""
+        check_positive("radius_m", radius_m)
+        xx, zz = self.meshgrid()
+        return (
+            (xx - center_m[0]) ** 2 + (zz - center_m[1]) ** 2
+        ) <= radius_m**2
+
+    def annulus_mask(
+        self,
+        center_m: tuple[float, float],
+        inner_radius_m: float,
+        outer_radius_m: float,
+    ) -> np.ndarray:
+        """Boolean (nz, nx) mask of pixels inside an annulus."""
+        if not 0 < inner_radius_m < outer_radius_m:
+            raise ValueError(
+                "need 0 < inner_radius_m < outer_radius_m, got "
+                f"{inner_radius_m}, {outer_radius_m}"
+            )
+        xx, zz = self.meshgrid()
+        r2 = (xx - center_m[0]) ** 2 + (zz - center_m[1]) ** 2
+        return (r2 >= inner_radius_m**2) & (r2 <= outer_radius_m**2)

@@ -1,0 +1,153 @@
+"""Minimum Variance Distortionless Response (MVDR) beamformer.
+
+MVDR (Capon) computes, per pixel, data-adaptive apodization weights
+
+    w = R^-1 a / (a^H R^-1 a)
+
+where ``R`` is the spatial covariance of the ToF-corrected channel vector
+and ``a`` the steering vector (all-ones after ToF correction).  Following
+standard medical-ultrasound practice (Synnevag et al. [4]) the covariance
+estimate is stabilized three ways:
+
+* **subaperture (spatial) smoothing** — averaged over sliding windows of
+  length ``L`` across the aperture,
+* **axial (temporal) smoothing** — averaged over a few neighbouring depth
+  pixels, which suppresses signal cancellation on speckle,
+* **diagonal loading** — ``R + delta * trace(R)/L * I``.
+
+The paper uses MVDR both as the image-quality benchmark and as the
+training ground truth for Tiny-VBF.  The per-pixel matrix inversion is the
+O(n^3) cost the paper quotes (~98.78 GOPs/frame at 368x128 with 128
+channels); this implementation batches each image column through LAPACK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MvdrConfig:
+    """MVDR estimator parameters.
+
+    Attributes:
+        subaperture: spatial-smoothing window length ``L``; ``None``
+            selects ``n_elements // 2`` (the common choice).
+        diagonal_loading: loading factor ``delta`` relative to the average
+            eigenvalue (``trace(R)/L``).
+        axial_smoothing: half-width (in depth pixels) of the axial
+            covariance averaging window; 0 disables it.
+    """
+
+    subaperture: int | None = None
+    diagonal_loading: float = 5e-2
+    axial_smoothing: int = 2
+
+    def __post_init__(self) -> None:
+        if self.subaperture is not None and self.subaperture < 2:
+            raise ValueError(
+                f"subaperture must be >= 2, got {self.subaperture}"
+            )
+        if self.diagonal_loading <= 0:
+            raise ValueError(
+                "diagonal_loading must be > 0, got "
+                f"{self.diagonal_loading}"
+            )
+        if self.axial_smoothing < 0:
+            raise ValueError(
+                "axial_smoothing must be >= 0, got "
+                f"{self.axial_smoothing}"
+            )
+
+    def effective_subaperture(self, n_elements: int) -> int:
+        sub = self.subaperture
+        if sub is None:
+            sub = max(2, n_elements // 2)
+        if sub > n_elements:
+            raise ValueError(
+                f"subaperture {sub} exceeds element count {n_elements}"
+            )
+        return sub
+
+
+def _smooth_axially(cov: np.ndarray, half_width: int) -> np.ndarray:
+    """Average ``(nz, L, L)`` covariances over a sliding depth window."""
+    if half_width == 0:
+        return cov
+    nz = cov.shape[0]
+    cumulative = np.cumsum(cov, axis=0)
+    smoothed = np.empty_like(cov)
+    for z in range(nz):
+        lo = max(0, z - half_width)
+        hi = min(nz - 1, z + half_width)
+        total = cumulative[hi] - (cumulative[lo - 1] if lo > 0 else 0)
+        smoothed[z] = total / (hi - lo + 1)
+    return smoothed
+
+
+def mvdr_beamform(
+    tofc: np.ndarray,
+    config: MvdrConfig | None = None,
+) -> np.ndarray:
+    """MVDR-beamform a (complex) ToFC cube.
+
+    Args:
+        tofc: ``(nz, nx, n_elements)`` ToF-corrected channel data.  Complex
+            analytic data is strongly recommended (covariance phase
+            matters); real input is accepted and processed identically.
+        config: estimator parameters; defaults to :class:`MvdrConfig`.
+
+    Returns:
+        ``(nz, nx)`` beamformed IQ image.
+    """
+    tofc = np.asarray(tofc)
+    if tofc.ndim != 3:
+        raise ValueError(
+            f"tofc must be (nz, nx, n_elements), got {tofc.shape}"
+        )
+    config = config or MvdrConfig()
+    nz, nx, n_elements = tofc.shape
+    sub = config.effective_subaperture(n_elements)
+    identity = np.eye(sub)
+    steering = np.ones((nz, sub, 1), dtype=complex)
+
+    out = np.zeros((nz, nx), dtype=complex)
+    for col in range(nx):
+        column = tofc[:, col, :]  # (nz, E)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            column, sub, axis=1
+        )  # (nz, n_windows, sub)
+        cov = np.einsum(
+            "zws,zwt->zst", windows, windows.conj()
+        ) / windows.shape[1]
+        cov = _smooth_axially(cov, config.axial_smoothing)
+        trace = np.einsum("zss->z", cov).real
+        loading = config.diagonal_loading * np.maximum(trace, 1e-30) / sub
+        cov = cov + loading[:, np.newaxis, np.newaxis] * identity
+
+        solved = np.linalg.solve(cov, steering)[..., 0]  # R^-1 a: (nz, sub)
+        weights = solved / solved.sum(axis=1, keepdims=True)
+        # Distortionless output, averaged across subaperture windows.
+        out[:, col] = np.einsum(
+            "zs,zws->z", weights.conj(), windows
+        ) / windows.shape[1]
+    return out
+
+
+def mvdr_apodization_gops(
+    nz: int, nx: int, n_elements: int, subaperture: int | None = None
+) -> float:
+    """Analytic GOPs/frame of MVDR (the paper quotes ~98.78 at 368x128x128).
+
+    Counts real operations: covariance accumulation, the O(L^3) solve and
+    the weighted sum, per pixel.  A complex multiply-add is 8 real ops.
+    """
+    sub = subaperture if subaperture is not None else max(2, n_elements // 2)
+    n_windows = n_elements - sub + 1
+    pixels = nz * nx
+    cov_ops = 8.0 * n_windows * sub * sub
+    solve_ops = (8.0 / 3.0) * sub**3
+    apply_ops = 8.0 * (n_windows + 1) * sub
+    return pixels * (cov_ops + solve_ops + apply_ops) / 1e9

@@ -1,0 +1,138 @@
+"""Experiment runners over the PICMUS-style presets.
+
+Every runner takes a dataset and a list of beamformer names and returns
+per-beamformer metrics.  Beamformers:
+
+* ``das`` / ``mvdr`` — classical chain (:mod:`repro.beamform`),
+* ``tiny_vbf`` / ``tiny_cnn`` / ``fcnn`` — trained models from the
+  weight cache (:mod:`repro.training.cache`),
+* quantized runners execute Tiny-VBF through the simulated FPGA
+  datapath for every scheme of Table III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.beamform.bmode import beamform_dataset
+from repro.beamform.envelope import envelope_detect
+from repro.fpga.accelerator import TinyVbfAccelerator
+from repro.metrics.contrast import ContrastMetrics, dataset_contrast
+from repro.metrics.resolution import ResolutionMetrics, dataset_resolution
+from repro.models.common import stacked_to_complex
+from repro.models.registry import MODEL_KINDS, model_input
+from repro.nn import Model
+from repro.quant.schemes import SCHEMES
+from repro.training.cache import get_trained_model
+from repro.training.inference import predict_iq
+from repro.utils.validation import require_in
+
+# Paper evaluation order (Tables I and II).
+EVAL_BEAMFORMERS = ("das", "mvdr", "tiny_cnn", "tiny_vbf")
+ALL_BEAMFORMERS = ("das", "mvdr", "tiny_cnn", "tiny_vbf", "fcnn")
+
+
+def load_eval_models(
+    kinds: tuple[str, ...] = ("tiny_vbf", "tiny_cnn", "fcnn"),
+    scale: str = "small",
+    seed: int = 0,
+) -> dict[str, Model]:
+    """Load (training on first use) the cached learned beamformers."""
+    return {
+        kind: get_trained_model(kind, scale=scale, seed=seed)
+        for kind in kinds
+    }
+
+
+def beamform_with(
+    dataset,
+    method: str,
+    models: dict[str, Model] | None = None,
+) -> np.ndarray:
+    """Beamform ``dataset`` with any supported method -> complex IQ."""
+    require_in("method", method, ALL_BEAMFORMERS)
+    if method in ("das", "mvdr"):
+        return beamform_dataset(dataset, method)
+    models = models if models is not None else load_eval_models((method,))
+    if method not in models:
+        raise ValueError(f"model {method!r} not in supplied models")
+    return predict_iq(models[method], method, dataset)
+
+
+def run_contrast_experiment(
+    dataset,
+    methods: tuple[str, ...] = EVAL_BEAMFORMERS,
+    models: dict[str, Model] | None = None,
+) -> dict[str, ContrastMetrics]:
+    """CR/CNR/GCNR per beamformer on a contrast dataset (Table I)."""
+    results = {}
+    for method in methods:
+        iq = beamform_with(dataset, method, models)
+        results[method] = dataset_contrast(envelope_detect(iq), dataset)
+    return results
+
+
+def run_resolution_experiment(
+    dataset,
+    methods: tuple[str, ...] = EVAL_BEAMFORMERS,
+    models: dict[str, Model] | None = None,
+) -> dict[str, ResolutionMetrics]:
+    """Axial/lateral FWHM per beamformer on a resolution dataset
+    (Table II)."""
+    results = {}
+    for method in methods:
+        iq = beamform_with(dataset, method, models)
+        results[method] = dataset_resolution(envelope_detect(iq), dataset)
+    return results
+
+
+def quantized_iq(
+    model: Model,
+    dataset,
+    scheme_name: str,
+) -> np.ndarray:
+    """Tiny-VBF IQ image through the simulated FPGA datapath."""
+    from repro.beamform.tof import analytic_tofc
+
+    tofc = analytic_tofc(
+        dataset.rf,
+        dataset.probe,
+        dataset.grid,
+        angle_rad=dataset.angle_rad,
+        sound_speed_m_s=dataset.sound_speed_m_s,
+    )
+    peak = np.abs(tofc).max()
+    x = model_input("tiny_vbf", tofc / peak)
+    accelerator = TinyVbfAccelerator(model, SCHEMES[scheme_name])
+    return stacked_to_complex(accelerator.run(x)[0])
+
+
+def run_quantized_experiments(
+    contrast_dataset,
+    resolution_dataset,
+    model: Model | None = None,
+    scheme_names: tuple[str, ...] = (
+        "float", "24 bits", "20 bits", "hybrid-1", "hybrid-2",
+    ),
+) -> dict[str, dict]:
+    """Tables IV and V: per-scheme contrast and resolution of Tiny-VBF.
+
+    Returns ``{scheme: {"contrast": ContrastMetrics,
+    "resolution": ResolutionMetrics}}``.
+    """
+    model = model or get_trained_model("tiny_vbf")
+    results: dict[str, dict] = {}
+    for name in scheme_names:
+        contrast_env = envelope_detect(
+            quantized_iq(model, contrast_dataset, name)
+        )
+        resolution_env = envelope_detect(
+            quantized_iq(model, resolution_dataset, name)
+        )
+        results[name] = {
+            "contrast": dataset_contrast(contrast_env, contrast_dataset),
+            "resolution": dataset_resolution(
+                resolution_env, resolution_dataset
+            ),
+        }
+    return results

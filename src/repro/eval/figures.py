@@ -1,0 +1,56 @@
+"""Figure export: B-mode PGM images and lateral-profile CSV series.
+
+Matplotlib is unavailable offline, so every figure in the paper maps to
+either a grayscale PGM image (Figs. 1a, 9a, 10, 11, 13, 15) or a CSV of
+series that plot the figure (Figs. 9b, 12, 14, 1b).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.beamform.bmode import bmode_image
+from repro.metrics.profiles import lateral_profile_db
+from repro.utils.io import write_csv, write_pgm
+
+
+def export_bmode_images(
+    iq_by_method: dict[str, np.ndarray],
+    dataset,
+    output_dir: str | Path,
+    dynamic_range_db: float = 60.0,
+) -> list[Path]:
+    """Write one PGM B-mode per beamformer; returns the written paths."""
+    output_dir = Path(output_dir)
+    paths = []
+    for method, iq in iq_by_method.items():
+        image = bmode_image(iq)
+        path = write_pgm(
+            output_dir / f"{dataset.name}_{method}.pgm",
+            image,
+            dynamic_range_db=dynamic_range_db,
+        )
+        paths.append(path)
+    return paths
+
+
+def export_lateral_profiles(
+    iq_by_method: dict[str, np.ndarray],
+    dataset,
+    depth_m: float,
+    output_path: str | Path,
+    x_span_m: tuple[float, float] | None = None,
+) -> Path:
+    """Write aligned lateral profiles (one column per beamformer)."""
+    columns: dict[str, np.ndarray] = {}
+    for method, iq in iq_by_method.items():
+        envelope = np.abs(iq)
+        x_mm, profile = lateral_profile_db(
+            envelope, dataset.grid, depth_m, x_span_m=x_span_m
+        )
+        if "x_mm" not in columns:
+            columns["x_mm"] = x_mm
+        columns[f"{method}_db"] = profile
+    return write_csv(output_path, columns)

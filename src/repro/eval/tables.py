@@ -1,0 +1,128 @@
+"""Paper-style tables and the published reference values.
+
+The ``PAPER_TABLE_*`` constants transcribe the paper's evaluation tables
+so the benches can print paper-vs-measured rows side by side; the
+formatters render our measurements in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.contrast import ContrastMetrics
+from repro.metrics.resolution import ResolutionMetrics
+
+# Table I: contrast metrics (mean) of Simulation and Phantom data.
+PAPER_TABLE_I = {
+    "simulation": {
+        "das": ContrastMetrics(13.78, 2.37, 0.83),
+        "mvdr": ContrastMetrics(21.66, 1.95, 0.78),
+        "tiny_cnn": ContrastMetrics(13.45, 2.04, 0.83),
+        "tiny_vbf": ContrastMetrics(14.89, 1.75, 0.74),
+    },
+    "phantom": {
+        "das": ContrastMetrics(11.70, 1.04, 0.83),
+        "mvdr": ContrastMetrics(15.09, 2.63, 0.72),
+        "tiny_cnn": ContrastMetrics(11.30, 1.05, 0.79),
+        "tiny_vbf": ContrastMetrics(12.20, 1.39, 0.67),
+    },
+}
+
+# Table II: axial/lateral resolution (mm).
+PAPER_TABLE_II = {
+    "simulation": {
+        "das": ResolutionMetrics(0.364e-3, 0.6e-3),
+        "mvdr": ResolutionMetrics(0.297e-3, 0.45e-3),
+        "tiny_cnn": ResolutionMetrics(0.368e-3, 0.6e-3),
+        "tiny_vbf": ResolutionMetrics(0.303e-3, 0.45e-3),
+    },
+    "phantom": {
+        "das": ResolutionMetrics(0.459e-3, 0.6e-3),
+        "mvdr": ResolutionMetrics(0.459e-3, 0.48e-3),
+        "tiny_cnn": ResolutionMetrics(0.466e-3, 0.72e-3),
+        "tiny_vbf": ResolutionMetrics(0.444e-3, 0.48e-3),
+    },
+}
+
+# Table IV: resolution (mm) of Tiny-VBF on FPGA per quantization scheme.
+PAPER_TABLE_IV = {
+    "float": {"simulation": (0.303, 0.45), "phantom": (0.444, 0.48)},
+    "24 bits": {"simulation": (0.303, 0.45), "phantom": (0.444, 0.48)},
+    "20 bits": {"simulation": (0.310, 0.45), "phantom": (0.421, 0.54)},
+    "hybrid-1": {"simulation": (0.309, 0.45), "phantom": (0.429, 0.54)},
+    "hybrid-2": {"simulation": (0.309, 0.45), "phantom": (0.429, 0.54)},
+}
+
+# Table V: contrast of Tiny-VBF on FPGA per quantization scheme.
+PAPER_TABLE_V = {
+    "float": {
+        "simulation": (14.89, 1.75, 0.74), "phantom": (12.20, 1.39, 0.67),
+    },
+    "24 bits": {
+        "simulation": (14.07, 1.84, 0.75), "phantom": (13.00, 1.22, 0.69),
+    },
+    "20 bits": {
+        "simulation": (14.30, 1.45, 0.73), "phantom": (13.05, 1.22, 0.67),
+    },
+    "hybrid-1": {
+        "simulation": (13.34, 1.74, 0.73), "phantom": (12.72, 1.37, 0.68),
+    },
+    "hybrid-2": {
+        "simulation": (13.26, 1.75, 0.72), "phantom": (12.62, 1.40, 0.67),
+    },
+}
+
+# Section IV text: complexity and single-core CPU inference times.
+PAPER_COMPLEXITY = {
+    "tiny_vbf": {"gops": 0.34, "cpu_seconds": 0.230},
+    "tiny_cnn": {"gops": 11.7, "cpu_seconds": 0.520},
+    "fcnn": {"gops": 1.4, "cpu_seconds": None},
+    "mvdr": {"gops": 98.78, "cpu_seconds": 240.0},
+    "cnn_goudarzi": {"gops": 50.0, "cpu_seconds": 4.0},
+}
+
+
+def format_contrast_table(
+    measured: dict[str, ContrastMetrics],
+    paper: dict[str, ContrastMetrics] | None = None,
+    title: str = "Contrast metrics",
+) -> str:
+    """Render measured (and optionally paper) CR/CNR/GCNR rows."""
+    lines = [title, f"{'beamformer':12s} {'CR[dB]':>8s} {'CNR':>6s} "
+                    f"{'GCNR':>6s}" + ("   | paper CR/CNR/GCNR"
+                                       if paper else "")]
+    for name, metrics in measured.items():
+        row = (
+            f"{name:12s} {metrics.cr_db:8.2f} {metrics.cnr:6.2f} "
+            f"{metrics.gcnr:6.2f}"
+        )
+        if paper and name in paper:
+            reference = paper[name]
+            row += (
+                f"   | {reference.cr_db:5.2f} {reference.cnr:5.2f} "
+                f"{reference.gcnr:5.2f}"
+            )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_resolution_table(
+    measured: dict[str, ResolutionMetrics],
+    paper: dict[str, ResolutionMetrics] | None = None,
+    title: str = "Resolution metrics",
+) -> str:
+    """Render measured (and optionally paper) axial/lateral FWHM rows."""
+    lines = [title, f"{'beamformer':12s} {'axial[mm]':>10s} "
+                    f"{'lateral[mm]':>12s}"
+                    + ("   | paper ax/lat" if paper else "")]
+    for name, metrics in measured.items():
+        row = (
+            f"{name:12s} {metrics.axial_mm:10.3f} "
+            f"{metrics.lateral_mm:12.3f}"
+        )
+        if paper and name in paper:
+            reference = paper[name]
+            row += (
+                f"   | {reference.axial_mm:5.3f} "
+                f"{reference.lateral_mm:5.3f}"
+            )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""FPGA accelerator simulation (paper Section III-D and IV-A).
+
+The paper deploys Tiny-VBF on a Zynq UltraScale+ MPSoC ZCU104 at 100 MHz
+with a 4-PE accelerator — each PE performing 16 element-wise
+multiplications feeding an adder tree (Figs. 5-8) — and reports resource
+utilization per quantization scheme (Table VI).  No FPGA exists in this
+environment, so this package simulates the accelerator's observables:
+
+* :mod:`repro.fpga.pe` — bit-accurate processing element (16 multipliers
+  + adder tree) operating on fixed-point values,
+* :mod:`repro.fpga.memory` — BRAM capacity model (36 Kb blocks, 18-bit
+  port packing),
+* :mod:`repro.fpga.scheduler` — op-level cycle schedule of the Tiny-VBF
+  graph on the 4-PE array at 100 MHz,
+* :mod:`repro.fpga.accelerator` — end-to-end accelerator run: quantized
+  outputs plus the cycle/latency/memory report,
+* :mod:`repro.fpga.resources` — resource/power model calibrated against
+  the paper's published Table VI.
+"""
+
+from repro.fpga.pe import AdderTree, ProcessingElement
+from repro.fpga.memory import BramPlan, bram_blocks_for
+from repro.fpga.scheduler import (
+    CLOCK_HZ,
+    OpSchedule,
+    ScheduleReport,
+    schedule_tiny_vbf,
+)
+from repro.fpga.accelerator import AcceleratorReport, TinyVbfAccelerator
+from repro.fpga.resources import (
+    PAPER_TABLE_VI,
+    ResourceEstimate,
+    estimate_resources,
+)
+
+__all__ = [
+    "ProcessingElement",
+    "AdderTree",
+    "BramPlan",
+    "bram_blocks_for",
+    "CLOCK_HZ",
+    "OpSchedule",
+    "ScheduleReport",
+    "schedule_tiny_vbf",
+    "TinyVbfAccelerator",
+    "AcceleratorReport",
+    "ResourceEstimate",
+    "estimate_resources",
+    "PAPER_TABLE_VI",
+]

@@ -1,0 +1,66 @@
+"""On-chip BRAM capacity model.
+
+Zynq UltraScale+ block RAM comes in 36 Kb blocks (usable as two 18 Kb
+halves).  The port geometry quantizes word widths: words of at most 18
+bits pack two-per-36-bit-port (doubling effective depth), words of 19-36
+bits occupy a full port.  This is exactly the effect visible in the
+paper's Table VI BRAM column: 16-bit quantization halves the BRAM count
+relative to 20/24-bit while 20-bit barely changes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_BRAM36_BITS = 36 * 1024
+_FULL_PORT_BITS = 36
+_HALF_PORT_BITS = 18
+
+
+def bram_blocks_for(n_words: int, word_bits: int) -> float:
+    """BRAM36 blocks needed for ``n_words`` of ``word_bits`` each.
+
+    Width over 36 bits uses multiple ports per word; width at or below
+    18 bits packs two words per port row.  Returns halves (0.5 steps)
+    since a BRAM36 splits into two independent 18 Kb halves.
+    """
+    if n_words < 0 or word_bits < 1:
+        raise ValueError(
+            f"need n_words >= 0 and word_bits >= 1, got {n_words}, "
+            f"{word_bits}"
+        )
+    if n_words == 0:
+        return 0.0
+    ports_per_word = int(np.ceil(word_bits / _FULL_PORT_BITS))
+    if word_bits <= _HALF_PORT_BITS:
+        effective_rows = int(np.ceil(n_words / 2))
+    else:
+        effective_rows = n_words
+    bits = effective_rows * ports_per_word * _FULL_PORT_BITS
+    halves = int(np.ceil(bits / (_BRAM36_BITS / 2)))
+    return halves / 2.0
+
+
+@dataclass
+class BramPlan:
+    """Named BRAM allocations for an accelerator configuration."""
+
+    allocations: dict[str, float] = field(default_factory=dict)
+
+    def allocate(self, name: str, n_words: int, word_bits: int) -> float:
+        blocks = bram_blocks_for(n_words, word_bits)
+        self.allocations[name] = self.allocations.get(name, 0.0) + blocks
+        return blocks
+
+    @property
+    def total_blocks(self) -> float:
+        return float(sum(self.allocations.values()))
+
+    def report(self) -> str:
+        lines = ["BRAM plan:"]
+        for name, blocks in sorted(self.allocations.items()):
+            lines.append(f"  {name:30s} {blocks:8.1f} BRAM36")
+        lines.append(f"  {'total':30s} {self.total_blocks:8.1f} BRAM36")
+        return "\n".join(lines)

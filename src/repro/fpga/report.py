@@ -1,0 +1,44 @@
+"""Human-readable accelerator reports (per-op utilization, roofline)."""
+
+from __future__ import annotations
+
+from repro.fpga.pe import PE_LANES
+from repro.fpga.scheduler import N_PES, ScheduleReport
+
+
+def op_utilization(report: ScheduleReport) -> dict[str, float]:
+    """Per-op PE utilization: achieved MACs / (cycles * peak MACs/cycle).
+
+    Utilization below 1.0 comes from pipeline drain, reduction padding
+    (K not a multiple of 16) and the elementwise ops that bypass the PE
+    multipliers entirely.
+    """
+    peak_per_cycle = N_PES * PE_LANES
+    out = {}
+    for op in report.ops:
+        if op.cycles <= 0:
+            continue
+        out[op.name] = op.macs / (op.cycles * peak_per_cycle)
+    return out
+
+
+def utilization_summary(report: ScheduleReport) -> str:
+    """Overall + worst/best op utilization summary."""
+    per_op = op_utilization(report)
+    matmul_ops = {k: v for k, v in per_op.items() if v > 0}
+    total = report.total_macs / (
+        report.total_cycles * N_PES * PE_LANES
+    )
+    lines = [
+        f"overall PE utilization: {100 * total:.1f} %",
+    ]
+    if matmul_ops:
+        best = max(matmul_ops, key=matmul_ops.get)
+        worst = min(matmul_ops, key=matmul_ops.get)
+        lines.append(
+            f"best matmul op:  {best} ({100 * matmul_ops[best]:.1f} %)"
+        )
+        lines.append(
+            f"worst matmul op: {worst} ({100 * matmul_ops[worst]:.1f} %)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Resource and power model, calibrated against the paper's Table VI.
+
+Synthesis results cannot be generated offline, so this module models the
+ZCU104 utilization of the Tiny-VBF accelerator as a function of the
+quantization scheme and calibrates it against the paper's published
+numbers:
+
+* **uniform widths** anchor a piecewise-linear curve per resource at
+  16 / 20 / 24 / 32(float) bits — the arithmetic width dominates the
+  datapath (multipliers, adder trees, registers, buffers),
+* **role deltas**: a scheme whose weight or softmax width differs from
+  its arithmetic width shifts each resource by per-bit coefficients
+  ``(C_w, C_s)``, solved exactly from the two published hybrid columns.
+
+The model therefore reproduces Table VI by construction at the published
+schemes and interpolates/extrapolates for new schemes (used by the
+ablation benches).  The empirical DSP non-monotonicity (16-bit maps more
+multipliers into DSP48 slices than 20-bit, where Vivado splits them
+between DSP and fabric) is captured by the anchors themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.schemes import QuantizationScheme
+
+RESOURCE_FIELDS = ("lut", "ff", "bram", "dsp", "lutram", "power_w")
+
+# Paper Table VI (ZCU104, 100 MHz).
+PAPER_TABLE_VI: dict[str, dict[str, float]] = {
+    "float": dict(lut=124935, ff=91470, bram=161.5, dsp=533,
+                  lutram=17589, power_w=4.489),
+    "24 bits": dict(lut=88457, ff=50454, bram=158, dsp=279,
+                    lutram=11556, power_w=4.369),
+    "20 bits": dict(lut=84594, ff=43333, bram=156, dsp=148,
+                    lutram=9442, power_w=4.174),
+    "16 bits": dict(lut=59840, ff=34920, bram=82, dsp=274,
+                    lutram=6795, power_w=3.989),
+    "hybrid-1": dict(lut=72415, ff=38287, bram=150, dsp=146,
+                     lutram=5352, power_w=4.229),
+    "hybrid-2": dict(lut=61951, ff=29105, bram=110, dsp=274,
+                     lutram=5324, power_w=4.174),
+}
+
+# ZCU104 (XCZU7EV) device capacity, for utilization percentages.
+ZCU104_CAPACITY = dict(
+    lut=230400, ff=460800, bram=312, dsp=1728, lutram=101760,
+    power_w=float("nan"),
+)
+
+_UNIFORM_ANCHORS = {16: "16 bits", 20: "20 bits", 24: "24 bits",
+                    32: "float"}
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated ZCU104 utilization for one scheme."""
+
+    scheme: str
+    lut: float
+    ff: float
+    bram: float
+    dsp: float
+    lutram: float
+    power_w: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {field: getattr(self, field) for field in RESOURCE_FIELDS}
+
+    def utilization_percent(self) -> dict[str, float]:
+        out = {}
+        for field in RESOURCE_FIELDS:
+            capacity = ZCU104_CAPACITY[field]
+            value = getattr(self, field)
+            out[field] = (
+                float("nan") if np.isnan(capacity)
+                else 100.0 * value / capacity
+            )
+        return out
+
+
+def _interp_uniform(resource: str, bits: float) -> float:
+    """Piecewise-linear interpolation over the uniform-width anchors."""
+    anchor_bits = sorted(_UNIFORM_ANCHORS)
+    values = [
+        PAPER_TABLE_VI[_UNIFORM_ANCHORS[b]][resource] for b in anchor_bits
+    ]
+    return float(np.interp(bits, anchor_bits, values))
+
+
+def _role_delta_coefficients(resource: str) -> tuple[float, float]:
+    """Solve (C_w, C_s) from the two published hybrid columns.
+
+    Hybrid-k satisfies::
+
+        paper_Hk = uniform(arith_k) + C_w (w_k - arith_k)
+                                    + C_s (s_k - arith_k)
+
+    with (w, s, arith) = (8, 24, 20) for Hybrid-1 and (8, 24, 16) for
+    Hybrid-2 — two equations, two unknowns.
+    """
+    h1 = PAPER_TABLE_VI["hybrid-1"][resource] - _interp_uniform(
+        resource, 20
+    )
+    h2 = PAPER_TABLE_VI["hybrid-2"][resource] - _interp_uniform(
+        resource, 16
+    )
+    # H1: -12 C_w + 4 C_s = h1 ;  H2: -8 C_w + 8 C_s = h2
+    matrix = np.array([[-12.0, 4.0], [-8.0, 8.0]])
+    cw, cs = np.linalg.solve(matrix, np.array([h1, h2]))
+    return float(cw), float(cs)
+
+
+def estimate_resources(scheme: QuantizationScheme) -> ResourceEstimate:
+    """Estimate ZCU104 utilization of the accelerator under ``scheme``."""
+    if scheme.is_float:
+        return ResourceEstimate(scheme="float",
+                                **PAPER_TABLE_VI["float"])
+
+    arith = scheme.arithmetic.total_bits
+    weights = scheme.weights.total_bits
+    softmax = scheme.softmax.total_bits
+
+    values: dict[str, float] = {}
+    for resource in RESOURCE_FIELDS:
+        base = _interp_uniform(resource, arith)
+        cw, cs = _role_delta_coefficients(resource)
+        estimate = base + cw * (weights - arith) + cs * (softmax - arith)
+        values[resource] = max(0.0, estimate)
+    return ResourceEstimate(scheme=scheme.name, **values)
+
+
+def reduction_vs_float(estimate: ResourceEstimate) -> dict[str, float]:
+    """Per-resource reduction (%) relative to the float implementation.
+
+    Fig. 1(b) of the paper shows this comparison for the hybrid scheme;
+    the headline claim is a >50 % reduction for Hybrid-2 on the logic
+    resources.
+    """
+    float_row = PAPER_TABLE_VI["float"]
+    out = {}
+    for field in RESOURCE_FIELDS:
+        reference = float_row[field]
+        out[field] = 100.0 * (1.0 - getattr(estimate, field) / reference)
+    return out
+
+
+def utilization_table(estimates: list[ResourceEstimate]) -> str:
+    """Paper-style utilization table (rows = resources, cols = schemes)."""
+    header = f"{'Resource':10s}" + "".join(
+        f"{e.scheme:>12s}" for e in estimates
+    )
+    lines = [header]
+    for field in RESOURCE_FIELDS:
+        row = f"{field.upper():10s}"
+        for estimate in estimates:
+            value = getattr(estimate, field)
+            row += (
+                f"{value:12.3f}" if field == "power_w" else f"{value:12.1f}"
+            )
+        lines.append(row)
+    return "\n".join(lines)

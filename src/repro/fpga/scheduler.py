@@ -1,0 +1,212 @@
+"""Cycle-level schedule of Tiny-VBF on the 4-PE accelerator.
+
+The accelerator (paper Fig. 5) has 4 processing elements, each doing 16
+multiplies + an adder tree per cycle, with all operands in on-chip BRAM.
+Every layer of Tiny-VBF lowers to matrix multiplies (Figs. 6-8) plus the
+non-linear units (ReLU, softmax, division, sqrt).  The schedule counts,
+per op:
+
+    cycles = ceil(output_elements * ceil(K / 16) / 4) + pipeline drain
+
+i.e. each output element needs ``ceil(K/16)`` PE passes, work is spread
+over 4 PEs at initiation interval 1.  Softmax / layer-norm elements run
+through their dedicated units at one element per cycle per unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.pe import PE_LANES
+from repro.models.tiny_vbf import TinyVbfConfig
+
+CLOCK_HZ = 100e6
+N_PES = 4
+_PIPELINE_DRAIN = 6  # tree latency + accumulator + writeback
+
+
+@dataclass(frozen=True)
+class OpSchedule:
+    """One scheduled operation."""
+
+    name: str
+    m: int  # output rows
+    k: int  # reduction depth
+    n: int  # output cols
+    cycles: int
+    macs: int
+
+
+def _matmul_op(
+    name: str, m: int, k: int, n: int, n_pes: int = N_PES
+) -> OpSchedule:
+    """Schedule an (m x k) @ (k x n) matmul on the PE array."""
+    passes_per_element = int(np.ceil(k / PE_LANES))
+    total_passes = m * n * passes_per_element
+    cycles = int(np.ceil(total_passes / n_pes)) + _PIPELINE_DRAIN
+    return OpSchedule(
+        name=name, m=m, k=k, n=n, cycles=cycles, macs=m * k * n
+    )
+
+
+def _elementwise_op(name: str, elements: int, unit_count: int = 1,
+                    cycles_per_element: int = 1) -> OpSchedule:
+    cycles = int(
+        np.ceil(elements * cycles_per_element / unit_count)
+    ) + _PIPELINE_DRAIN
+    return OpSchedule(
+        name=name, m=elements, k=1, n=1, cycles=cycles, macs=0
+    )
+
+
+@dataclass
+class ScheduleReport:
+    """Complete schedule of one Tiny-VBF frame."""
+
+    ops: list[OpSchedule]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(op.cycles for op in self.ops)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(op.macs for op in self.ops)
+
+    @property
+    def latency_s(self) -> float:
+        return self.total_cycles / CLOCK_HZ
+
+    @property
+    def frames_per_second(self) -> float:
+        return 1.0 / self.latency_s
+
+    def table(self) -> str:
+        lines = [
+            f"{'op':34s} {'MxKxN':>18s} {'cycles':>12s} {'MACs':>14s}"
+        ]
+        for op in self.ops:
+            shape = f"{op.m}x{op.k}x{op.n}"
+            lines.append(
+                f"{op.name:34s} {shape:>18s} {op.cycles:>12,} "
+                f"{op.macs:>14,}"
+            )
+        lines.append(
+            f"{'TOTAL':34s} {'':>18s} {self.total_cycles:>12,} "
+            f"{self.total_macs:>14,}"
+        )
+        lines.append(
+            f"latency @100 MHz: {self.latency_s * 1e3:.2f} ms "
+            f"({self.frames_per_second:.2f} frames/s)"
+        )
+        return "\n".join(lines)
+
+
+def schedule_tiny_vbf(
+    config: TinyVbfConfig, n_pes: int = N_PES
+) -> ScheduleReport:
+    """Schedule one full Tiny-VBF frame on the accelerator.
+
+    ``n_pes`` overrides the PE-array size for the scaling ablation
+    (the paper's design point is 4).
+    """
+    if n_pes < 1:
+        raise ValueError(f"n_pes must be >= 1, got {n_pes}")
+    nz, nx = config.image_shape
+    pixels = nz * nx
+    tokens = config.n_tokens
+    d = config.d_model
+    heads = config.n_heads
+    head_dim = d // heads
+    ops: list[OpSchedule] = []
+
+    # Encoder: per-pixel channel compression dense layer(s).
+    width = config.input_channels
+    if config.channel_hidden is not None:
+        ops.append(
+            _matmul_op("encoder/channel_dense0", pixels, width,
+                       config.channel_hidden, n_pes=n_pes)
+        )
+        ops.append(_elementwise_op("encoder/relu0",
+                                   pixels * config.channel_hidden,
+                                   unit_count=N_PES * PE_LANES))
+        width = config.channel_hidden
+    ops.append(
+        _matmul_op("encoder/channel_dense1", pixels, width,
+                   config.channel_projection, n_pes=n_pes)
+    )
+    ops.append(_elementwise_op("encoder/relu1",
+                               pixels * config.channel_projection,
+                               unit_count=N_PES * PE_LANES))
+
+    # Patch embedding.
+    ops.append(
+        _matmul_op("encoder/patch_embed", tokens,
+                   config.patch_features, d, n_pes=n_pes)
+    )
+    ops.append(_elementwise_op("encoder/pos_embed", tokens * d,
+                               unit_count=N_PES * PE_LANES))
+
+    for block in range(config.n_blocks):
+        prefix = f"block{block}"
+        # Layer norm: division + sqrt unit, a few cycles per element.
+        ops.append(_elementwise_op(f"{prefix}/ln1", tokens * d,
+                                   unit_count=N_PES,
+                                   cycles_per_element=2))
+        # Q, K, V projections (Fig. 6).
+        for proj in ("query", "key", "value"):
+            ops.append(_matmul_op(f"{prefix}/mha/{proj}", tokens, d, d, n_pes=n_pes))
+        # Attention scores per head (Fig. 7): (np x k) @ (k x np).
+        ops.append(
+            _matmul_op(f"{prefix}/mha/scores",
+                       heads * tokens, head_dim, tokens, n_pes=n_pes)
+        )
+        # Softmax unit over all score elements.
+        # One pipelined softmax unit per PE (exp + divide, II = 1).
+        ops.append(_elementwise_op(f"{prefix}/mha/softmax",
+                                   heads * tokens * tokens,
+                                   unit_count=N_PES))
+        # Single-head outputs (Fig. 8a): (np x np) @ (np x k).
+        ops.append(
+            _matmul_op(f"{prefix}/mha/context",
+                       heads * tokens, tokens, head_dim, n_pes=n_pes)
+        )
+        ops.append(_matmul_op(f"{prefix}/mha/output", tokens, d, d, n_pes=n_pes))
+        ops.append(_elementwise_op(f"{prefix}/ln2", tokens * d,
+                                   unit_count=N_PES,
+                                   cycles_per_element=2))
+        ops.append(
+            _matmul_op(f"{prefix}/mlp1", tokens, d, config.mlp_hidden,
+                       n_pes=n_pes)
+        )
+        ops.append(_elementwise_op(f"{prefix}/mlp_relu",
+                                   tokens * config.mlp_hidden,
+                                   unit_count=N_PES * PE_LANES))
+        ops.append(
+            _matmul_op(f"{prefix}/mlp2", tokens, config.mlp_hidden, d,
+                       n_pes=n_pes)
+        )
+
+    ops.append(_elementwise_op("encoder/final_ln", tokens * d,
+                               unit_count=N_PES,
+                               cycles_per_element=2))
+
+    # Decoder.
+    pz, px = config.patch_size
+    ops.append(
+        _matmul_op("decoder/token_dense", tokens, d,
+                   pz * px * config.context_channels, n_pes=n_pes)
+    )
+    ops.append(
+        _matmul_op("decoder/head1", pixels, config.head_input,
+                   config.head_hidden, n_pes=n_pes)
+    )
+    ops.append(_elementwise_op("decoder/head_relu",
+                               pixels * config.head_hidden,
+                               unit_count=N_PES * PE_LANES))
+    ops.append(_matmul_op("decoder/head2", pixels, config.head_hidden, 2,
+                              n_pes=n_pes))
+
+    return ScheduleReport(ops=ops)

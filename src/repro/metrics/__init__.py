@@ -1,0 +1,49 @@
+"""Image-quality and complexity metrics used by the paper's evaluation.
+
+* :mod:`repro.metrics.contrast` — CR, CNR, GCNR over cyst regions
+  (Tables I and V),
+* :mod:`repro.metrics.resolution` — axial/lateral FWHM of point targets
+  with sub-pixel interpolation (Tables II and IV),
+* :mod:`repro.metrics.profiles` — lateral variation / PSF curves
+  (Figs. 9b, 12, 14),
+* :mod:`repro.metrics.complexity` — GOPs/frame and timing comparisons
+  (Section I / IV).
+"""
+
+from repro.metrics.contrast import (
+    ContrastMetrics,
+    contrast_metrics,
+    contrast_ratio_db,
+    contrast_to_noise_ratio,
+    cyst_masks,
+    dataset_contrast,
+    generalized_cnr,
+)
+from repro.metrics.resolution import (
+    ResolutionMetrics,
+    dataset_resolution,
+    fwhm,
+    point_resolution,
+)
+from repro.metrics.profiles import lateral_profile_db
+from repro.metrics.complexity import (
+    beamformer_gops,
+    measure_inference_seconds,
+)
+
+__all__ = [
+    "ContrastMetrics",
+    "contrast_metrics",
+    "contrast_ratio_db",
+    "contrast_to_noise_ratio",
+    "generalized_cnr",
+    "cyst_masks",
+    "dataset_contrast",
+    "ResolutionMetrics",
+    "fwhm",
+    "point_resolution",
+    "dataset_resolution",
+    "lateral_profile_db",
+    "beamformer_gops",
+    "measure_inference_seconds",
+]

@@ -1,0 +1,141 @@
+"""Contrast metrics: CR, CNR, GCNR (paper Tables I and V).
+
+All metrics are computed on the *linear envelope* image following the
+PICMUS conventions:
+
+* ``CR = 20 log10(mu_background / mu_cyst)`` — higher is better for an
+  anechoic cyst,
+* ``CNR = |mu_background - mu_cyst| / sqrt(sigma_bg^2 + sigma_cyst^2)``,
+* ``GCNR = 1 - sum_k min(h_bg(k), h_cyst(k))`` — one minus the overlap of
+  the two envelope histograms (Rodriguez-Molares et al.), in [0, 1].
+
+Region convention: the cyst sample is a disk at 70 % of the cyst radius
+(to stay clear of the blurred boundary) and the background sample is an
+annulus from 1.25 to 1.85 radii.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.beamform.geometry import ImagingGrid
+from repro.utils.validation import check_shape
+
+_INSIDE_FRACTION = 0.7
+_ANNULUS_INNER = 1.25
+_ANNULUS_OUTER = 1.85
+
+
+def contrast_ratio_db(
+    envelope: np.ndarray, inside: np.ndarray, background: np.ndarray
+) -> float:
+    """Contrast ratio in dB between background and cyst envelope means."""
+    mu_in = _region_mean(envelope, inside)
+    mu_bg = _region_mean(envelope, background)
+    return float(20.0 * np.log10(max(mu_bg, 1e-30) / max(mu_in, 1e-30)))
+
+
+def contrast_to_noise_ratio(
+    envelope: np.ndarray, inside: np.ndarray, background: np.ndarray
+) -> float:
+    """CNR of the linear envelope between cyst and background."""
+    region_in = envelope[inside]
+    region_bg = envelope[background]
+    spread = np.sqrt(region_in.var() + region_bg.var())
+    if spread == 0.0:
+        return 0.0
+    return float(abs(region_bg.mean() - region_in.mean()) / spread)
+
+
+def generalized_cnr(
+    envelope: np.ndarray,
+    inside: np.ndarray,
+    background: np.ndarray,
+    n_bins: int = 100,
+) -> float:
+    """GCNR: one minus the overlap of the two envelope histograms."""
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    region_in = envelope[inside]
+    region_bg = envelope[background]
+    top = max(region_in.max(initial=0.0), region_bg.max(initial=0.0))
+    if top == 0.0:
+        return 0.0
+    bins = np.linspace(0.0, top, n_bins + 1)
+    hist_in, _ = np.histogram(region_in, bins=bins, density=False)
+    hist_bg, _ = np.histogram(region_bg, bins=bins, density=False)
+    pdf_in = hist_in / max(hist_in.sum(), 1)
+    pdf_bg = hist_bg / max(hist_bg.sum(), 1)
+    overlap = np.minimum(pdf_in, pdf_bg).sum()
+    return float(1.0 - overlap)
+
+
+def _region_mean(envelope: np.ndarray, mask: np.ndarray) -> float:
+    if mask.shape != envelope.shape:
+        raise ValueError(
+            f"mask shape {mask.shape} != envelope shape {envelope.shape}"
+        )
+    if not mask.any():
+        raise ValueError("empty region mask")
+    return float(envelope[mask].mean())
+
+
+def cyst_masks(
+    grid: ImagingGrid,
+    center_m: tuple[float, float],
+    radius_m: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(inside, background) masks for one cyst, PICMUS-style."""
+    inside = grid.region_mask(center_m, radius_m * _INSIDE_FRACTION)
+    background = grid.annulus_mask(
+        center_m, radius_m * _ANNULUS_INNER, radius_m * _ANNULUS_OUTER
+    )
+    return inside, background
+
+
+@dataclass(frozen=True)
+class ContrastMetrics:
+    """CR/CNR/GCNR for one region or averaged over regions."""
+
+    cr_db: float
+    cnr: float
+    gcnr: float
+
+    def as_row(self) -> tuple[float, float, float]:
+        return (self.cr_db, self.cnr, self.gcnr)
+
+
+def contrast_metrics(
+    envelope: np.ndarray, inside: np.ndarray, background: np.ndarray
+) -> ContrastMetrics:
+    """All three contrast metrics for one cyst region."""
+    envelope = np.abs(np.asarray(envelope, dtype=float))
+    return ContrastMetrics(
+        cr_db=contrast_ratio_db(envelope, inside, background),
+        cnr=contrast_to_noise_ratio(envelope, inside, background),
+        gcnr=generalized_cnr(envelope, inside, background),
+    )
+
+
+def dataset_contrast(envelope: np.ndarray, dataset) -> ContrastMetrics:
+    """Mean contrast metrics over all cysts of a contrast dataset.
+
+    ``dataset`` is a :class:`~repro.ultrasound.datasets.PlaneWaveDataset`
+    (or anything exposing ``grid`` and ``cysts``); the paper's Table I
+    reports exactly this per-dataset mean.
+    """
+    envelope = np.abs(np.asarray(envelope, dtype=float))
+    check_shape("envelope", envelope, dataset.grid.shape)
+    if not dataset.cysts:
+        raise ValueError(f"dataset {dataset.name} defines no cysts")
+    rows = []
+    for center, radius in dataset.cysts:
+        inside, background = cyst_masks(dataset.grid, center, radius)
+        rows.append(contrast_metrics(envelope, inside, background))
+    return ContrastMetrics(
+        cr_db=float(np.mean([r.cr_db for r in rows])),
+        cnr=float(np.mean([r.cnr for r in rows])),
+        gcnr=float(np.mean([r.gcnr for r in rows])),
+    )

@@ -1,0 +1,42 @@
+"""Lateral profiles through B-mode images (Figs. 9b, 12 and 14)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.beamform.geometry import ImagingGrid
+from repro.utils.arrays import db
+
+
+def lateral_profile_db(
+    envelope: np.ndarray,
+    grid: ImagingGrid,
+    depth_m: float,
+    x_span_m: tuple[float, float] | None = None,
+    normalize: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lateral amplitude profile at the row nearest ``depth_m``.
+
+    Returns ``(x_mm, profile_db)``.  With ``normalize=True`` the profile
+    peaks at 0 dB inside the span — the paper's lateral-variation plots
+    (Fig. 9b) and lateral PSF plots (Figs. 12/14) are normalized this way.
+    """
+    envelope = np.abs(np.asarray(envelope, dtype=float))
+    if envelope.shape != grid.shape:
+        raise ValueError(
+            f"envelope shape {envelope.shape} != grid {grid.shape}"
+        )
+    iz = int(np.argmin(np.abs(grid.z_m - depth_m)))
+    profile = envelope[iz, :]
+    x = grid.x_m
+    if x_span_m is not None:
+        mask = (x >= x_span_m[0]) & (x <= x_span_m[1])
+        if not mask.any():
+            raise ValueError(f"empty lateral span {x_span_m}")
+        profile = profile[mask]
+        x = x[mask]
+    if normalize:
+        peak = profile.max()
+        if peak > 0:
+            profile = profile / peak
+    return x * 1e3, db(profile)

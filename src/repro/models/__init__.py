@@ -1,0 +1,41 @@
+"""Learned beamformers: Tiny-VBF and the paper's two DL baselines."""
+
+from repro.models.common import (
+    WeightedSumBeamformer,
+    complex_to_stacked,
+    stacked_to_complex,
+)
+from repro.models.tiny_vbf import TinyVbfConfig, build_tiny_vbf, tiny_vbf_gops
+from repro.models.tiny_cnn import TinyCnnConfig, build_tiny_cnn, tiny_cnn_gops
+from repro.models.fcnn import FcnnConfig, build_fcnn, fcnn_gops
+from repro.models.registry import (
+    MODEL_KINDS,
+    build_model,
+    channels_for,
+    image_shape_for,
+    model_config,
+    model_gops,
+    model_input,
+)
+
+__all__ = [
+    "WeightedSumBeamformer",
+    "complex_to_stacked",
+    "stacked_to_complex",
+    "TinyVbfConfig",
+    "build_tiny_vbf",
+    "tiny_vbf_gops",
+    "TinyCnnConfig",
+    "build_tiny_cnn",
+    "tiny_cnn_gops",
+    "FcnnConfig",
+    "build_fcnn",
+    "fcnn_gops",
+    "MODEL_KINDS",
+    "build_model",
+    "model_config",
+    "model_input",
+    "model_gops",
+    "channels_for",
+    "image_shape_for",
+]

@@ -1,0 +1,109 @@
+"""Shared building blocks for the learned beamformers.
+
+The two baselines (Tiny-CNN [7], FCNN [6]) share one computational
+pattern: a network predicts per-pixel, per-channel *apodization weights*
+from the real ToFC data, and the beamformed IQ image is the weighted sum
+of the complex ToFC data along the channel axis:
+
+    IQ(z, x) = sum_ch  w(z, x, ch) * tofc(z, x, ch)
+
+:class:`WeightedSumBeamformer` implements that pattern as a layer with a
+full backward pass, so both baselines train end-to-end against MVDR IQ
+targets exactly like Tiny-VBF.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.flops import count_flops, register_flops
+from repro.nn.layers.base import Layer, Parameter
+
+
+def complex_to_stacked(tofc: np.ndarray) -> np.ndarray:
+    """Complex array -> real array with a trailing [real, imag] axis."""
+    tofc = np.asarray(tofc)
+    return np.stack([tofc.real, tofc.imag], axis=-1)
+
+
+def stacked_to_complex(stacked: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`complex_to_stacked` (trailing axis of size 2)."""
+    stacked = np.asarray(stacked, dtype=float)
+    if stacked.shape[-1] != 2:
+        raise ValueError(
+            f"expected trailing axis of size 2, got {stacked.shape}"
+        )
+    return stacked[..., 0] + 1j * stacked[..., 1]
+
+
+class WeightedSumBeamformer(Layer):
+    """Apodization-weight beamforming head.
+
+    Input: ``(batch, nz, nx, n_channels, 2)`` — complex ToFC stacked as
+    [real, imag].  The wrapped ``weight_net`` sees only the real part
+    (the raw RF channel data, as in [7]) and must output
+    ``(batch, nz, nx, n_channels)`` weights.  Output:
+    ``(batch, nz, nx, 2)`` beamformed IQ.
+    """
+
+    def __init__(self, weight_net: Layer, n_channels: int) -> None:
+        if n_channels < 1:
+            raise ValueError(f"n_channels must be >= 1, got {n_channels}")
+        self.weight_net = weight_net
+        self.n_channels = n_channels
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 5 or x.shape[-2:] != (self.n_channels, 2):
+            raise ValueError(
+                "expected (batch, nz, nx, "
+                f"{self.n_channels}, 2), got {x.shape}"
+            )
+        rf = x[..., 0]
+        weights = self.weight_net.forward(rf, training=training)
+        if weights.shape != rf.shape:
+            raise ValueError(
+                "weight_net must preserve shape; got "
+                f"{weights.shape} for input {rf.shape}"
+            )
+        out_i = np.sum(weights * x[..., 0], axis=-1)
+        out_q = np.sum(weights * x[..., 1], axis=-1)
+        self._cache = {"x": x, "weights": weights}
+        return np.stack([out_i, out_q], axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "WeightedSumBeamformer: backward before forward"
+            )
+        x = self._cache["x"]
+        weights = self._cache["weights"]
+        grad_output = np.asarray(grad_output, dtype=float)
+        grad_i = grad_output[..., 0][..., np.newaxis]  # (B, nz, nx, 1)
+        grad_q = grad_output[..., 1][..., np.newaxis]
+
+        grad_weights = grad_i * x[..., 0] + grad_q * x[..., 1]
+        grad_rf_from_net = self.weight_net.backward(grad_weights)
+
+        grad_x = np.empty_like(x)
+        grad_x[..., 0] = grad_i * weights + grad_rf_from_net
+        grad_x[..., 1] = grad_q * weights
+        return grad_x
+
+    def parameters(self) -> list[Parameter]:
+        return self.weight_net.parameters()
+
+
+def _weighted_sum_flops(
+    layer: WeightedSumBeamformer, input_shape: tuple[int, ...]
+) -> tuple[float, tuple[int, ...]]:
+    """FLOP model: weight net + the complex weighted contraction."""
+    batch, nz, nx, n_channels, _ = input_shape
+    net_flops, _ = count_flops(layer.weight_net, (batch, nz, nx, n_channels))
+    # Two real multiply-accumulate contractions (I and Q).
+    contraction = 2 * 2.0 * batch * nz * nx * n_channels
+    return net_flops + contraction, (batch, nz, nx, 2)
+
+
+register_flops(WeightedSumBeamformer, _weighted_sum_flops)

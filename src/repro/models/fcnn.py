@@ -1,0 +1,85 @@
+"""FCNN baseline (Luijten et al. [6], "Adaptive Beamforming by Deep
+Learning").
+
+A fully connected network performs beamforming pixel-by-pixel: the
+per-pixel channel vector is mapped through a small MLP to per-channel
+apodization weights, which contract the ToFC data along the channel axis.
+It captures only local (per-pixel) structure — the limitation the paper
+contrasts with Tiny-VBF's global attention.  Complexity quoted by the
+paper: 1.4 GOPs/frame at 368 x 128 with 128 channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.common import WeightedSumBeamformer
+from repro.nn import Dense, Model, ReLU, Sequential
+from repro.nn.flops import gops_per_frame
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class FcnnConfig:
+    """FCNN hyperparameters.
+
+    Attributes:
+        n_channels: ToFC channel count (array elements).
+        hidden_units: widths of the hidden dense layers.
+        seed: weight initialization seed.
+    """
+
+    n_channels: int
+    hidden_units: tuple[int, ...] = (64, 64)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.hidden_units:
+            raise ValueError("hidden_units must not be empty")
+        if any(h < 1 for h in self.hidden_units):
+            raise ValueError(
+                f"hidden_units must be >= 1, got {self.hidden_units}"
+            )
+
+
+def build_fcnn(config: FcnnConfig) -> Model:
+    """Assemble the FCNN.
+
+    Input: ``(batch, nz, nx, n_channels, 2)`` complex ToFC stacked as
+    [real, imag].  Output: ``(batch, nz, nx, 2)`` IQ image.
+    """
+    rng = make_rng(config.seed)
+    layers = []
+    width = config.n_channels
+    for index, hidden in enumerate(config.hidden_units):
+        layers.extend(
+            [
+                Dense(width, hidden, seed=rng, name=f"fcnn/dense{index}"),
+                ReLU(),
+            ]
+        )
+        width = hidden
+    layers.append(
+        Dense(width, config.n_channels, seed=rng, name="fcnn/dense_out")
+    )
+    weight_net = Sequential(layers, name="fcnn/weight_net")
+    head = WeightedSumBeamformer(weight_net, config.n_channels)
+    return Model(head, name="fcnn")
+
+
+def fcnn_gops(config: FcnnConfig, image_shape: tuple[int, int]) -> float:
+    """GOPs/frame of the FCNN (paper: 1.4 at 368x128 with 128 channels)."""
+    model = build_fcnn(config)
+    return gops_per_frame(
+        model.root, (*image_shape, config.n_channels, 2)
+    )
+
+
+def paper_config(seed: int = 0) -> FcnnConfig:
+    """Paper-scale FCNN (128 channels, ~1.4 GOPs/frame)."""
+    return FcnnConfig(n_channels=128, hidden_units=(64,), seed=seed)
+
+
+def small_config(seed: int = 0) -> FcnnConfig:
+    """Reduced config matching the small dataset scale (32 channels)."""
+    return FcnnConfig(n_channels=32, hidden_units=(48, 48), seed=seed)

@@ -1,0 +1,111 @@
+"""Model registry: build any of the paper's learned beamformers by name.
+
+The registry gives the training pipeline, the evaluation harness and the
+benchmarks one entry point:
+
+    model = build_model("tiny_vbf", scale="small")
+
+Model kinds: ``tiny_vbf`` (the paper's contribution), ``tiny_cnn`` [7]
+and ``fcnn`` [6].  Scales: ``small`` (32-channel, fast) and ``paper``
+(368 x 128 frame with 128 channels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import fcnn, tiny_cnn, tiny_vbf
+from repro.models.common import complex_to_stacked
+from repro.nn import Model
+from repro.nn.flops import gops_per_frame
+from repro.utils.validation import require_in
+
+MODEL_KINDS = ("tiny_vbf", "tiny_cnn", "fcnn")
+SCALES = ("small", "paper")
+
+# Image grids matching repro.ultrasound.datasets presets.
+_IMAGE_SHAPES = {"small": (368, 64), "paper": (368, 128)}
+_CHANNELS = {"small": 32, "paper": 128}
+
+
+def image_shape_for(scale: str) -> tuple[int, int]:
+    require_in("scale", scale, SCALES)
+    return _IMAGE_SHAPES[scale]
+
+
+def channels_for(scale: str) -> int:
+    require_in("scale", scale, SCALES)
+    return _CHANNELS[scale]
+
+
+def model_config(kind: str, scale: str = "small", seed: int = 0):
+    """Return the dataclass config for ``kind`` at ``scale``."""
+    require_in("kind", kind, MODEL_KINDS)
+    require_in("scale", scale, SCALES)
+    if kind == "tiny_vbf":
+        maker = (
+            tiny_vbf.paper_config if scale == "paper"
+            else tiny_vbf.small_config
+        )
+        return maker(seed=seed)
+    if kind == "tiny_cnn":
+        maker = (
+            tiny_cnn.paper_config if scale == "paper"
+            else tiny_cnn.small_config
+        )
+        return maker(seed=seed)
+    maker = fcnn.paper_config if scale == "paper" else fcnn.small_config
+    return maker(seed=seed)
+
+
+def build_model(kind: str, scale: str = "small", seed: int = 0) -> Model:
+    """Build a freshly initialized model of ``kind`` at ``scale``."""
+    config = model_config(kind, scale, seed)
+    if kind == "tiny_vbf":
+        return tiny_vbf.build_tiny_vbf(config)
+    if kind == "tiny_cnn":
+        return tiny_cnn.build_tiny_cnn(config)
+    return fcnn.build_fcnn(config)
+
+
+def model_input(kind: str, tofc_complex: np.ndarray) -> np.ndarray:
+    """Convert a normalized complex ToFC cube to a model's input layout.
+
+    Tiny-VBF consumes the analytic ToFC pair concatenated along the
+    channel axis (I channels then Q channels, ``2*ch`` wide); the
+    apodization baselines consume the complex data stacked as
+    ``(..., ch, 2)`` so their predicted weights can contract both
+    quadratures.  The evaluation grid samples depth at ~lambda/2, so the
+    quadrature cannot be recovered from neighbouring pixels — the IQ pair
+    must be provided explicitly (see DESIGN.md).
+
+    Accepts ``(nz, nx, ch)`` (a batch axis is added) or
+    ``(batch, nz, nx, ch)``.
+    """
+    require_in("kind", kind, MODEL_KINDS)
+    tofc_complex = np.asarray(tofc_complex)
+    if tofc_complex.ndim == 3:
+        tofc_complex = tofc_complex[np.newaxis]
+    if tofc_complex.ndim != 4:
+        raise ValueError(
+            "expected (nz, nx, ch) or (batch, nz, nx, ch), got "
+            f"{tofc_complex.shape}"
+        )
+    if kind == "tiny_vbf":
+        return np.concatenate(
+            [tofc_complex.real, tofc_complex.imag], axis=-1
+        )
+    return complex_to_stacked(tofc_complex)
+
+
+def model_gops(kind: str, scale: str = "paper") -> float:
+    """GOPs/frame of ``kind`` at ``scale`` (paper Table in Section I/IV)."""
+    config = model_config(kind, scale)
+    image = image_shape_for(scale)
+    channels = channels_for(scale)
+    model = build_model(kind, scale)
+    if kind == "tiny_vbf":
+        frame = (*image, 2 * channels)
+    else:
+        frame = (*image, channels, 2)
+    return gops_per_frame(model.root, frame)

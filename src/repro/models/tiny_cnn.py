@@ -1,0 +1,115 @@
+"""Tiny-CNN baseline (Mathews & Panicker [7]).
+
+A convolutional network receives the ToFC data ``(x, y, ch)`` and
+predicts per-pixel, per-channel apodization weights; the beamformed image
+is the product of the predicted weights and the ToFC data summed along
+the channel axis (paper Section II).  The paper quotes its complexity as
+11.7 GOPs/frame at 368 x 128 with 128 channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.common import WeightedSumBeamformer
+from repro.nn import Conv2D, Model, ReLU, Sequential
+from repro.nn.flops import gops_per_frame
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class TinyCnnConfig:
+    """Tiny-CNN hyperparameters.
+
+    Attributes:
+        n_channels: ToFC channel count (array elements).
+        hidden_channels: feature maps of the interior conv layers.
+        n_hidden_layers: number of interior ``hidden -> hidden`` convs.
+        kernel_size: convolution kernel (square, odd).
+        seed: weight initialization seed.
+    """
+
+    n_channels: int
+    hidden_channels: int = 48
+    n_hidden_layers: int = 1
+    kernel_size: tuple[int, int] = (3, 3)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden_channels < 1:
+            raise ValueError(
+                f"hidden_channels must be >= 1, got {self.hidden_channels}"
+            )
+        if self.n_hidden_layers < 0:
+            raise ValueError(
+                f"n_hidden_layers must be >= 0, got {self.n_hidden_layers}"
+            )
+
+
+def build_tiny_cnn(config: TinyCnnConfig) -> Model:
+    """Assemble Tiny-CNN.
+
+    Input: ``(batch, nz, nx, n_channels, 2)`` complex ToFC stacked as
+    [real, imag] (see :class:`WeightedSumBeamformer`).
+    Output: ``(batch, nz, nx, 2)`` IQ image.
+    """
+    rng = make_rng(config.seed)
+    layers = [
+        Conv2D(
+            config.n_channels,
+            config.hidden_channels,
+            config.kernel_size,
+            seed=rng,
+            name="tiny_cnn/conv_in",
+        ),
+        ReLU(),
+    ]
+    for index in range(config.n_hidden_layers):
+        layers.extend(
+            [
+                Conv2D(
+                    config.hidden_channels,
+                    config.hidden_channels,
+                    config.kernel_size,
+                    seed=rng,
+                    name=f"tiny_cnn/conv_hidden{index}",
+                ),
+                ReLU(),
+            ]
+        )
+    layers.append(
+        Conv2D(
+            config.hidden_channels,
+            config.n_channels,
+            config.kernel_size,
+            seed=rng,
+            name="tiny_cnn/conv_out",
+        )
+    )
+    weight_net = Sequential(layers, name="tiny_cnn/weight_net")
+    head = WeightedSumBeamformer(weight_net, config.n_channels)
+    return Model(head, name="tiny_cnn")
+
+
+def tiny_cnn_gops(
+    config: TinyCnnConfig, image_shape: tuple[int, int]
+) -> float:
+    """GOPs/frame of Tiny-CNN (paper: 11.7 at 368x128 with 128 channels)."""
+    model = build_tiny_cnn(config)
+    return gops_per_frame(
+        model.root, (*image_shape, config.n_channels, 2)
+    )
+
+
+def paper_config(seed: int = 0) -> TinyCnnConfig:
+    """Paper-scale Tiny-CNN (128 channels, ~11.7 GOPs/frame)."""
+    return TinyCnnConfig(
+        n_channels=128, hidden_channels=48, n_hidden_layers=1, seed=seed
+    )
+
+
+def small_config(seed: int = 0) -> TinyCnnConfig:
+    """Reduced config matching the small dataset scale (32 channels)."""
+    return TinyCnnConfig(
+        n_channels=32, hidden_channels=16, n_hidden_layers=1, seed=seed
+    )

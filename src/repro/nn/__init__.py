@@ -1,0 +1,71 @@
+"""A from-scratch NumPy deep-learning framework.
+
+This package replaces the TensorFlow 2.4 stack the paper trained with.
+It provides exactly the operator set Tiny-VBF, Tiny-CNN and FCNN need —
+dense, convolution, layer normalization, multi-head attention, ReLU /
+softmax, residual containers, patch embedding — each with an analytic
+backward pass (verified against numerical differentiation in the tests),
+plus MSE loss, the Adam optimizer, the paper's cyclic polynomial
+learning-rate decay, a training loop and a FLOP counter.
+
+Design notes:
+
+* Layers are explicit ``forward``/``backward`` objects (no tape autograd):
+  the model graphs here are static pipelines, and explicit backward code
+  keeps every gradient auditable and testable.
+* Arrays are channels-last everywhere, matching the ToFC data layout
+  ``(batch, nz, nx, n_elements)``.
+* All randomness (initialization, shuffling, dropout) flows through
+  explicit seeds.
+"""
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    LayerNorm,
+    LearnedPositionalEmbedding,
+    Layer,
+    MultiHeadAttention,
+    Parameter,
+    Patchify,
+    ReLU,
+    Residual,
+    Sequential,
+    Softmax,
+    Tanh,
+    Unpatchify,
+)
+from repro.nn.losses import MSELoss
+from repro.nn.model import Model
+from repro.nn.optim import SGD, Adam
+from repro.nn.schedules import ConstantSchedule, CyclicPolynomialDecay
+from repro.nn.trainer import History, Trainer
+from repro.nn.flops import count_flops
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Dense",
+    "Conv2D",
+    "LayerNorm",
+    "MultiHeadAttention",
+    "ReLU",
+    "Softmax",
+    "Tanh",
+    "Dropout",
+    "Sequential",
+    "Residual",
+    "Patchify",
+    "Unpatchify",
+    "LearnedPositionalEmbedding",
+    "MSELoss",
+    "Model",
+    "Adam",
+    "SGD",
+    "ConstantSchedule",
+    "CyclicPolynomialDecay",
+    "Trainer",
+    "History",
+    "count_flops",
+]

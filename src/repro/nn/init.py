@@ -1,0 +1,41 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+def glorot_uniform(
+    shape: tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization: U(-limit, limit).
+
+    ``limit = sqrt(6 / (fan_in + fan_out))`` — keeps activation variance
+    stable through linear layers, the TensorFlow default the paper's
+    models would have used.
+    """
+    if fan_in < 1 or fan_out < 1:
+        raise ValueError(
+            f"fan_in/fan_out must be >= 1, got {fan_in}, {fan_out}"
+        )
+    rng = make_rng(seed)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, shape)
+
+
+def he_uniform(
+    shape: tuple[int, ...],
+    fan_in: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """He uniform initialization, suited to ReLU fan-in."""
+    if fan_in < 1:
+        raise ValueError(f"fan_in must be >= 1, got {fan_in}")
+    rng = make_rng(seed)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, shape)

@@ -1,0 +1,31 @@
+"""Layer zoo for the NumPy NN framework."""
+
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.activations import ReLU, Softmax, Tanh, softmax
+from repro.nn.layers.layernorm import LayerNorm
+from repro.nn.layers.attention import MultiHeadAttention
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.patches import Patchify, Unpatchify
+from repro.nn.layers.embedding import LearnedPositionalEmbedding
+from repro.nn.layers.container import Residual, Sequential
+from repro.nn.layers.dropout import Dropout
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Dense",
+    "ReLU",
+    "Softmax",
+    "Tanh",
+    "softmax",
+    "LayerNorm",
+    "MultiHeadAttention",
+    "Conv2D",
+    "Patchify",
+    "Unpatchify",
+    "LearnedPositionalEmbedding",
+    "Residual",
+    "Sequential",
+    "Dropout",
+]

@@ -1,0 +1,80 @@
+"""Elementwise activations and the softmax layer.
+
+The Tiny-VBF accelerator implements exactly ReLU and softmax as
+non-linear units (paper Section III-D), so these are the activations the
+models use; Tanh is provided for bounded-output experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("ReLU: backward before forward")
+        return np.where(self._mask, grad_output, 0.0)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._y = np.tanh(np.asarray(x, dtype=float))
+        return self._y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("Tanh: backward before forward")
+        return grad_output * (1.0 - self._y**2)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=float)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def softmax_backward(
+    probabilities: np.ndarray, grad_output: np.ndarray, axis: int = -1
+) -> np.ndarray:
+    """Backward pass of softmax given its output probabilities."""
+    inner = (grad_output * probabilities).sum(axis=axis, keepdims=True)
+    return probabilities * (grad_output - inner)
+
+
+class Softmax(Layer):
+    """Softmax over the last axis as a standalone layer."""
+
+    def __init__(self, axis: int = -1) -> None:
+        self.axis = axis
+        self._probabilities: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._probabilities = softmax(x, axis=self.axis)
+        return self._probabilities
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._probabilities is None:
+            raise RuntimeError("Softmax: backward before forward")
+        return softmax_backward(
+            self._probabilities, grad_output, axis=self.axis
+        )

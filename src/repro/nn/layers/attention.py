@@ -1,0 +1,129 @@
+"""Multi-Head Attention (MHAL in the paper's terminology).
+
+The scaled dot-product attention of Vaswani et al. / Dosovitskiy et al.
+with learned Q/K/V/output projections.  This is the core of the Tiny-VBF
+transformer block and the operation the FPGA accelerator spends Figs. 6-8
+on (Q/K/V projection, attention-score matrix, single-head output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.activations import softmax, softmax_backward
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.dense import Dense
+from repro.utils.rng import make_rng
+
+
+class MultiHeadAttention(Layer):
+    """Self-attention over token sequences ``(batch, tokens, d_model)``.
+
+    ``d_model`` is split across ``n_heads`` heads of size
+    ``k = d_model / n_heads`` — the paper's "projection dimension divided
+    by the number of heads" (Section III-D).
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        seed: int | np.random.Generator | None = None,
+        name: str = "mha",
+    ) -> None:
+        if d_model < 1 or n_heads < 1:
+            raise ValueError(
+                f"d_model and n_heads must be >= 1, got {d_model}, {n_heads}"
+            )
+        if d_model % n_heads != 0:
+            raise ValueError(
+                f"d_model ({d_model}) must be divisible by n_heads "
+                f"({n_heads})"
+            )
+        rng = make_rng(seed)
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.head_dim = d_model // n_heads
+        self.name = name
+        self.query = Dense(d_model, d_model, seed=rng, name=f"{name}/query")
+        self.key = Dense(d_model, d_model, seed=rng, name=f"{name}/key")
+        self.value = Dense(d_model, d_model, seed=rng, name=f"{name}/value")
+        self.output = Dense(d_model, d_model, seed=rng, name=f"{name}/output")
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, T, D) -> (B, H, T, k)."""
+        batch, tokens, _ = x.shape
+        return x.reshape(
+            batch, tokens, self.n_heads, self.head_dim
+        ).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, T, k) -> (B, T, D)."""
+        batch, _, tokens, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, tokens, self.d_model)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[-1] != self.d_model:
+            raise ValueError(
+                f"{self.name}: expected (batch, tokens, {self.d_model}), "
+                f"got {x.shape}"
+            )
+        q = self._split_heads(self.query.forward(x, training))
+        k = self._split_heads(self.key.forward(x, training))
+        v = self._split_heads(self.value.forward(x, training))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = np.einsum("bhtk,bhsk->bhts", q, k, optimize=True) * scale
+        attention = softmax(scores, axis=-1)
+        context = np.einsum(
+            "bhts,bhsk->bhtk", attention, v, optimize=True
+        )
+        merged = self._merge_heads(context)
+        out = self.output.forward(merged, training)
+        self._cache = {
+            "q": q,
+            "k": k,
+            "v": v,
+            "attention": attention,
+        }
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        cache = self._cache
+        q, k, v = cache["q"], cache["k"], cache["v"]
+        attention = cache["attention"]
+        scale = 1.0 / np.sqrt(self.head_dim)
+
+        grad_merged = self.output.backward(grad_output)
+        grad_context = self._split_heads(grad_merged)
+
+        grad_attention = np.einsum(
+            "bhtk,bhsk->bhts", grad_context, v, optimize=True
+        )
+        grad_v = np.einsum(
+            "bhts,bhtk->bhsk", attention, grad_context, optimize=True
+        )
+        grad_scores = softmax_backward(attention, grad_attention) * scale
+        grad_q = np.einsum(
+            "bhts,bhsk->bhtk", grad_scores, k, optimize=True
+        )
+        grad_k = np.einsum(
+            "bhts,bhtk->bhsk", grad_scores, q, optimize=True
+        )
+
+        grad_x = self.query.backward(self._merge_heads(grad_q))
+        grad_x = grad_x + self.key.backward(self._merge_heads(grad_k))
+        grad_x = grad_x + self.value.backward(self._merge_heads(grad_v))
+        return grad_x
+
+    def parameters(self) -> list[Parameter]:
+        return (
+            self.query.parameters()
+            + self.key.parameters()
+            + self.value.parameters()
+            + self.output.parameters()
+        )

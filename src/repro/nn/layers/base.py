@@ -1,0 +1,70 @@
+"""Layer and Parameter primitives.
+
+Every layer implements
+
+* ``forward(x, training=False)`` — compute the output, caching whatever
+  the backward pass needs,
+* ``backward(grad_output)`` — return the gradient with respect to the
+  layer input and *accumulate* gradients into each parameter's ``grad``,
+* ``parameters()`` — the layer's trainable :class:`Parameter` objects in
+  a deterministic order (used by optimizers and weight serialization).
+
+Gradients accumulate across backward calls until the optimizer's
+``zero_grad`` — matching the usual deep-learning framework contract and
+enabling gradient accumulation over micro-batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array with its accumulated gradient.
+
+    Attributes:
+        value: the parameter tensor (float64).
+        grad: accumulated gradient, same shape as ``value``.
+        name: diagnostic label (e.g. ``"dense_0/weight"``).
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=float)
+        self.grad = np.zeros_like(self.value)
+        self.name = str(name)
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for all layers (see module docstring for the contract)."""
+
+    def forward(
+        self, x: np.ndarray, training: bool = False
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters in deterministic order (default: none)."""
+        return []
+
+    def __call__(
+        self, x: np.ndarray, training: bool = False
+    ) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    @property
+    def n_parameters(self) -> int:
+        """Total number of scalar weights in this layer (recursively)."""
+        return sum(p.size for p in self.parameters())

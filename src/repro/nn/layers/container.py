@@ -1,0 +1,54 @@
+"""Composite layers: Sequential pipelines and residual (skip) connections."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, Parameter
+
+
+class Sequential(Layer):
+    """Apply layers in order; backward runs them in reverse."""
+
+    def __init__(self, layers: list[Layer], name: str = "sequential") -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+        self.name = name
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+
+class Residual(Layer):
+    """Skip connection: ``y = x + inner(x)``.
+
+    The transformer block uses two of these ("two skip connectors",
+    paper Section III-A).
+    """
+
+    def __init__(self, inner: Layer, name: str = "residual") -> None:
+        self.inner = inner
+        self.name = name
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return x + self.inner.forward(x, training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output + self.inner.backward(grad_output)
+
+    def parameters(self) -> list[Parameter]:
+        return self.inner.parameters()

@@ -1,0 +1,134 @@
+"""2-D convolution (channels-last, stride 1, 'same' padding).
+
+Used by the Tiny-CNN baseline [7].  The implementation is im2col-based:
+patches are gathered into a matrix so the convolution becomes one GEMM,
+which is the only way to make NumPy training throughput acceptable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform
+from repro.nn.layers.base import Layer, Parameter
+
+
+class Conv2D(Layer):
+    """Convolution over ``(batch, height, width, in_channels)`` inputs.
+
+    Stride is fixed at 1 and padding is 'same' (output spatial size equals
+    input size), matching the Tiny-CNN architecture where the apodization
+    weight map must align with the ToFC input pixel-for-pixel.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: tuple[int, int] = (3, 3),
+        bias: bool = True,
+        seed: int | np.random.Generator | None = None,
+        name: str = "conv",
+    ) -> None:
+        kh, kw = kernel_size
+        if kh < 1 or kw < 1 or kh % 2 == 0 or kw % 2 == 0:
+            raise ValueError(
+                f"kernel_size must be odd and >= 1, got {kernel_size}"
+            )
+        if in_channels < 1 or out_channels < 1:
+            raise ValueError(
+                "in_channels/out_channels must be >= 1, got "
+                f"{in_channels}, {out_channels}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.name = name
+        fan_in = kh * kw * in_channels
+        self.weight = Parameter(
+            glorot_uniform(
+                (fan_in, out_channels), fan_in, out_channels, seed
+            ),
+            name=f"{name}/weight",
+        )
+        self.bias = (
+            Parameter(np.zeros(out_channels), name=f"{name}/bias")
+            if bias
+            else None
+        )
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, W, C) -> (B, H, W, kh*kw*C) patch matrix."""
+        kh, kw = self.kernel_size
+        pad_h, pad_w = kh // 2, kw // 2
+        padded = np.pad(
+            x,
+            ((0, 0), (pad_h, pad_h), (pad_w, pad_w), (0, 0)),
+            mode="constant",
+        )
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, (kh, kw), axis=(1, 2)
+        )  # (B, H, W, C, kh, kw)
+        batch, height, width = x.shape[:3]
+        # Order as (kh, kw, C) to match the weight layout.
+        cols = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+            batch, height, width, kh * kw * self.in_channels
+        )
+        return cols
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[-1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (batch, h, w, {self.in_channels}), "
+                f"got {x.shape}"
+            )
+        cols = self._im2col(x)
+        self._cols = cols
+        self._x_shape = x.shape
+        y = cols @ self.weight.value
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        grad_output = np.asarray(grad_output, dtype=float)
+        cols = self._cols
+        self.weight.grad += np.einsum(
+            "bhwi,bhwo->io", cols, grad_output, optimize=True
+        )
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=(0, 1, 2))
+
+        grad_cols = grad_output @ self.weight.value.T
+        return self._col2im(grad_cols)
+
+    def _col2im(self, grad_cols: np.ndarray) -> np.ndarray:
+        """Scatter-add patch gradients back onto the (padded) input."""
+        kh, kw = self.kernel_size
+        pad_h, pad_w = kh // 2, kw // 2
+        batch, height, width, _ = self._x_shape
+        grad_padded = np.zeros(
+            (batch, height + 2 * pad_h, width + 2 * pad_w, self.in_channels)
+        )
+        grad_patches = grad_cols.reshape(
+            batch, height, width, kh, kw, self.in_channels
+        )
+        for dy in range(kh):
+            for dx in range(kw):
+                grad_padded[:, dy : dy + height, dx : dx + width, :] += (
+                    grad_patches[:, :, :, dy, dx, :]
+                )
+        return grad_padded[
+            :, pad_h : pad_h + height, pad_w : pad_w + width, :
+        ]
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params

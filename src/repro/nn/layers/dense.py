@@ -1,0 +1,80 @@
+"""Fully connected (dense) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform
+from repro.nn.layers.base import Layer, Parameter
+
+
+class Dense(Layer):
+    """Affine map ``y = x @ W + b`` applied to the last axis.
+
+    Accepts input of any rank ``(..., in_features)``; leading axes are
+    treated as batch axes.  This is how the paper's models apply dense
+    layers per pixel (FCNN), per token (transformer) and per patch
+    (encoder/decoder).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: int | np.random.Generator | None = None,
+        name: str = "dense",
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError(
+                "in_features and out_features must be >= 1, got "
+                f"{in_features}, {out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.name = name
+        self.weight = Parameter(
+            glorot_uniform(
+                (in_features, out_features), in_features, out_features, seed
+            ),
+            name=f"{name}/weight",
+        )
+        self.bias = (
+            Parameter(np.zeros(out_features), name=f"{name}/bias")
+            if bias
+            else None
+        )
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected last axis {self.in_features}, "
+                f"got input shape {x.shape}"
+            )
+        self._x = x
+        y = x @ self.weight.value
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        x = self._x
+        grad_output = np.asarray(grad_output, dtype=float)
+        # Sum over all leading (batch) axes.
+        self.weight.grad += np.einsum(
+            "...i,...o->io", x, grad_output, optimize=True
+        )
+        if self.bias is not None:
+            axes = tuple(range(grad_output.ndim - 1))
+            self.bias.grad += grad_output.sum(axis=axes)
+        return grad_output @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params

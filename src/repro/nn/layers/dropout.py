@@ -1,0 +1,43 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.utils.rng import make_rng
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``training=True``.
+
+    At inference the layer is the identity, so quantized/FPGA inference
+    paths never see it.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = make_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (
+            self._rng.uniform(size=x.shape) < keep
+        ).astype(float) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

@@ -1,0 +1,58 @@
+"""Learned positional embedding for token sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, Parameter
+from repro.utils.rng import make_rng
+
+
+class LearnedPositionalEmbedding(Layer):
+    """Adds a learned per-token offset to ``(batch, tokens, dim)`` input.
+
+    ViT-style: one trainable vector per token position, initialized with
+    small Gaussian noise.
+    """
+
+    def __init__(
+        self,
+        n_tokens: int,
+        dim: int,
+        seed: int | np.random.Generator | None = None,
+        name: str = "pos_embed",
+    ) -> None:
+        if n_tokens < 1 or dim < 1:
+            raise ValueError(
+                f"n_tokens and dim must be >= 1, got {n_tokens}, {dim}"
+            )
+        rng = make_rng(seed)
+        self.n_tokens = n_tokens
+        self.dim = dim
+        self.name = name
+        self.embedding = Parameter(
+            0.02 * rng.standard_normal((n_tokens, dim)),
+            name=f"{name}/embedding",
+        )
+        self._batch: int | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[1:] != (self.n_tokens, self.dim):
+            raise ValueError(
+                f"{self.name}: expected (batch, {self.n_tokens}, "
+                f"{self.dim}), got {x.shape}"
+            )
+        self._batch = x.shape[0]
+        return x + self.embedding.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._batch is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        self.embedding.grad += np.asarray(grad_output, dtype=float).sum(
+            axis=0
+        )
+        return grad_output
+
+    def parameters(self) -> list[Parameter]:
+        return [self.embedding]

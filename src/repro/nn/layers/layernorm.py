@@ -1,0 +1,67 @@
+"""Layer normalization (Ba et al.), as used in the transformer blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, Parameter
+
+
+class LayerNorm(Layer):
+    """Normalize the last axis to zero mean / unit variance, then affine.
+
+    ``y = gamma * (x - mean) / sqrt(var + eps) + beta``
+
+    The division and square root here are two of the four non-linear
+    operations the Tiny-VBF accelerator implements in hardware
+    (paper Section III-D).
+    """
+
+    def __init__(
+        self, dim: int, eps: float = 1e-5, name: str = "layernorm"
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        self.dim = dim
+        self.eps = eps
+        self.name = name
+        self.gamma = Parameter(np.ones(dim), name=f"{name}/gamma")
+        self.beta = Parameter(np.zeros(dim), name=f"{name}/beta")
+        self._normalized: np.ndarray | None = None
+        self._inv_std: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"{self.name}: expected last axis {self.dim}, got {x.shape}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (x - mean) * inv_std
+        self._normalized = normalized
+        self._inv_std = inv_std
+        return self.gamma.value * normalized + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._normalized is None or self._inv_std is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        normalized = self._normalized
+        inv_std = self._inv_std
+        grad_output = np.asarray(grad_output, dtype=float)
+
+        axes = tuple(range(grad_output.ndim - 1))
+        self.gamma.grad += (grad_output * normalized).sum(axis=axes)
+        self.beta.grad += grad_output.sum(axis=axes)
+
+        # Gradient through the normalization (standard layernorm algebra).
+        g = grad_output * self.gamma.value
+        mean_g = g.mean(axis=-1, keepdims=True)
+        mean_g_normalized = (g * normalized).mean(axis=-1, keepdims=True)
+        return inv_std * (g - mean_g - normalized * mean_g_normalized)
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]

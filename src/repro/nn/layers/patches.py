@@ -1,0 +1,122 @@
+"""Patchify / unpatchify layers: image <-> token sequence.
+
+Tiny-VBF tokenizes the (channel-compressed) ToFC image into
+non-overlapping ``(pz, px)`` tiles; each tile's features are flattened
+into one token.  ``Unpatchify`` is the exact inverse used by the decoder
+to reassemble the IQ image from per-token predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Patchify(Layer):
+    """(B, H, W, C) -> (B, n_patches, pz*px*C) with row-major patch order."""
+
+    def __init__(self, patch_size: tuple[int, int]) -> None:
+        pz, px = patch_size
+        if pz < 1 or px < 1:
+            raise ValueError(f"patch_size must be >= 1, got {patch_size}")
+        self.patch_size = (pz, px)
+        self._x_shape: tuple[int, ...] | None = None
+
+    @staticmethod
+    def token_count(
+        image_shape: tuple[int, int], patch_size: tuple[int, int]
+    ) -> int:
+        """Number of tokens for an image of ``(nz, nx)`` pixels."""
+        nz, nx = image_shape
+        pz, px = patch_size
+        if nz % pz != 0 or nx % px != 0:
+            raise ValueError(
+                f"image {image_shape} not divisible by patches {patch_size}"
+            )
+        return (nz // pz) * (nx // px)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4:
+            raise ValueError(f"expected (B, H, W, C), got {x.shape}")
+        batch, height, width, channels = x.shape
+        pz, px = self.patch_size
+        if height % pz != 0 or width % px != 0:
+            raise ValueError(
+                f"image ({height}, {width}) not divisible by patch "
+                f"size {self.patch_size}"
+            )
+        self._x_shape = x.shape
+        tiles = x.reshape(
+            batch, height // pz, pz, width // px, px, channels
+        )
+        # (B, gz, gx, pz, px, C) -> tokens in row-major grid order.
+        tokens = tiles.transpose(0, 1, 3, 2, 4, 5).reshape(
+            batch, (height // pz) * (width // px), pz * px * channels
+        )
+        return tokens
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("Patchify: backward before forward")
+        batch, height, width, channels = self._x_shape
+        pz, px = self.patch_size
+        grad = np.asarray(grad_output, dtype=float).reshape(
+            batch, height // pz, width // px, pz, px, channels
+        )
+        return grad.transpose(0, 1, 3, 2, 4, 5).reshape(
+            batch, height, width, channels
+        )
+
+
+class Unpatchify(Layer):
+    """(B, n_patches, pz*px*C) -> (B, H, W, C): inverse of Patchify."""
+
+    def __init__(
+        self,
+        patch_size: tuple[int, int],
+        image_shape: tuple[int, int],
+        channels: int,
+    ) -> None:
+        pz, px = patch_size
+        nz, nx = image_shape
+        if nz % pz != 0 or nx % px != 0:
+            raise ValueError(
+                f"image {image_shape} not divisible by patches {patch_size}"
+            )
+        if channels < 1:
+            raise ValueError(f"channels must be >= 1, got {channels}")
+        self.patch_size = (pz, px)
+        self.image_shape = (nz, nx)
+        self.channels = channels
+        self._patchify = Patchify(patch_size)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        nz, nx = self.image_shape
+        pz, px = self.patch_size
+        n_patches = (nz // pz) * (nx // px)
+        expected = (x.shape[0], n_patches, pz * px * self.channels)
+        if x.shape != expected:
+            raise ValueError(
+                f"Unpatchify: expected {expected}, got {x.shape}"
+            )
+        tiles = x.reshape(
+            x.shape[0], nz // pz, nx // px, pz, px, self.channels
+        )
+        return tiles.transpose(0, 1, 3, 2, 4, 5).reshape(
+            x.shape[0], nz, nx, self.channels
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        # The inverse rearrangement is exactly Patchify's forward.
+        grad = np.asarray(grad_output, dtype=float)
+        batch, height, width, channels = grad.shape
+        pz, px = self.patch_size
+        tiles = grad.reshape(
+            batch, height // pz, pz, width // px, px, channels
+        )
+        return tiles.transpose(0, 1, 3, 2, 4, 5).reshape(
+            batch, (height // pz) * (width // px), pz * px * channels
+        )

@@ -1,0 +1,39 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MSELoss:
+    """Mean squared error over all elements.
+
+    The paper trains with MSE on the IQ-demodulated beamformed image
+    *before* log compression (Section III-C); targets and predictions are
+    both ``(batch, nz, nx, 2)`` IQ stacks normalized to [-1, 1].
+    """
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+        self._n: int | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = np.asarray(prediction, dtype=float)
+        target = np.asarray(target, dtype=float)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: prediction {prediction.shape} vs "
+                f"target {target.shape}"
+            )
+        self._diff = prediction - target
+        self._n = prediction.size
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the loss with respect to the prediction."""
+        if self._diff is None or self._n is None:
+            raise RuntimeError("MSELoss: backward before forward")
+        return (2.0 / self._n) * self._diff
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)

@@ -1,0 +1,92 @@
+"""Model wrapper: prediction, weight (de)serialization, summaries."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.utils.io import load_npz, save_npz
+
+
+class Model:
+    """A trainable model around a root :class:`Layer`.
+
+    The root layer is typically a :class:`Sequential`; the model adds
+    batched prediction, weight save/load (order-based, validated by
+    shape) and a parameter summary.
+    """
+
+    def __init__(self, root: Layer, name: str = "model") -> None:
+        self.root = root
+        self.name = name
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.root.forward(x, training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.root.backward(grad_output)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x, training=False)
+
+    def predict(self, x: np.ndarray, batch_size: int = 8) -> np.ndarray:
+        """Inference in batches along axis 0."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        x = np.asarray(x, dtype=float)
+        outputs = [
+            self.forward(x[start : start + batch_size], training=False)
+            for start in range(0, x.shape[0], batch_size)
+        ]
+        return np.concatenate(outputs, axis=0)
+
+    def parameters(self):
+        return self.root.parameters()
+
+    @property
+    def n_parameters(self) -> int:
+        """Total trainable weight count (the paper quotes 1,507,922)."""
+        return sum(p.size for p in self.parameters())
+
+    def summary(self) -> str:
+        lines = [f"Model {self.name}: {self.n_parameters} parameters"]
+        for parameter in self.parameters():
+            lines.append(
+                f"  {parameter.name:40s} {str(parameter.value.shape):>16s}"
+            )
+        return "\n".join(lines)
+
+    # -- weight serialization ---------------------------------------------
+
+    def save_weights(self, path: str | Path) -> Path:
+        """Save all parameters (ordered) to an ``.npz`` bundle."""
+        arrays = {
+            f"p{i:04d}": p.value for i, p in enumerate(self.parameters())
+        }
+        arrays["__count__"] = np.array(len(self.parameters()))
+        return save_npz(path, arrays)
+
+    def load_weights(self, path: str | Path) -> None:
+        """Load parameters saved by :meth:`save_weights`.
+
+        Validates count and per-parameter shapes so weights cannot be
+        loaded into a differently configured model.
+        """
+        bundle = load_npz(path)
+        parameters = self.parameters()
+        count = int(bundle.get("__count__", -1))
+        if count != len(parameters):
+            raise ValueError(
+                f"weight bundle has {count} parameters, model expects "
+                f"{len(parameters)}"
+            )
+        for i, parameter in enumerate(parameters):
+            stored = bundle[f"p{i:04d}"]
+            if stored.shape != parameter.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {parameter.name}: bundle "
+                    f"{stored.shape} vs model {parameter.value.shape}"
+                )
+            parameter.value[...] = stored

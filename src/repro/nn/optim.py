@@ -1,0 +1,108 @@
+"""Optimizers: Adam (the paper's choice) and SGD."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Parameter
+from repro.nn.schedules import ConstantSchedule, Schedule
+
+
+def _as_schedule(learning_rate: float | Schedule) -> Schedule:
+    if isinstance(learning_rate, Schedule):
+        return learning_rate
+    return ConstantSchedule(float(learning_rate))
+
+
+class Optimizer:
+    """Base optimizer: owns the parameter list and the global step."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float | Schedule,
+    ) -> None:
+        if not parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.parameters = list(parameters)
+        self.schedule = _as_schedule(learning_rate)
+        self.step_count = 0
+
+    @property
+    def current_learning_rate(self) -> float:
+        return self.schedule.learning_rate(self.step_count)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain (optionally momentum) stochastic gradient descent."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float | Schedule = 1e-2,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        lr = self.current_learning_rate
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity -= lr * parameter.grad
+                parameter.value += velocity
+            else:
+                parameter.value -= lr * parameter.grad
+        self.step_count += 1
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float | Schedule = 1e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(
+                f"betas must be in [0, 1), got {beta1}, {beta2}"
+            )
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        lr = self.current_learning_rate
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.value -= lr * m_hat / (np.sqrt(v_hat) + self.eps)

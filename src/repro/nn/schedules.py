@@ -1,0 +1,81 @@
+"""Learning-rate schedules.
+
+The paper uses "a polynomial decay schedule with cyclic changes" from
+1e-4 down to 1e-6 (Section III-C); :class:`CyclicPolynomialDecay`
+implements exactly that — TensorFlow's ``PolynomialDecay(..., cycle=True)``
+semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Schedule:
+    """A learning rate as a function of the global step."""
+
+    def learning_rate(self, step: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        return self.learning_rate(step)
+
+
+class ConstantSchedule(Schedule):
+    """Fixed learning rate."""
+
+    def __init__(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"learning rate must be > 0, got {value}")
+        self.value = float(value)
+
+    def learning_rate(self, step: int) -> float:
+        return self.value
+
+
+class CyclicPolynomialDecay(Schedule):
+    """Polynomial decay with cycling (TensorFlow ``cycle=True`` semantics).
+
+    Within each cycle the rate decays from ``initial`` to ``final`` as
+
+        lr(step) = (initial - final) * (1 - step/decay_steps')^power + final
+
+    where ``decay_steps'`` is ``decay_steps`` multiplied up to the next
+    integer number of cycles containing ``step``, producing the paper's
+    "cyclic changes": the rate snaps back up at every cycle boundary and
+    the cycles stretch geometrically.
+    """
+
+    def __init__(
+        self,
+        initial: float = 1e-4,
+        final: float = 1e-6,
+        decay_steps: int = 1000,
+        power: float = 1.0,
+    ) -> None:
+        if initial <= 0 or final <= 0:
+            raise ValueError(
+                f"rates must be > 0, got initial={initial}, final={final}"
+            )
+        if final > initial:
+            raise ValueError(
+                f"final ({final}) must not exceed initial ({initial})"
+            )
+        if decay_steps < 1:
+            raise ValueError(f"decay_steps must be >= 1, got {decay_steps}")
+        if power <= 0:
+            raise ValueError(f"power must be > 0, got {power}")
+        self.initial = float(initial)
+        self.final = float(final)
+        self.decay_steps = int(decay_steps)
+        self.power = float(power)
+
+    def learning_rate(self, step: int) -> float:
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        multiplier = max(1.0, np.ceil((step + 1) / self.decay_steps))
+        effective_steps = self.decay_steps * multiplier
+        fraction = 1.0 - step / effective_steps
+        return (
+            (self.initial - self.final) * fraction**self.power + self.final
+        )

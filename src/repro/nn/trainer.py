@@ -1,0 +1,118 @@
+"""Training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import MSELoss
+from repro.nn.model import Model
+from repro.nn.optim import Optimizer
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class History:
+    """Per-epoch training record."""
+
+    loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    learning_rate: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.loss:
+            raise ValueError("history is empty")
+        return self.loss[-1]
+
+
+class Trainer:
+    """Mini-batch training of a :class:`Model` against array data.
+
+    Mirrors the paper's setup (Section III-C): Adam, MSE on IQ images,
+    batch training with shuffling.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        optimizer: Optimizer,
+        loss: MSELoss | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss or MSELoss()
+        self._rng = make_rng(seed)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        batch_size: int = 10,
+        shuffle: bool = True,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+        verbose_every: int = 0,
+    ) -> History:
+        """Train for ``epochs`` passes over ``(x, y)``.
+
+        Args:
+            x: inputs ``(n, ...)``.
+            y: targets ``(n, ...)`` aligned with ``x``.
+            epochs: number of full passes.
+            batch_size: the paper uses 10.
+            shuffle: reshuffle sample order each epoch.
+            validation: optional held-out ``(x_val, y_val)``.
+            verbose_every: print a progress line every N epochs (0 = quiet).
+
+        Returns:
+            :class:`History` with per-epoch mean loss.
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x and y disagree on sample count: {x.shape[0]} vs "
+                f"{y.shape[0]}"
+            )
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+        n = x.shape[0]
+        history = History()
+        for epoch in range(epochs):
+            order = (
+                self._rng.permutation(n) if shuffle else np.arange(n)
+            )
+            epoch_losses = []
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                self.optimizer.zero_grad()
+                prediction = self.model.forward(x[batch], training=True)
+                batch_loss = self.loss.forward(prediction, y[batch])
+                self.model.backward(self.loss.backward())
+                self.optimizer.step()
+                epoch_losses.append(batch_loss)
+            history.loss.append(float(np.mean(epoch_losses)))
+            history.learning_rate.append(
+                self.optimizer.current_learning_rate
+            )
+            if validation is not None:
+                x_val, y_val = validation
+                prediction = self.model.predict(x_val)
+                history.val_loss.append(
+                    float(np.mean((prediction - y_val) ** 2))
+                )
+            if verbose_every and (epoch + 1) % verbose_every == 0:
+                message = (
+                    f"epoch {epoch + 1}/{epochs} "
+                    f"loss={history.loss[-1]:.3e}"
+                )
+                if history.val_loss:
+                    message += f" val={history.val_loss[-1]:.3e}"
+                print(message)
+        return history

@@ -1,0 +1,91 @@
+"""Saturating fixed-point formats (Q notation).
+
+A :class:`FixedPointFormat` is a signed two's-complement format with
+``total_bits = 1 (sign) + integer_bits + fraction_bits``.  Quantization
+rounds to the nearest representable step and saturates at the format
+limits — the behaviour of the accelerator's datapath registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format.
+
+    Attributes:
+        total_bits: word length including the sign bit.
+        fraction_bits: bits right of the binary point.
+    """
+
+    total_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError(
+                f"total_bits must be >= 2, got {self.total_bits}"
+            )
+        if self.fraction_bits < 0:
+            raise ValueError(
+                f"fraction_bits must be >= 0, got {self.fraction_bits}"
+            )
+        if self.fraction_bits > self.total_bits - 1:
+            raise ValueError(
+                f"fraction_bits ({self.fraction_bits}) must leave room "
+                f"for the sign bit in {self.total_bits} total bits"
+            )
+
+    @property
+    def integer_bits(self) -> int:
+        return self.total_bits - 1 - self.fraction_bits
+
+    @property
+    def resolution(self) -> float:
+        """Size of one quantization step."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (2 ** (self.total_bits - 1) - 1) * self.resolution
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        return -(2 ** (self.total_bits - 1)) * self.resolution
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round to the nearest representable value, saturating."""
+        values = np.asarray(values, dtype=float)
+        steps = np.round(values / self.resolution)
+        steps = np.clip(
+            steps,
+            -(2 ** (self.total_bits - 1)),
+            2 ** (self.total_bits - 1) - 1,
+        )
+        return steps * self.resolution
+
+    def to_integers(self, values: np.ndarray) -> np.ndarray:
+        """Integer (step-count) representation of ``quantize(values)``."""
+        return np.round(
+            self.quantize(values) / self.resolution
+        ).astype(np.int64)
+
+    def from_integers(self, steps: np.ndarray) -> np.ndarray:
+        """Real values from an integer step-count representation."""
+        return np.asarray(steps, dtype=np.int64) * self.resolution
+
+    def quantization_noise_bound(self) -> float:
+        """Worst-case rounding error (half a step) inside the range."""
+        return self.resolution / 2.0
+
+    def __str__(self) -> str:
+        return (
+            f"Q{self.integer_bits}.{self.fraction_bits}"
+            f" ({self.total_bits} bits)"
+        )

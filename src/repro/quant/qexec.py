@@ -1,0 +1,163 @@
+"""Quantized forward execution.
+
+Runs a trained model under a :class:`QuantizationScheme`, applying fixed
+point exactly where the FPGA datapath does:
+
+* parameters are quantized at load time (``weights`` format; biases live
+  in the accumulator, so they use the ``arithmetic`` format),
+* every multiply/accumulate result is quantized to the ``arithmetic``
+  format,
+* every layer output written back to memory is quantized to the
+  ``intermediate`` format,
+* softmax probabilities are quantized to the ``softmax`` format,
+* non-linear units that the accelerator implements with dedicated
+  hardware (ReLU, softmax, the division/sqrt inside layer norm) are
+  evaluated exactly and re-quantized on output (paper Section III-D).
+
+This is "fake quantization": values stay float64 but are snapped to the
+representable grid, which is numerically identical to the integer
+datapath for these word lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.tiny_vbf import TinyVbfNetwork
+from repro.nn.layers.activations import ReLU, Softmax, Tanh, softmax
+from repro.nn.layers.attention import MultiHeadAttention
+from repro.nn.layers.base import Layer
+from repro.nn.layers.container import Residual, Sequential
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.embedding import LearnedPositionalEmbedding
+from repro.nn.layers.layernorm import LayerNorm
+from repro.nn.layers.patches import Patchify, Unpatchify
+from repro.quant.schemes import QuantizationScheme
+
+
+def _q(fmt, values: np.ndarray) -> np.ndarray:
+    """Quantize with an optional format (None = float passthrough)."""
+    if fmt is None:
+        return values
+    return fmt.quantize(values)
+
+
+def quantized_forward(
+    layer: Layer, x: np.ndarray, scheme: QuantizationScheme
+) -> np.ndarray:
+    """Evaluate ``layer`` on ``x`` under ``scheme`` (see module doc)."""
+    if scheme.is_float:
+        return layer.forward(x, training=False)
+
+    if isinstance(layer, Sequential):
+        for child in layer.layers:
+            x = quantized_forward(child, x, scheme)
+        return x
+
+    if isinstance(layer, Residual):
+        inner = quantized_forward(layer.inner, x, scheme)
+        return _q(scheme.intermediate, x + inner)
+
+    if isinstance(layer, TinyVbfNetwork):
+        x = _q(scheme.intermediate, x)
+        pixel = quantized_forward(layer.pixel_encoder, x, scheme)
+        context = quantized_forward(layer.context, pixel, scheme)
+        if layer.config.use_pixel_skip:
+            combined = np.concatenate([pixel, context], axis=-1)
+        else:
+            combined = context
+        return quantized_forward(layer.head, combined, scheme)
+
+    if isinstance(layer, Dense):
+        weight = _q(scheme.weights, layer.weight.value)
+        y = _q(scheme.arithmetic, x @ weight)
+        if layer.bias is not None:
+            y = _q(
+                scheme.arithmetic, y + _q(scheme.arithmetic,
+                                          layer.bias.value)
+            )
+        return _q(scheme.intermediate, y)
+
+    if isinstance(layer, MultiHeadAttention):
+        return _quantized_attention(layer, x, scheme)
+
+    if isinstance(layer, LayerNorm):
+        gamma = _q(scheme.weights, layer.gamma.value)
+        beta = _q(scheme.arithmetic, layer.beta.value)
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalized = (x - mean) / np.sqrt(var + layer.eps)
+        return _q(scheme.intermediate, gamma * normalized + beta)
+
+    if isinstance(layer, ReLU):
+        return np.maximum(x, 0.0)
+
+    if isinstance(layer, Tanh):
+        return _q(scheme.intermediate, np.tanh(x))
+
+    if isinstance(layer, Softmax):
+        return _q(scheme.softmax, softmax(x, axis=layer.axis))
+
+    if isinstance(layer, LearnedPositionalEmbedding):
+        embedding = _q(scheme.weights, layer.embedding.value)
+        return _q(scheme.intermediate, x + embedding)
+
+    if isinstance(layer, (Patchify, Unpatchify, Dropout)):
+        # Pure data movement (dropout is identity at inference).
+        return layer.forward(x, training=False)
+
+    raise TypeError(
+        f"no quantized execution rule for {type(layer).__name__}"
+    )
+
+
+def _quantized_attention(
+    layer: MultiHeadAttention, x: np.ndarray, scheme: QuantizationScheme
+) -> np.ndarray:
+    """MHA under quantization: Figs. 6-8 of the paper's accelerator."""
+    def project(dense: Dense) -> np.ndarray:
+        weight = _q(scheme.weights, dense.weight.value)
+        y = _q(scheme.arithmetic, x @ weight)
+        if dense.bias is not None:
+            y = _q(scheme.arithmetic, y + _q(scheme.arithmetic,
+                                             dense.bias.value))
+        return _q(scheme.intermediate, y)
+
+    q = layer._split_heads(project(layer.query))
+    k = layer._split_heads(project(layer.key))
+    v = layer._split_heads(project(layer.value))
+
+    scale = 1.0 / np.sqrt(layer.head_dim)
+    scores = _q(
+        scheme.arithmetic,
+        np.einsum("bhtk,bhsk->bhts", q, k, optimize=True) * scale,
+    )
+    attention = _q(scheme.softmax, softmax(scores, axis=-1))
+    context = _q(
+        scheme.arithmetic,
+        np.einsum("bhts,bhsk->bhtk", attention, v, optimize=True),
+    )
+    merged = layer._merge_heads(context)
+
+    weight = _q(scheme.weights, layer.output.weight.value)
+    out = _q(scheme.arithmetic, merged @ weight)
+    if layer.output.bias is not None:
+        out = _q(scheme.arithmetic,
+                 out + _q(scheme.arithmetic, layer.output.bias.value))
+    return _q(scheme.intermediate, out)
+
+
+class QuantizedModel:
+    """A trained model bound to a quantization scheme."""
+
+    def __init__(self, model, scheme: QuantizationScheme) -> None:
+        self.model = model
+        self.scheme = scheme
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return quantized_forward(self.model.root, np.asarray(x, float),
+                                 self.scheme)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

@@ -1,0 +1,75 @@
+"""Weight cache: train once, reuse everywhere.
+
+Trained weights live in ``artifacts/weights/`` at the repository root
+(override with the ``REPRO_CACHE_DIR`` environment variable).  The cache
+key is ``{kind}_{scale}_s{seed}``; tests, benchmarks and examples all go
+through :func:`get_trained_model` so a single deterministic training run
+backs the whole evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.models.registry import build_model
+from repro.nn import Model
+from repro.training.pipeline import train_beamformer
+
+
+def cache_dir() -> Path:
+    """Resolve the artifacts directory (env override, repo default)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    # src/repro/training/cache.py -> repo root is three parents above
+    # the package directory.
+    return Path(__file__).resolve().parents[3] / "artifacts"
+
+
+def trained_weights_path(
+    kind: str, scale: str = "small", seed: int = 0
+) -> Path:
+    return cache_dir() / "weights" / f"{kind}_{scale}_s{seed}.npz"
+
+
+def get_trained_model(
+    kind: str,
+    scale: str = "small",
+    seed: int = 0,
+    retrain: bool = False,
+    verbose_every: int = 0,
+    **train_kwargs,
+) -> Model:
+    """Return a trained model, training and caching it when missing.
+
+    ``train_kwargs`` are forwarded to
+    :func:`repro.training.pipeline.train_beamformer` on a cache miss.
+    """
+    path = trained_weights_path(kind, scale, seed)
+    model = build_model(kind, scale, seed=seed)
+    if path.exists() and not retrain:
+        model.load_weights(path)
+        return model
+
+    result = train_beamformer(
+        kind,
+        scale=scale,
+        seed=seed,
+        verbose_every=verbose_every,
+        **train_kwargs,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    result.model.save_weights(path)
+    metadata = {
+        "kind": kind,
+        "scale": scale,
+        "seed": seed,
+        "epochs": result.epochs,
+        "n_frames": result.n_frames,
+        "final_loss": result.history.final_loss,
+        "loss_curve": result.history.loss,
+    }
+    path.with_suffix(".json").write_text(json.dumps(metadata, indent=2))
+    return result.model

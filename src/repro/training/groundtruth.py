@@ -1,0 +1,95 @@
+"""Ground-truth generation: MVDR targets for supervised beamforming.
+
+For every training frame we compute
+
+* the analytic (complex) ToFC cube, normalized to [-1, 1] by its peak
+  magnitude — the model input domain (paper Section III-A), and
+* the MVDR-beamformed IQ image, normalized the same way — the target.
+
+All models regress the *carrier-domain* analytic MVDR image: the learned
+map is then an adaptive per-pixel channel combination (the beamforming
+task), with no depth-dependent carrier rotation folded in.  A
+baseband-demodulated variant of the target is also produced for analysis;
+the two have identical envelopes, and every metric in the paper is
+envelope-based, so the choice is invisible to the evaluation (see
+DESIGN.md for the full discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.beamform.envelope import baseband_demodulate
+from repro.beamform.mvdr import MvdrConfig, mvdr_beamform
+from repro.beamform.tof import analytic_tofc
+from repro.models.common import complex_to_stacked
+
+
+@dataclass(frozen=True)
+class FramePair:
+    """One training sample: normalized input cube + normalized targets.
+
+    Attributes:
+        tofc: ``(nz, nx, ch)`` complex analytic ToFC, peak-normalized.
+        target_carrier: ``(nz, nx)`` complex MVDR IQ at the RF carrier.
+        target_baseband: ``(nz, nx)`` complex MVDR IQ at baseband.
+    """
+
+    tofc: np.ndarray
+    target_carrier: np.ndarray
+    target_baseband: np.ndarray
+
+
+def prepare_frame(
+    dataset, mvdr_config: MvdrConfig | None = None
+) -> FramePair:
+    """Compute the (input, target) pair for one single-angle dataset."""
+    tofc = analytic_tofc(
+        dataset.rf,
+        dataset.probe,
+        dataset.grid,
+        angle_rad=dataset.angle_rad,
+        sound_speed_m_s=dataset.sound_speed_m_s,
+    )
+    peak_in = np.abs(tofc).max()
+    if peak_in == 0.0:
+        raise ValueError(f"dataset {dataset.name} has silent ToFC data")
+    tofc_normalized = tofc / peak_in
+
+    mvdr_iq = mvdr_beamform(tofc, mvdr_config)
+    peak_out = np.abs(mvdr_iq).max()
+    if peak_out == 0.0:
+        raise ValueError(f"MVDR output is silent for {dataset.name}")
+    carrier = mvdr_iq / peak_out
+    baseband = baseband_demodulate(
+        carrier,
+        dataset.grid,
+        dataset.probe.center_frequency_hz,
+        dataset.sound_speed_m_s,
+    )
+    return FramePair(
+        tofc=tofc_normalized,
+        target_carrier=carrier,
+        target_baseband=baseband,
+    )
+
+
+def model_arrays(
+    kind: str, pair: FramePair
+) -> tuple[np.ndarray, np.ndarray]:
+    """(input, target) arrays for ``kind`` from one :class:`FramePair`.
+
+    Shapes: Tiny-VBF ``(nz, nx, 2*ch)`` analytic pair -> ``(nz, nx, 2)``
+    IQ; baselines ``(nz, nx, ch, 2)`` stacked complex -> ``(nz, nx, 2)``
+    IQ.
+    """
+    if kind == "tiny_vbf":
+        x = np.concatenate([pair.tofc.real, pair.tofc.imag], axis=-1)
+    elif kind in ("tiny_cnn", "fcnn"):
+        x = complex_to_stacked(pair.tofc)
+    else:
+        raise ValueError(f"unknown model kind {kind!r}")
+    y = complex_to_stacked(pair.target_carrier)
+    return x, y

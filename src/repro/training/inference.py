@@ -1,0 +1,37 @@
+"""Inference helpers: run a trained beamformer on a dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.beamform.tof import analytic_tofc
+from repro.models.common import stacked_to_complex
+from repro.models.registry import model_input
+from repro.nn import Model
+
+
+def predict_iq(
+    model: Model,
+    kind: str,
+    dataset,
+) -> np.ndarray:
+    """Beamform ``dataset`` with a trained model.
+
+    Computes the analytic ToFC cube, normalizes it to [-1, 1] (the
+    training input convention), runs the model and returns the complex
+    ``(nz, nx)`` IQ image.  Tiny-VBF outputs baseband IQ and the
+    baselines carrier IQ; both have the envelope the metrics consume.
+    """
+    tofc = analytic_tofc(
+        dataset.rf,
+        dataset.probe,
+        dataset.grid,
+        angle_rad=dataset.angle_rad,
+        sound_speed_m_s=dataset.sound_speed_m_s,
+    )
+    peak = np.abs(tofc).max()
+    if peak == 0.0:
+        raise ValueError(f"dataset {dataset.name} has silent ToFC data")
+    x = model_input(kind, tofc / peak)
+    iq_stacked = model.forward(x, training=False)[0]
+    return stacked_to_complex(iq_stacked)

@@ -1,0 +1,69 @@
+"""Plane-wave ultrasound acquisition simulator.
+
+This subpackage is the stand-in for the physical acquisition hardware used
+in the paper (Verasonics Vantage research scanners with an L11-5v linear
+probe) and for the Field II simulations behind the PICMUS in-silico
+datasets.  It implements a linear point-scatterer forward model:
+
+1. a plane wave is transmitted at a steering angle,
+2. every scatterer re-radiates a band-limited pulse,
+3. every element records the superposition with geometric spreading,
+   element directivity, frequency-independent attenuation and (optionally)
+   measurement impairments (thermal noise, reverberation clutter, element
+   gain/phase spread).
+
+The same physics class underlies Field II, so the datasets produced here
+exercise the identical beamforming/learning code paths as PICMUS data.
+"""
+
+from repro.ultrasound.probe import LinearProbe, l11_5v, small_probe
+from repro.ultrasound.pulse import GaussianPulse
+from repro.ultrasound.medium import Medium, WATER_LIKE_TISSUE
+from repro.ultrasound.phantoms import (
+    Phantom,
+    cyst_phantom,
+    point_phantom,
+    speckle_field,
+)
+from repro.ultrasound.acquisition import PlaneWaveAcquisition, simulate_rf
+from repro.ultrasound.noise import (
+    add_reverberation_clutter,
+    add_thermal_noise,
+    apply_element_variation,
+)
+from repro.ultrasound.datasets import (
+    DatasetSpec,
+    PlaneWaveDataset,
+    phantom_contrast,
+    phantom_resolution,
+    simulation_contrast,
+    simulation_resolution,
+    multi_angle_set,
+    training_frames,
+)
+
+__all__ = [
+    "LinearProbe",
+    "l11_5v",
+    "small_probe",
+    "GaussianPulse",
+    "Medium",
+    "WATER_LIKE_TISSUE",
+    "Phantom",
+    "cyst_phantom",
+    "point_phantom",
+    "speckle_field",
+    "PlaneWaveAcquisition",
+    "simulate_rf",
+    "add_thermal_noise",
+    "add_reverberation_clutter",
+    "apply_element_variation",
+    "DatasetSpec",
+    "PlaneWaveDataset",
+    "simulation_resolution",
+    "simulation_contrast",
+    "phantom_resolution",
+    "phantom_contrast",
+    "multi_angle_set",
+    "training_frames",
+]

@@ -1,0 +1,499 @@
+"""PICMUS-style dataset presets and training-set generation.
+
+The paper evaluates on the PICMUS 2016 challenge datasets:
+
+* **simulation** (in-silico, Field II): a *resolution-distortion* set with
+  horizontal rows of point targets in two depth zones, and a *contrast*
+  set with anechoic cysts at 13 / 25 / 37 mm depth in uniform speckle,
+* **phantom** (in-vitro, Verasonics Vantage 256): the same target classes
+  measured on a physical phantom — point rows around 14 / 33 mm and cysts
+  around 15 / 35 mm — i.e. clean simulation physics plus measurement
+  impairments.
+
+PICMUS itself is not downloadable in this environment, so these presets
+regenerate the same *geometry* with our plane-wave simulator
+(:mod:`repro.ultrasound.acquisition`) and reproduce the in-vitro character
+by injecting calibrated impairments (:mod:`repro.ultrasound.noise`).
+Two scales are provided:
+
+* ``small`` (default): 32-element aperture, 368 x 64 pixel grid — fast
+  enough for tests, training and benches on a laptop-class CPU,
+* ``paper``: 128-element L11-5v aperture with the paper's 368 x 128 grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.beamform.geometry import ImagingGrid
+from repro.ultrasound.acquisition import (
+    PlaneWaveAcquisition,
+    simulate_multi_angle_rf,
+    simulate_rf,
+)
+from repro.ultrasound.medium import Medium
+from repro.ultrasound.noise import in_vitro_impairments
+from repro.ultrasound.phantoms import (
+    Phantom,
+    cyst_phantom,
+    point_phantom,
+    resolution_point_layout,
+    speckle_field,
+)
+from repro.ultrasound.probe import LinearProbe, l11_5v, small_probe
+from repro.utils.rng import make_rng
+from repro.utils.validation import require_in
+
+SCALES = ("small", "paper")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Geometry of a dataset preset (documented per bench in DESIGN.md)."""
+
+    name: str
+    kind: str  # "contrast" | "resolution" | "training"
+    scale: str
+    n_elements: int
+    grid_shape: tuple[int, int]  # (nz, nx)
+    x_span_m: tuple[float, float]
+    z_span_m: tuple[float, float]
+    cyst_centers_m: tuple[tuple[float, float], ...] = ()
+    cyst_radius_m: float = 0.0
+    point_positions_m: tuple[tuple[float, float], ...] = ()
+    in_vitro: bool = False
+
+
+@dataclass(frozen=True)
+class PlaneWaveDataset:
+    """A simulated single-angle plane-wave acquisition plus its metadata.
+
+    Attributes:
+        spec: geometry description (targets, grid, scale).
+        rf: ``(n_samples, n_elements)`` received channel data.
+        angle_rad: plane-wave steering angle of this acquisition.
+        probe: receiving array.
+        grid: reconstruction pixel grid.
+        medium: propagation medium used by the simulator.
+        phantom: the generating scatterer cloud (useful for tests).
+        t_start_s: receive time of the first RF sample.
+    """
+
+    spec: DatasetSpec
+    rf: np.ndarray
+    angle_rad: float
+    probe: LinearProbe
+    grid: ImagingGrid
+    medium: Medium
+    phantom: Phantom
+    t_start_s: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def sound_speed_m_s(self) -> float:
+        return self.medium.sound_speed_m_s
+
+    @property
+    def cysts(self) -> tuple[tuple[tuple[float, float], float], ...]:
+        """Cyst (center, radius) pairs for contrast metrics."""
+        return tuple(
+            (center, self.spec.cyst_radius_m)
+            for center in self.spec.cyst_centers_m
+        )
+
+    @property
+    def points(self) -> tuple[tuple[float, float], ...]:
+        """Point-target positions for resolution metrics."""
+        return self.spec.point_positions_m
+
+
+# --------------------------------------------------------------------------
+# Scale definitions
+# --------------------------------------------------------------------------
+
+
+def _probe_for(scale: str) -> LinearProbe:
+    require_in("scale", scale, SCALES)
+    return l11_5v() if scale == "paper" else small_probe(32)
+
+
+def _grid_for(scale: str) -> ImagingGrid:
+    if scale == "paper":
+        # The paper's frame is 368 x 128 over the full L11-5v aperture.
+        return ImagingGrid.from_spans(
+            x_span_m=(-19.05e-3, 19.05e-3),
+            z_span_m=(5e-3, 50e-3),
+            nx=128,
+            nz=368,
+        )
+    # Small scale keeps the paper's 368 depth rows (axial resolution
+    # metrics need fine dz) over a narrower 64-column lateral field.
+    return ImagingGrid.from_spans(
+        x_span_m=(-6e-3, 6e-3),
+        z_span_m=(5e-3, 42e-3),
+        nx=64,
+        nz=368,
+    )
+
+
+def _speckle_region(
+    grid: ImagingGrid,
+) -> tuple[tuple[float, float], tuple[float, float]]:
+    """Scatterer region: the image plus margins to avoid edge artifacts."""
+    margin_x = 2e-3
+    margin_z = 2e-3
+    return (
+        (grid.x_m[0] - margin_x, grid.x_m[-1] + margin_x),
+        (max(1e-3, grid.z_m[0] - margin_z), grid.z_m[-1] + margin_z),
+    )
+
+
+def _n_speckle(scale: str) -> int:
+    return 30000 if scale == "paper" else 6000
+
+
+def _acquisition(
+    probe: LinearProbe, medium: Medium, grid: ImagingGrid
+) -> PlaneWaveAcquisition:
+    return PlaneWaveAcquisition(
+        probe=probe,
+        medium=medium,
+        max_depth_m=float(grid.z_m[-1]) + 3e-3,
+    )
+
+
+_IN_SILICO_MEDIUM = Medium(sound_speed_m_s=1540.0, attenuation_db_cm_mhz=0.0)
+_IN_VITRO_MEDIUM = Medium(sound_speed_m_s=1540.0, attenuation_db_cm_mhz=0.3)
+
+
+# --------------------------------------------------------------------------
+# Evaluation presets
+# --------------------------------------------------------------------------
+
+
+def simulation_contrast(
+    scale: str = "small", seed: int = 101
+) -> PlaneWaveDataset:
+    """PICMUS-style in-silico contrast set: anechoic cysts at 3 depths.
+
+    Cysts sit at 13 / 25 / 37 mm (paper Fig. 9) on the array axis.
+    """
+    return _contrast_dataset(
+        name="simulation_contrast",
+        scale=scale,
+        seed=seed,
+        cyst_depths_m=(13e-3, 25e-3, 37e-3),
+        in_vitro=False,
+    )
+
+
+def phantom_contrast(
+    scale: str = "small", seed: int = 202
+) -> PlaneWaveDataset:
+    """In-vitro style contrast set: cysts at 15 / 35 mm plus impairments
+    (paper Fig. 10)."""
+    return _contrast_dataset(
+        name="phantom_contrast",
+        scale=scale,
+        seed=seed,
+        cyst_depths_m=(15e-3, 35e-3),
+        in_vitro=True,
+    )
+
+
+def simulation_resolution(
+    scale: str = "small", seed: int = 303
+) -> PlaneWaveDataset:
+    """In-silico resolution set: point rows at 15 / 35 mm (paper Fig. 11),
+    anechoic background."""
+    return _resolution_dataset(
+        name="simulation_resolution",
+        scale=scale,
+        seed=seed,
+        row_depths_m=(15.12e-3, 35.15e-3),
+        in_vitro=False,
+    )
+
+
+def phantom_resolution(
+    scale: str = "small", seed: int = 404
+) -> PlaneWaveDataset:
+    """In-vitro style resolution set: point rows at 14 / 33 mm plus
+    impairments (paper Fig. 13)."""
+    return _resolution_dataset(
+        name="phantom_resolution",
+        scale=scale,
+        seed=seed,
+        row_depths_m=(14.01e-3, 32.79e-3),
+        in_vitro=True,
+    )
+
+
+def _contrast_dataset(
+    name: str,
+    scale: str,
+    seed: int,
+    cyst_depths_m: tuple[float, ...],
+    in_vitro: bool,
+) -> PlaneWaveDataset:
+    probe = _probe_for(scale)
+    grid = _grid_for(scale)
+    medium = _IN_VITRO_MEDIUM if in_vitro else _IN_SILICO_MEDIUM
+    cyst_radius = 4e-3 if scale == "paper" else 3e-3
+    centers = tuple((0.0, depth) for depth in cyst_depths_m)
+
+    x_span, z_span = _speckle_region(grid)
+    phantom = cyst_phantom(
+        x_span_m=x_span,
+        z_span_m=z_span,
+        cyst_centers_m=np.asarray(centers),
+        cyst_radius_m=cyst_radius,
+        n_scatterers=_n_speckle(scale),
+        seed=seed,
+    )
+    acquisition = _acquisition(probe, medium, grid)
+    rf = simulate_rf(acquisition, phantom, angle_rad=0.0)
+    if in_vitro:
+        rf = in_vitro_impairments(rf, seed=seed + 1)
+
+    spec = DatasetSpec(
+        name=name,
+        kind="contrast",
+        scale=scale,
+        n_elements=probe.n_elements,
+        grid_shape=grid.shape,
+        x_span_m=(float(grid.x_m[0]), float(grid.x_m[-1])),
+        z_span_m=(float(grid.z_m[0]), float(grid.z_m[-1])),
+        cyst_centers_m=centers,
+        cyst_radius_m=cyst_radius,
+        in_vitro=in_vitro,
+    )
+    return PlaneWaveDataset(
+        spec=spec,
+        rf=rf,
+        angle_rad=0.0,
+        probe=probe,
+        grid=grid,
+        medium=medium,
+        phantom=phantom,
+    )
+
+
+def _resolution_dataset(
+    name: str,
+    scale: str,
+    seed: int,
+    row_depths_m: tuple[float, ...],
+    in_vitro: bool,
+) -> PlaneWaveDataset:
+    probe = _probe_for(scale)
+    grid = _grid_for(scale)
+    medium = _IN_VITRO_MEDIUM if in_vitro else _IN_SILICO_MEDIUM
+    if scale == "paper":
+        lateral_offsets = (-12e-3, -6e-3, 0.0, 6e-3, 12e-3)
+    else:
+        lateral_offsets = (-4.4e-3, -2.2e-3, 0.0, 2.2e-3, 4.4e-3)
+    points = resolution_point_layout(row_depths_m, lateral_offsets)
+    phantom = point_phantom(points, amplitude=1.0)
+
+    acquisition = _acquisition(probe, medium, grid)
+    rf = simulate_rf(acquisition, phantom, angle_rad=0.0)
+    if in_vitro:
+        rf = in_vitro_impairments(rf, seed=seed + 1, snr_db=35.0)
+
+    spec = DatasetSpec(
+        name=name,
+        kind="resolution",
+        scale=scale,
+        n_elements=probe.n_elements,
+        grid_shape=grid.shape,
+        x_span_m=(float(grid.x_m[0]), float(grid.x_m[-1])),
+        z_span_m=(float(grid.z_m[0]), float(grid.z_m[-1])),
+        point_positions_m=tuple(map(tuple, points)),
+        in_vitro=in_vitro,
+    )
+    return PlaneWaveDataset(
+        spec=spec,
+        rf=rf,
+        angle_rad=0.0,
+        probe=probe,
+        grid=grid,
+        medium=medium,
+        phantom=phantom,
+    )
+
+
+# --------------------------------------------------------------------------
+# Training data
+# --------------------------------------------------------------------------
+
+
+def training_frames(
+    n_frames: int,
+    scale: str = "small",
+    seed: int = 7,
+) -> list[PlaneWaveDataset]:
+    """Generate a diverse single-angle training corpus.
+
+    Mirrors the paper's training recipe (Verasonics acquisitions of mixed
+    scenes, Section III-B): every frame contains speckle background plus a
+    random draw of anechoic cysts and bright point targets, so the model
+    sees both contrast and resolution structure.
+    """
+    if n_frames < 1:
+        raise ValueError(f"n_frames must be >= 1, got {n_frames}")
+    rng = make_rng(seed)
+    probe = _probe_for(scale)
+    grid = _grid_for(scale)
+    medium = _IN_SILICO_MEDIUM
+    acquisition = _acquisition(probe, medium, grid)
+    x_span, z_span = _speckle_region(grid)
+
+    frames = []
+    for index in range(n_frames):
+        frame_seed = int(rng.integers(0, 2**31 - 1))
+        frame_rng = make_rng(frame_seed)
+        phantom = _random_scene(
+            frame_rng, grid, x_span, z_span, _n_speckle(scale)
+        )
+        rf = simulate_rf(acquisition, phantom, angle_rad=0.0)
+        spec = DatasetSpec(
+            name=f"training_{index:03d}",
+            kind="training",
+            scale=scale,
+            n_elements=probe.n_elements,
+            grid_shape=grid.shape,
+            x_span_m=(float(grid.x_m[0]), float(grid.x_m[-1])),
+            z_span_m=(float(grid.z_m[0]), float(grid.z_m[-1])),
+        )
+        frames.append(
+            PlaneWaveDataset(
+                spec=spec,
+                rf=rf,
+                angle_rad=0.0,
+                probe=probe,
+                grid=grid,
+                medium=medium,
+                phantom=phantom,
+            )
+        )
+    return frames
+
+
+def _random_scene(
+    rng: np.random.Generator,
+    grid: ImagingGrid,
+    x_span: tuple[float, float],
+    z_span: tuple[float, float],
+    n_scatterers: int,
+) -> Phantom:
+    """One random training scene.
+
+    Scene types are mixed deliberately: cyst-in-speckle frames are
+    peak-normalized by speckle (matching the contrast evaluation data),
+    point-only frames by the point echoes (matching the
+    resolution-distortion data), and mixed frames cover everything in
+    between.  Without the pure types the models face a normalization
+    distribution shift at evaluation time.
+    """
+    scene_type = rng.choice(
+        ["cysts", "points", "mixed"], p=[0.35, 0.3, 0.35]
+    )
+
+    if scene_type == "points":
+        # PICMUS-style point rows: a shallow and a deep row (plus
+        # occasionally a third), each with several isolated targets.
+        # Deep rows are guaranteed so the models learn to sharpen
+        # aperture-limited far-field mainlobes too.
+        z_lo, z_hi = grid.z_m[0] + 2e-3, grid.z_m[-1] - 2e-3
+        z_mid = 0.5 * (z_lo + z_hi)
+        row_depths = [
+            rng.uniform(z_lo, z_mid - 2e-3),
+            rng.uniform(z_mid + 2e-3, z_hi),
+        ]
+        if rng.uniform() < 0.5:
+            row_depths.append(rng.uniform(z_lo, z_hi))
+        points = []
+        amplitudes = []
+        for depth in row_depths:
+            n_points = int(rng.integers(3, 6))
+            xs = rng.uniform(
+                grid.x_m[0] + 1e-3, grid.x_m[-1] - 1e-3, n_points
+            )
+            points.extend((x, depth) for x in xs)
+            amplitudes.extend(rng.uniform(0.7, 1.3, n_points))
+        return Phantom(
+            positions_m=np.asarray(points),
+            amplitudes=np.asarray(amplitudes),
+        )
+
+    n_cysts = int(rng.integers(1, 3))
+    margin = 4e-3
+    centers = np.column_stack(
+        [
+            rng.uniform(grid.x_m[0] + margin, grid.x_m[-1] - margin, n_cysts),
+            rng.uniform(grid.z_m[0] + margin, grid.z_m[-1] - margin, n_cysts),
+        ]
+    )
+    radius = float(rng.uniform(2e-3, 3.5e-3))
+    scene = cyst_phantom(
+        x_span_m=x_span,
+        z_span_m=z_span,
+        cyst_centers_m=centers,
+        cyst_radius_m=radius,
+        n_scatterers=n_scatterers,
+        seed=rng,
+    )
+    if scene_type == "cysts":
+        return scene
+    n_points = int(rng.integers(2, 5))
+    points = np.column_stack(
+        [
+            rng.uniform(grid.x_m[0] + 1e-3, grid.x_m[-1] - 1e-3, n_points),
+            rng.uniform(grid.z_m[0] + 2e-3, grid.z_m[-1] - 2e-3, n_points),
+        ]
+    )
+    bright = point_phantom(points, amplitude=float(rng.uniform(5.0, 10.0)))
+    return scene.combined_with(bright)
+
+
+# --------------------------------------------------------------------------
+# Multi-angle (CUBDL-style) set
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultiAngleDataset:
+    """A multi-angle acquisition stack for compounding / fine-tuning."""
+
+    base: PlaneWaveDataset
+    rf_stack: np.ndarray  # (n_angles, n_samples, n_elements)
+    angles_rad: np.ndarray  # (n_angles,)
+
+
+def multi_angle_set(
+    n_angles: int = 10,
+    max_angle_deg: float = 8.0,
+    scale: str = "small",
+    seed: int = 505,
+) -> MultiAngleDataset:
+    """Simulate a CUBDL-style multi-angle plane-wave acquisition.
+
+    The paper fine-tunes on 10-angle CUBDL data (Section III-B); this
+    preset provides an equivalent stack over a contrast scene whose
+    compounded reconstruction can serve as a high-quality reference.
+    """
+    if n_angles < 1:
+        raise ValueError(f"n_angles must be >= 1, got {n_angles}")
+    base = simulation_contrast(scale=scale, seed=seed)
+    angles = np.deg2rad(
+        np.linspace(-max_angle_deg, max_angle_deg, n_angles)
+    )
+    acquisition = _acquisition(base.probe, base.medium, base.grid)
+    rf_stack = simulate_multi_angle_rf(acquisition, base.phantom, angles)
+    return MultiAngleDataset(base=base, rf_stack=rf_stack, angles_rad=angles)

@@ -1,0 +1,45 @@
+"""Propagation medium parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Medium:
+    """Homogeneous propagation medium.
+
+    Attributes:
+        sound_speed_m_s: speed of sound (PICMUS assumes 1540 m/s).
+        attenuation_db_cm_mhz: amplitude attenuation coefficient in
+            dB / (cm * MHz); 0.0 reproduces a lossless Field II style
+            simulation, ~0.5 is soft-tissue-like and is used for the
+            in-vitro style presets.
+    """
+
+    sound_speed_m_s: float = 1540.0
+    attenuation_db_cm_mhz: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("sound_speed_m_s", self.sound_speed_m_s)
+        if self.attenuation_db_cm_mhz < 0:
+            raise ValueError(
+                "attenuation_db_cm_mhz must be >= 0, got "
+                f"{self.attenuation_db_cm_mhz}"
+            )
+
+    def attenuation_amplitude(
+        self, path_length_m: float, frequency_hz: float
+    ) -> float:
+        """Linear amplitude factor after propagating ``path_length_m``."""
+        loss_db = (
+            self.attenuation_db_cm_mhz
+            * (path_length_m * 100.0)
+            * (frequency_hz / 1e6)
+        )
+        return 10.0 ** (-loss_db / 20.0)
+
+
+WATER_LIKE_TISSUE = Medium(sound_speed_m_s=1540.0, attenuation_db_cm_mhz=0.0)

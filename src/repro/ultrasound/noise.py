@@ -1,0 +1,121 @@
+"""Measurement impairments for in-vitro style data.
+
+The paper evaluates on both PICMUS in-silico (clean Field II simulation)
+and in-vitro (Verasonics phantom scans) datasets.  The in-vitro data
+differs from simulation mainly through measurement impairments; this module
+injects the three dominant ones so that the "phantom" presets reproduce the
+qualitative in-silico vs in-vitro gap (lower CNR, slightly wider PSFs):
+
+* thermal (electronic) noise — white Gaussian, set by SNR,
+* reverberation clutter — delayed, attenuated copies of the echo field,
+* element response spread — per-channel gain error and timing jitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+
+
+def add_thermal_noise(
+    rf: np.ndarray,
+    snr_db: float,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Add white Gaussian noise at ``snr_db`` relative to RF signal power.
+
+    SNR is measured against the mean power of the nonzero signal region so
+    that long silent tails do not inflate the apparent SNR.
+    """
+    rf = np.asarray(rf, dtype=float)
+    rng = make_rng(seed)
+    active = rf[np.abs(rf) > 0]
+    if active.size == 0:
+        return rf.copy()
+    signal_power = float(np.mean(active**2))
+    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    noise = rng.normal(0.0, np.sqrt(noise_power), rf.shape)
+    return rf + noise
+
+
+def add_reverberation_clutter(
+    rf: np.ndarray,
+    delay_samples: int,
+    relative_amplitude: float,
+    n_echoes: int = 2,
+) -> np.ndarray:
+    """Add multipath reverberation: decaying, delayed copies of the field.
+
+    Each echo k (1-based) is the original RF delayed by ``k*delay_samples``
+    and scaled by ``relative_amplitude**k``, modelling repeated bounces
+    between strong interfaces and the probe face.
+    """
+    if delay_samples < 1:
+        raise ValueError(f"delay_samples must be >= 1, got {delay_samples}")
+    if not 0.0 <= relative_amplitude < 1.0:
+        raise ValueError(
+            "relative_amplitude must be in [0, 1), got "
+            f"{relative_amplitude}"
+        )
+    if n_echoes < 1:
+        raise ValueError(f"n_echoes must be >= 1, got {n_echoes}")
+    rf = np.asarray(rf, dtype=float)
+    out = rf.copy()
+    for k in range(1, n_echoes + 1):
+        shift = k * delay_samples
+        if shift >= rf.shape[0]:
+            break
+        out[shift:] += (relative_amplitude**k) * rf[:-shift]
+    return out
+
+
+def apply_element_variation(
+    rf: np.ndarray,
+    gain_std: float = 0.05,
+    jitter_std_samples: float = 0.25,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Apply per-element gain error and sub-sample timing jitter.
+
+    Gain errors are multiplicative ``N(1, gain_std)``; timing jitter shifts
+    each channel by a random sub-sample delay implemented in the frequency
+    domain (exact fractional delay, no interpolation loss).
+    """
+    if gain_std < 0 or jitter_std_samples < 0:
+        raise ValueError("gain_std and jitter_std_samples must be >= 0")
+    rf = np.asarray(rf, dtype=float)
+    rng = make_rng(seed)
+    n_samples, n_elements = rf.shape
+    gains = rng.normal(1.0, gain_std, n_elements)
+    delays = rng.normal(0.0, jitter_std_samples, n_elements)
+
+    spectrum = np.fft.rfft(rf, axis=0)
+    freq_bins = np.fft.rfftfreq(n_samples)  # cycles / sample
+    phase = np.exp(-2j * np.pi * freq_bins[:, np.newaxis] * delays)
+    shifted = np.fft.irfft(spectrum * phase, n=n_samples, axis=0)
+    return shifted * gains
+
+
+def in_vitro_impairments(
+    rf: np.ndarray,
+    seed: int | np.random.Generator | None = 0,
+    snr_db: float = 30.0,
+    clutter_amplitude: float = 0.08,
+    clutter_delay_samples: int = 60,
+) -> np.ndarray:
+    """Apply the full in-vitro impairment chain with calibrated defaults.
+
+    Defaults were chosen so the phantom presets land in the paper's
+    qualitative regime: contrast (CR/CNR) drops relative to the clean
+    simulation while point targets stay clearly resolvable.
+    """
+    check_positive("snr_db", snr_db)
+    rng = make_rng(seed)
+    out = apply_element_variation(rf, seed=rng)
+    out = add_reverberation_clutter(
+        out, clutter_delay_samples, clutter_amplitude
+    )
+    out = add_thermal_noise(out, snr_db, seed=rng)
+    return out

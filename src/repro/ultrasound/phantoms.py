@@ -1,0 +1,136 @@
+"""Scatterer phantoms: point targets, speckle, anechoic cysts.
+
+A phantom is simply a cloud of point scatterers with amplitudes.  The
+builders below reproduce the geometry of the PICMUS evaluation phantoms
+used by the paper:
+
+* *resolution-distortion*: bright point targets arranged horizontally in
+  two depth zones against an anechoic background (paper Figs. 11-14),
+* *contrast*: anechoic cysts embedded in uniform speckle at several depths
+  (paper Figs. 9-10, Tables I/V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Phantom:
+    """A cloud of point scatterers.
+
+    Attributes:
+        positions_m: ``(n, 2)`` array of (x, z) scatterer positions.
+        amplitudes: ``(n,)`` scattering amplitudes (may be signed).
+    """
+
+    positions_m: np.ndarray
+    amplitudes: np.ndarray
+
+    def __post_init__(self) -> None:
+        positions = np.asarray(self.positions_m, dtype=float)
+        amplitudes = np.asarray(self.amplitudes, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(
+                f"positions_m must be (n, 2), got {positions.shape}"
+            )
+        if amplitudes.shape != (positions.shape[0],):
+            raise ValueError(
+                "amplitudes must be (n,) matching positions, got "
+                f"{amplitudes.shape} for {positions.shape[0]} scatterers"
+            )
+        object.__setattr__(self, "positions_m", positions)
+        object.__setattr__(self, "amplitudes", amplitudes)
+
+    @property
+    def n_scatterers(self) -> int:
+        return self.positions_m.shape[0]
+
+    def combined_with(self, other: "Phantom") -> "Phantom":
+        """Union of two scatterer clouds."""
+        return Phantom(
+            positions_m=np.vstack([self.positions_m, other.positions_m]),
+            amplitudes=np.concatenate([self.amplitudes, other.amplitudes]),
+        )
+
+
+def point_phantom(
+    points_m: np.ndarray, amplitude: float = 1.0
+) -> Phantom:
+    """Phantom made of isolated unit point targets at ``points_m`` (n, 2)."""
+    points = np.atleast_2d(np.asarray(points_m, dtype=float))
+    return Phantom(
+        positions_m=points,
+        amplitudes=np.full(points.shape[0], float(amplitude)),
+    )
+
+
+def speckle_field(
+    x_span_m: tuple[float, float],
+    z_span_m: tuple[float, float],
+    n_scatterers: int,
+    seed: int | np.random.Generator | None = 0,
+    mean_amplitude: float = 1.0,
+) -> Phantom:
+    """Uniformly distributed diffuse scatterers with Gaussian amplitudes.
+
+    Gaussian (zero-mean) scattering amplitudes produce Rayleigh-distributed
+    envelope statistics once many scatterers fall inside a resolution cell,
+    which is the fully-developed-speckle regime the contrast metrics
+    (CNR/GCNR) assume.
+    """
+    if n_scatterers < 1:
+        raise ValueError(f"n_scatterers must be >= 1, got {n_scatterers}")
+    check_positive("mean_amplitude", mean_amplitude)
+    rng = make_rng(seed)
+    x = rng.uniform(x_span_m[0], x_span_m[1], n_scatterers)
+    z = rng.uniform(z_span_m[0], z_span_m[1], n_scatterers)
+    amplitudes = rng.normal(0.0, mean_amplitude, n_scatterers)
+    return Phantom(
+        positions_m=np.column_stack([x, z]), amplitudes=amplitudes
+    )
+
+
+def cyst_phantom(
+    x_span_m: tuple[float, float],
+    z_span_m: tuple[float, float],
+    cyst_centers_m: np.ndarray,
+    cyst_radius_m: float,
+    n_scatterers: int,
+    seed: int | np.random.Generator | None = 0,
+) -> Phantom:
+    """Speckle field with anechoic disks carved out at ``cyst_centers_m``.
+
+    Scatterers inside any cyst are removed (anechoic = no scattering),
+    reproducing the PICMUS contrast phantom geometry.
+    """
+    check_positive("cyst_radius_m", cyst_radius_m)
+    centers = np.atleast_2d(np.asarray(cyst_centers_m, dtype=float))
+    base = speckle_field(x_span_m, z_span_m, n_scatterers, seed=seed)
+    keep = np.ones(base.n_scatterers, dtype=bool)
+    for cx, cz in centers:
+        inside = (
+            (base.positions_m[:, 0] - cx) ** 2
+            + (base.positions_m[:, 1] - cz) ** 2
+        ) < cyst_radius_m**2
+        keep &= ~inside
+    return Phantom(
+        positions_m=base.positions_m[keep],
+        amplitudes=base.amplitudes[keep],
+    )
+
+
+def resolution_point_layout(
+    depths_m: tuple[float, ...],
+    lateral_offsets_m: tuple[float, ...],
+) -> np.ndarray:
+    """PICMUS-style point grid: a horizontal row of points at each depth."""
+    points = [
+        (x, z) for z in depths_m for x in lateral_offsets_m
+    ]
+    return np.asarray(points, dtype=float)

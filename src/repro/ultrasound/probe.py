@@ -1,0 +1,99 @@
+"""Linear-array probe geometry.
+
+The paper acquires data with a Verasonics L11-5v: 128 elements, 0.3 mm
+pitch, operated at a 7.6 MHz center frequency and sampled at 31.25 MHz
+(Section III-B).  :func:`l11_5v` reproduces that geometry;
+:func:`small_probe` is a reduced-aperture variant used by tests and the
+default benchmark scale so that simulation and MVDR stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LinearProbe:
+    """Geometry and front-end sampling of a 1-D linear array.
+
+    Attributes:
+        n_elements: number of transducer elements (channels).
+        pitch_m: element-to-element spacing in meters.
+        element_width_m: physical element width (used for directivity).
+        center_frequency_hz: transmit pulse center frequency.
+        sampling_frequency_hz: ADC sampling rate of the received RF.
+    """
+
+    n_elements: int
+    pitch_m: float
+    element_width_m: float
+    center_frequency_hz: float
+    sampling_frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.n_elements < 2:
+            raise ValueError(
+                f"n_elements must be >= 2, got {self.n_elements}"
+            )
+        check_positive("pitch_m", self.pitch_m)
+        check_positive("element_width_m", self.element_width_m)
+        check_positive("center_frequency_hz", self.center_frequency_hz)
+        check_positive("sampling_frequency_hz", self.sampling_frequency_hz)
+        if self.element_width_m > self.pitch_m:
+            raise ValueError(
+                "element_width_m cannot exceed pitch_m "
+                f"({self.element_width_m} > {self.pitch_m})"
+            )
+        if self.sampling_frequency_hz < 2 * self.center_frequency_hz:
+            raise ValueError(
+                "sampling_frequency_hz violates Nyquist for the center "
+                f"frequency ({self.sampling_frequency_hz} < "
+                f"2 * {self.center_frequency_hz})"
+            )
+
+    @property
+    def element_positions_m(self) -> np.ndarray:
+        """Lateral x-coordinates of element centers, centered on 0."""
+        idx = np.arange(self.n_elements)
+        return (idx - (self.n_elements - 1) / 2.0) * self.pitch_m
+
+    @property
+    def aperture_m(self) -> float:
+        """Total aperture width from first to last element center."""
+        return (self.n_elements - 1) * self.pitch_m
+
+    def wavelength_m(self, sound_speed_m_s: float) -> float:
+        """Wavelength of the center frequency in the given medium."""
+        check_positive("sound_speed_m_s", sound_speed_m_s)
+        return sound_speed_m_s / self.center_frequency_hz
+
+
+def l11_5v() -> LinearProbe:
+    """Paper-scale probe: Verasonics L11-5v style 128-element array."""
+    return LinearProbe(
+        n_elements=128,
+        pitch_m=0.3e-3,
+        element_width_m=0.27e-3,
+        center_frequency_hz=7.6e6,
+        sampling_frequency_hz=31.25e6,
+    )
+
+
+def small_probe(n_elements: int = 32) -> LinearProbe:
+    """Reduced-aperture probe used for fast tests and default benches.
+
+    Same pitch/frequency family as the L11-5v so that beamforming physics
+    (f-number, wavelength-relative resolution) carries over; only the
+    element count (and hence aperture) shrinks.
+    """
+    return LinearProbe(
+        n_elements=n_elements,
+        pitch_m=0.3e-3,
+        element_width_m=0.27e-3,
+        center_frequency_hz=7.6e6,
+        sampling_frequency_hz=31.25e6,
+    )

@@ -1,0 +1,74 @@
+"""Transmit pulse model: a Gaussian-modulated sinusoid.
+
+This is the standard Field II style excitation: a carrier at the probe's
+center frequency under a Gaussian envelope whose width is set by the
+fractional bandwidth (-6 dB, two-sided).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+# A Gaussian envelope exp(-t^2 / (2 sigma^2)) is 0.5 (i.e. -6 dB) at
+# t = sigma * sqrt(2 ln 2); the -6 dB *bandwidth* of its spectrum relates to
+# sigma via BW = 2 sqrt(2 ln 2) / (2 pi sigma).
+_TWO_SQRT_2LN2 = 2.0 * np.sqrt(2.0 * np.log(2.0))
+
+
+@dataclass(frozen=True)
+class GaussianPulse:
+    """Gaussian-modulated sinusoidal pulse.
+
+    Attributes:
+        center_frequency_hz: carrier frequency.
+        fractional_bandwidth: -6 dB two-sided bandwidth over the carrier
+            frequency (PICMUS probes are around 0.65-0.75).
+        phase_rad: carrier phase at t = 0.
+    """
+
+    center_frequency_hz: float
+    fractional_bandwidth: float = 0.67
+    phase_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("center_frequency_hz", self.center_frequency_hz)
+        if not 0.05 <= self.fractional_bandwidth <= 2.0:
+            raise ValueError(
+                "fractional_bandwidth must be in [0.05, 2.0], got "
+                f"{self.fractional_bandwidth}"
+            )
+
+    @property
+    def sigma_s(self) -> float:
+        """Gaussian envelope standard deviation in seconds."""
+        bandwidth_hz = self.fractional_bandwidth * self.center_frequency_hz
+        return _TWO_SQRT_2LN2 / (2.0 * np.pi * bandwidth_hz)
+
+    @property
+    def half_duration_s(self) -> float:
+        """Half-width of the effective support (4 sigma, ~ -139 dB tail)."""
+        return 4.0 * self.sigma_s
+
+    def waveform(self, t_s: np.ndarray) -> np.ndarray:
+        """Evaluate the pulse at times ``t_s`` (seconds, zero-centered)."""
+        t = np.asarray(t_s, dtype=float)
+        envelope = np.exp(-(t**2) / (2.0 * self.sigma_s**2))
+        carrier = np.cos(
+            2.0 * np.pi * self.center_frequency_hz * t + self.phase_rad
+        )
+        return envelope * carrier
+
+    def envelope(self, t_s: np.ndarray) -> np.ndarray:
+        """Evaluate only the Gaussian envelope at times ``t_s``."""
+        t = np.asarray(t_s, dtype=float)
+        return np.exp(-(t**2) / (2.0 * self.sigma_s**2))
+
+    def support_samples(self, sampling_frequency_hz: float) -> int:
+        """Number of samples covering [-half_duration, +half_duration]."""
+        check_positive("sampling_frequency_hz", sampling_frequency_hz)
+        half = int(np.ceil(self.half_duration_s * sampling_frequency_hz))
+        return 2 * half + 1

@@ -1,0 +1,96 @@
+"""Plane-wave propagation geometry: transmit/receive delays, directivity.
+
+Shared between the acquisition simulator and (via cross-checked tests) the
+beamformer's time-of-flight module.  Coordinates follow the ultrasound
+convention: ``x`` lateral (along the array), ``z`` depth (into the medium),
+with the array at ``z = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def plane_wave_tx_delay(
+    x_m: np.ndarray,
+    z_m: np.ndarray,
+    angle_rad: float,
+    sound_speed_m_s: float,
+) -> np.ndarray:
+    """Transmit time of flight of a steered plane wave to points (x, z).
+
+    The wavefront passes through the array center (origin) at t = 0 and
+    travels along (sin angle, cos angle):
+
+        tau_tx = (z cos(angle) + x sin(angle)) / c
+
+    For angle = 0 this reduces to z / c.  Negative values are possible for
+    steep angles and lateral points behind the wavefront at t = 0; the
+    simulator and beamformer both use the same convention so delays stay
+    consistent.
+    """
+    check_positive("sound_speed_m_s", sound_speed_m_s)
+    x = np.asarray(x_m, dtype=float)
+    z = np.asarray(z_m, dtype=float)
+    return (z * np.cos(angle_rad) + x * np.sin(angle_rad)) / sound_speed_m_s
+
+
+def rx_delay(
+    x_m: np.ndarray,
+    z_m: np.ndarray,
+    element_x_m: np.ndarray,
+    sound_speed_m_s: float,
+) -> np.ndarray:
+    """Receive time of flight from points (x, z) back to array elements.
+
+    Broadcasting: ``x_m``/``z_m`` of shape ``S`` against ``element_x_m`` of
+    shape ``E`` yields ``S x E`` (points as leading axes).
+    """
+    check_positive("sound_speed_m_s", sound_speed_m_s)
+    x = np.asarray(x_m, dtype=float)[..., np.newaxis]
+    z = np.asarray(z_m, dtype=float)[..., np.newaxis]
+    ex = np.asarray(element_x_m, dtype=float)
+    distance = np.sqrt((x - ex) ** 2 + z**2)
+    return distance / sound_speed_m_s
+
+
+def element_directivity(
+    x_m: np.ndarray,
+    z_m: np.ndarray,
+    element_x_m: np.ndarray,
+    element_width_m: float,
+    wavelength_m: float,
+) -> np.ndarray:
+    """Soft-baffle directivity of a rectangular element toward (x, z).
+
+    Standard far-field model: ``sinc(w sin(theta) / lambda) * cos(theta)``
+    where ``theta`` is the angle between the element normal (+z) and the
+    point.  Broadcasting matches :func:`rx_delay` (points x elements).
+    """
+    check_positive("element_width_m", element_width_m)
+    check_positive("wavelength_m", wavelength_m)
+    x = np.asarray(x_m, dtype=float)[..., np.newaxis]
+    z = np.asarray(z_m, dtype=float)[..., np.newaxis]
+    ex = np.asarray(element_x_m, dtype=float)
+    distance = np.sqrt((x - ex) ** 2 + z**2)
+    # Guard the on-element singularity (distance -> 0).
+    distance = np.maximum(distance, 1e-9)
+    sin_theta = (x - ex) / distance
+    cos_theta = z / distance
+    return np.sinc(element_width_m * sin_theta / wavelength_m) * cos_theta
+
+
+def geometric_spreading(
+    distance_m: np.ndarray, reference_m: float = 1e-3
+) -> np.ndarray:
+    """Amplitude decay 1/sqrt(r) for a cylindrical (2-D) wave.
+
+    Normalized so a scatterer at ``reference_m`` has unit gain; the sqrt
+    law (rather than 1/r) matches the effectively 2-D imaging geometry of
+    a linear array with an elevation focus.
+    """
+    check_positive("reference_m", reference_m)
+    distance = np.maximum(np.asarray(distance_m, dtype=float), reference_m)
+    return np.sqrt(reference_m / distance)

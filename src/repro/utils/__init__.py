@@ -1,0 +1,37 @@
+"""Shared utilities: array helpers, I/O, deterministic RNG and validation.
+
+These helpers are deliberately small and dependency-free so that every other
+subpackage (ultrasound simulation, beamforming, the NN framework, the FPGA
+model) can rely on them without import cycles.
+"""
+
+from repro.utils.arrays import (
+    db,
+    from_db,
+    normalize_minus1_1,
+    normalize_unit_max,
+    hann_window,
+)
+from repro.utils.io import load_npz, save_npz, write_csv, write_pgm
+from repro.utils.rng import make_rng
+from repro.utils.validation import (
+    check_positive,
+    check_shape,
+    require_in,
+)
+
+__all__ = [
+    "db",
+    "from_db",
+    "normalize_minus1_1",
+    "normalize_unit_max",
+    "hann_window",
+    "load_npz",
+    "save_npz",
+    "write_csv",
+    "write_pgm",
+    "make_rng",
+    "check_positive",
+    "check_shape",
+    "require_in",
+]

@@ -1,0 +1,71 @@
+"""Array helpers shared across the library.
+
+Conventions used everywhere in :mod:`repro`:
+
+* RF channel data is ``(n_samples, n_elements)`` float64.
+* Time-of-flight corrected (ToFC) cubes are ``(nz, nx, n_elements)``.
+* Beamformed IQ images are complex ``(nz, nx)`` or stacked real
+  ``(nz, nx, 2)`` with ``[..., 0] = I`` and ``[..., 1] = Q``.
+* B-mode images are log-compressed dB arrays ``(nz, nx)`` with 0 dB at the
+  brightest pixel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DB_FLOOR_AMPLITUDE = 1e-12
+
+
+def db(amplitude: np.ndarray | float) -> np.ndarray | float:
+    """Convert a linear *amplitude* to decibels (``20 log10``).
+
+    Values are floored at 1e-12 before taking the logarithm so that zero
+    amplitudes map to a large negative number instead of ``-inf``.
+    """
+    amp = np.maximum(np.abs(amplitude), _DB_FLOOR_AMPLITUDE)
+    return 20.0 * np.log10(amp)
+
+
+def from_db(level_db: np.ndarray | float) -> np.ndarray | float:
+    """Convert a decibel amplitude level back to linear amplitude."""
+    return 10.0 ** (np.asarray(level_db, dtype=float) / 20.0)
+
+
+def normalize_unit_max(values: np.ndarray) -> np.ndarray:
+    """Scale ``values`` so the maximum absolute value becomes 1.
+
+    An all-zero input is returned unchanged (there is nothing to scale).
+    """
+    values = np.asarray(values, dtype=float)
+    peak = np.max(np.abs(values))
+    if peak == 0.0:
+        return values.copy()
+    return values / peak
+
+
+def normalize_minus1_1(values: np.ndarray) -> np.ndarray:
+    """Normalize to the symmetric interval [-1, 1] used by Tiny-VBF.
+
+    The paper normalizes both the ToFC input and the IQ target to [-1, 1]
+    (Section III-A).  We implement this as division by the maximum absolute
+    value, which preserves the sign structure and the zero level of RF / IQ
+    data (an affine min-max map would shift the DC level and corrupt the IQ
+    phase).
+    """
+    return normalize_unit_max(values)
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Symmetric Hann window of ``length`` samples.
+
+    Defined explicitly instead of using :func:`numpy.hanning` so the window
+    is symmetric and strictly positive in the interior for any length >= 1,
+    which the apodization code relies on.
+    """
+    if length < 1:
+        raise ValueError(f"window length must be >= 1, got {length}")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / (length - 1))

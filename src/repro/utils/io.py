@@ -1,0 +1,72 @@
+"""Lightweight I/O: npz bundles, CSV series and PGM images.
+
+Matplotlib/PIL are not available offline, so figures are exported as
+portable graymaps (PGM, viewable by any image tool) and data series as CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def save_npz(path: str | Path, arrays: Mapping[str, np.ndarray]) -> Path:
+    """Save a mapping of named arrays to a compressed ``.npz`` bundle."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **dict(arrays))
+    return path
+
+
+def load_npz(path: str | Path) -> dict[str, np.ndarray]:
+    """Load an ``.npz`` bundle back into a plain dict of arrays."""
+    with np.load(Path(path)) as bundle:
+        return {name: bundle[name] for name in bundle.files}
+
+
+def write_csv(
+    path: str | Path,
+    columns: Mapping[str, Sequence[float]],
+) -> Path:
+    """Write named, equal-length columns to a CSV file with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = list(columns)
+    lengths = {name: len(columns[name]) for name in names}
+    if len(set(lengths.values())) > 1:
+        raise ValueError(f"column lengths differ: {lengths}")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in zip(*(columns[name] for name in names)):
+            writer.writerow([f"{value:.9g}" for value in row])
+    return path
+
+
+def write_pgm(
+    path: str | Path,
+    image_db: np.ndarray,
+    dynamic_range_db: float = 60.0,
+) -> Path:
+    """Write a log-compressed B-mode image as an 8-bit binary PGM.
+
+    ``image_db`` is a dB image with 0 dB at its brightest pixel; values
+    below ``-dynamic_range_db`` are clipped to black, 0 dB maps to white.
+    """
+    if image_db.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image_db.shape}")
+    if dynamic_range_db <= 0:
+        raise ValueError("dynamic_range_db must be positive")
+    clipped = np.clip(image_db, -dynamic_range_db, 0.0)
+    pixels = np.round((clipped + dynamic_range_db) / dynamic_range_db * 255.0)
+    pixels = pixels.astype(np.uint8)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = f"P5\n{pixels.shape[1]} {pixels.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(pixels.tobytes())
+    return path

@@ -1,0 +1,38 @@
+"""Deterministic random number generation.
+
+Every stochastic component in the library (speckle phantoms, measurement
+noise, weight initialization, data shuffling) takes an explicit seed or
+:class:`numpy.random.Generator`.  This module centralizes the conversion so
+that `make_rng(seed)` is the single way randomness enters the system, which
+keeps experiments bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    * ``None`` -> a fixed default seed (0), *not* entropy from the OS: the
+      library favours reproducibility over surprise randomness.
+    * ``int`` -> ``default_rng(seed)``.
+    * ``Generator`` -> returned unchanged (caller manages its state).
+    """
+    if seed is None:
+        return np.random.default_rng(0)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(int(seed))
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a component needs its own stream (e.g. noise injection) that
+    must not perturb the parent stream's sequence.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))

@@ -1,0 +1,46 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_shape(
+    name: str,
+    array: np.ndarray,
+    expected: Sequence[int | None],
+) -> np.ndarray:
+    """Validate ``array.shape`` against ``expected`` (``None`` = any size).
+
+    Returns the array unchanged so calls can be inlined in assignments.
+    """
+    array = np.asarray(array)
+    if array.ndim != len(expected):
+        raise ValueError(
+            f"{name} must have {len(expected)} dimensions, "
+            f"got shape {array.shape}"
+        )
+    for axis, want in enumerate(expected):
+        if want is not None and array.shape[axis] != want:
+            raise ValueError(
+                f"{name} has shape {array.shape}, expected axis {axis} "
+                f"to be {want}"
+            )
+    return array
+
+
+def require_in(name: str, value: object, allowed: Iterable[object]) -> object:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    allowed = list(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value

@@ -1,0 +1,96 @@
+"""Unit tests for repro.beamform.apodization and .das."""
+
+import numpy as np
+import pytest
+
+from repro.beamform.apodization import (
+    boxcar_rx_apodization,
+    hann_rx_apodization,
+)
+from repro.beamform.das import das_beamform
+from repro.beamform.geometry import ImagingGrid
+from repro.ultrasound.probe import small_probe
+
+
+@pytest.fixture
+def probe():
+    return small_probe(16)
+
+
+@pytest.fixture
+def grid():
+    return ImagingGrid.from_spans((-2e-3, 2e-3), (5e-3, 30e-3), nx=9, nz=26)
+
+
+class TestApodization:
+    def test_weights_sum_to_one_when_active(self, probe, grid):
+        for maker in (boxcar_rx_apodization, hann_rx_apodization):
+            weights = maker(probe, grid, f_number=1.5)
+            totals = weights.sum(axis=-1)
+            active = totals > 0
+            assert np.allclose(totals[active], 1.0)
+
+    def test_deeper_pixels_use_wider_aperture(self, probe, grid):
+        weights = boxcar_rx_apodization(probe, grid, f_number=1.5)
+        active_counts = (weights > 0).sum(axis=-1)
+        center_col = grid.nx // 2
+        assert active_counts[-1, center_col] >= active_counts[0, center_col]
+
+    def test_smaller_f_number_wider_aperture(self, probe, grid):
+        wide = boxcar_rx_apodization(probe, grid, f_number=1.0)
+        narrow = boxcar_rx_apodization(probe, grid, f_number=3.0)
+        assert (wide > 0).sum() >= (narrow > 0).sum()
+
+    def test_hann_tapers_toward_aperture_edge(self, probe, grid):
+        weights = hann_rx_apodization(probe, grid, f_number=1.0)
+        center_col = grid.nx // 2
+        row = weights[-1, center_col, :]
+        active = np.flatnonzero(row > 0)
+        middle = active[len(active) // 2]
+        assert row[middle] > row[active[0]]
+        assert row[middle] > row[active[-1]]
+
+    def test_boxcar_weights_uniform_inside(self, probe, grid):
+        weights = boxcar_rx_apodization(probe, grid, f_number=1.5)
+        row = weights[-1, grid.nx // 2, :]
+        active = row[row > 0]
+        assert np.allclose(active, active[0])
+
+    def test_rejects_bad_f_number(self, probe, grid):
+        with pytest.raises(ValueError):
+            boxcar_rx_apodization(probe, grid, f_number=0.0)
+
+
+class TestDas:
+    def test_uniform_is_channel_mean(self):
+        rng = np.random.default_rng(1)
+        tofc = rng.normal(0, 1, (4, 5, 6))
+        assert np.allclose(das_beamform(tofc), tofc.mean(axis=-1))
+
+    def test_weighted_sum_matches_manual(self):
+        rng = np.random.default_rng(2)
+        tofc = rng.normal(0, 1, (3, 4, 5))
+        weights = rng.uniform(0, 1, (3, 4, 5))
+        out = das_beamform(tofc, weights)
+        assert np.allclose(out, (tofc * weights).sum(axis=-1))
+
+    def test_complex_input_preserved(self):
+        tofc = np.ones((2, 2, 3)) * (1 + 2j)
+        out = das_beamform(tofc)
+        assert np.iscomplexobj(out)
+        assert np.allclose(out, 1 + 2j)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            das_beamform(np.zeros((4, 5)))
+
+    def test_rejects_mismatched_apodization(self):
+        with pytest.raises(ValueError):
+            das_beamform(np.zeros((2, 2, 3)), np.zeros((2, 2, 4)))
+
+    def test_coherent_gain(self):
+        # Perfectly aligned unit signals across 8 elements sum to 1 under
+        # normalized weights regardless of aperture size.
+        tofc = np.ones((1, 1, 8))
+        weights = np.full((1, 1, 8), 1.0 / 8.0)
+        assert das_beamform(tofc, weights)[0, 0] == pytest.approx(1.0)

@@ -1,0 +1,35 @@
+"""Unit tests for the B-mode convenience pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.beamform.bmode import beamform_dataset, bmode_image
+
+
+class TestBeamformDataset:
+    def test_rejects_unknown_method(self, sim_contrast_dataset):
+        with pytest.raises(ValueError, match="method"):
+            beamform_dataset(sim_contrast_dataset, "deep_das")
+
+    def test_das_output_is_complex_grid(self, sim_contrast_dataset):
+        iq = beamform_dataset(sim_contrast_dataset, "das")
+        assert iq.shape == sim_contrast_dataset.grid.shape
+        assert np.iscomplexobj(iq)
+
+    def test_f_number_changes_image(self, sim_contrast_dataset):
+        wide = beamform_dataset(sim_contrast_dataset, "das", f_number=1.0)
+        narrow = beamform_dataset(sim_contrast_dataset, "das", f_number=3.0)
+        assert not np.allclose(wide, narrow)
+
+
+class TestBmodeImage:
+    def test_peak_zero_db(self):
+        rng = np.random.default_rng(0)
+        iq = rng.normal(size=(16, 8)) + 1j * rng.normal(size=(16, 8))
+        image = bmode_image(iq)
+        assert image.max() == pytest.approx(0.0)
+
+    def test_monotone_in_envelope(self):
+        iq = np.array([[1.0 + 0j, 0.5 + 0j, 0.25 + 0j]])
+        image = bmode_image(iq)
+        assert image[0, 0] > image[0, 1] > image[0, 2]

@@ -1,0 +1,125 @@
+"""Unit tests for repro.beamform.envelope and .compounding."""
+
+import numpy as np
+import pytest
+
+from repro.beamform.compounding import compound_das
+from repro.beamform.das import das_beamform
+from repro.beamform.envelope import (
+    baseband_demodulate,
+    envelope_detect,
+    log_compress,
+    remodulate,
+)
+from repro.beamform.geometry import ImagingGrid
+from repro.beamform.tof import analytic_tofc
+from repro.ultrasound.acquisition import PlaneWaveAcquisition, simulate_rf
+from repro.ultrasound.phantoms import point_phantom
+from repro.ultrasound.probe import small_probe
+
+
+@pytest.fixture
+def grid():
+    return ImagingGrid.from_spans((-2e-3, 2e-3), (8e-3, 25e-3), nx=9, nz=35)
+
+
+class TestEnvelope:
+    def test_complex_input_magnitude(self):
+        iq = np.array([[3 + 4j]])
+        assert envelope_detect(iq)[0, 0] == pytest.approx(5.0)
+
+    def test_real_input_uses_hilbert(self):
+        t = np.linspace(0, 1, 400)
+        carrier = np.cos(2 * np.pi * 50 * t)
+        window = np.exp(-((t - 0.5) ** 2) / 0.005)
+        image = (carrier * window)[:, np.newaxis]
+        envelope = envelope_detect(image)
+        # The detected envelope should track the Gaussian window.
+        interior = slice(50, 350)
+        assert np.allclose(
+            envelope[interior, 0], window[interior], atol=0.05
+        )
+
+    def test_envelope_dominates_signal(self):
+        rng = np.random.default_rng(0)
+        image = rng.normal(0, 1, (128, 3))
+        envelope = envelope_detect(image)
+        assert np.all(envelope >= np.abs(image) - 1e-9)
+
+
+class TestBaseband:
+    def test_magnitude_invariant(self, grid):
+        rng = np.random.default_rng(1)
+        iq = rng.normal(0, 1, grid.shape) + 1j * rng.normal(0, 1, grid.shape)
+        demodulated = baseband_demodulate(iq, grid, 7.6e6)
+        assert np.allclose(np.abs(demodulated), np.abs(iq))
+
+    def test_remodulate_roundtrip(self, grid):
+        rng = np.random.default_rng(2)
+        iq = rng.normal(0, 1, grid.shape) + 1j * rng.normal(0, 1, grid.shape)
+        roundtrip = remodulate(
+            baseband_demodulate(iq, grid, 7.6e6), grid, 7.6e6
+        )
+        assert np.allclose(roundtrip, iq)
+
+    def test_removes_depth_carrier(self, grid):
+        # Build a synthetic image that is exactly the depth carrier: after
+        # demodulation the phase must be constant along depth.
+        round_trip_s = 2.0 * grid.z_m / 1540.0
+        carrier = np.exp(2j * np.pi * 7.6e6 * round_trip_s)
+        image = np.tile(carrier[:, np.newaxis], (1, grid.nx))
+        demodulated = baseband_demodulate(
+            image, grid, 7.6e6, sound_speed_m_s=1540.0
+        )
+        phases = np.angle(demodulated[:, 0])
+        assert np.ptp(phases) < 1e-6
+
+    def test_rejects_mismatched_depth_axis(self, grid):
+        with pytest.raises(ValueError):
+            baseband_demodulate(np.zeros((grid.nz + 1, grid.nx)), grid, 5e6)
+
+
+class TestLogCompress:
+    def test_peak_at_zero_db(self):
+        image = log_compress(np.array([[1.0, 0.5], [0.25, 0.125]]))
+        assert image.max() == pytest.approx(0.0)
+
+    def test_half_amplitude_minus_six_db(self):
+        image = log_compress(np.array([[1.0, 0.5]]))
+        assert image[0, 1] == pytest.approx(-6.02, abs=0.01)
+
+    def test_without_normalization(self):
+        image = log_compress(np.array([[10.0]]), normalize=False)
+        assert image[0, 0] == pytest.approx(20.0)
+
+
+class TestCompounding:
+    def test_single_angle_matches_das(self, grid):
+        probe = small_probe(16)
+        acq = PlaneWaveAcquisition(probe=probe, max_depth_m=28e-3)
+        rf = simulate_rf(acq, point_phantom([(0.0, 15e-3)]))
+        compounded = compound_das(rf[np.newaxis], [0.0], probe, grid)
+        tofc = analytic_tofc(rf, probe, grid)
+        assert np.allclose(compounded, das_beamform(tofc))
+
+    def test_compounding_sharpens_point(self, grid):
+        from repro.ultrasound.acquisition import simulate_multi_angle_rf
+
+        probe = small_probe(16)
+        acq = PlaneWaveAcquisition(probe=probe, max_depth_m=28e-3)
+        phantom = point_phantom([(0.0, 15e-3)])
+        angles = np.deg2rad(np.linspace(-8, 8, 5))
+        stack = simulate_multi_angle_rf(acq, phantom, angles)
+        single = np.abs(compound_das(stack[2:3], [0.0], probe, grid))
+        multi = np.abs(compound_das(stack, angles, probe, grid))
+        # Energy concentration: the fraction of total energy within the
+        # brightest pixel should not degrade with compounding.
+        def concentration(img):
+            return img.max() ** 2 / (img**2).sum()
+
+        assert concentration(multi) >= 0.8 * concentration(single)
+
+    def test_rejects_mismatched_stack(self, grid):
+        probe = small_probe(8)
+        with pytest.raises(ValueError):
+            compound_das(np.zeros((2, 64, 8)), [0.0], probe, grid)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.beamform.geometry."""
+
+import numpy as np
+import pytest
+
+from repro.beamform.geometry import ImagingGrid
+
+
+@pytest.fixture
+def grid():
+    return ImagingGrid.from_spans((-5e-3, 5e-3), (5e-3, 25e-3), nx=11, nz=21)
+
+
+class TestConstruction:
+    def test_from_spans_endpoints(self, grid):
+        assert grid.x_m[0] == pytest.approx(-5e-3)
+        assert grid.x_m[-1] == pytest.approx(5e-3)
+        assert grid.z_m[0] == pytest.approx(5e-3)
+        assert grid.z_m[-1] == pytest.approx(25e-3)
+
+    def test_shape_is_depth_major(self, grid):
+        assert grid.shape == (21, 11)
+
+    def test_pixel_spacing(self, grid):
+        assert grid.dx_m == pytest.approx(1e-3)
+        assert grid.dz_m == pytest.approx(1e-3)
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ValueError, match="depths"):
+            ImagingGrid(np.linspace(-1e-3, 1e-3, 4), np.linspace(0.0, 1e-3, 4))
+
+    def test_rejects_decreasing_coordinates(self):
+        with pytest.raises(ValueError, match="increasing"):
+            ImagingGrid(np.array([1e-3, 0.5e-3]), np.array([1e-3, 2e-3]))
+
+    def test_rejects_tiny_grids(self):
+        with pytest.raises(ValueError):
+            ImagingGrid.from_spans((-1e-3, 1e-3), (1e-3, 2e-3), nx=1, nz=4)
+
+
+class TestLookups:
+    def test_meshgrid_shapes(self, grid):
+        xx, zz = grid.meshgrid()
+        assert xx.shape == grid.shape
+        assert zz.shape == grid.shape
+
+    def test_nearest_pixel_exact_hit(self, grid):
+        iz, ix = grid.nearest_pixel(0.0, 15e-3)
+        assert grid.x_m[ix] == pytest.approx(0.0)
+        assert grid.z_m[iz] == pytest.approx(15e-3)
+
+    def test_region_mask_contains_center(self, grid):
+        mask = grid.region_mask((0.0, 15e-3), 2e-3)
+        iz, ix = grid.nearest_pixel(0.0, 15e-3)
+        assert mask[iz, ix]
+
+    def test_region_mask_area_reasonable(self, grid):
+        mask = grid.region_mask((0.0, 15e-3), 3e-3)
+        expected = np.pi * 3e-3**2 / (grid.dx_m * grid.dz_m)
+        assert mask.sum() == pytest.approx(expected, rel=0.3)
+
+    def test_annulus_disjoint_from_inner_disk(self, grid):
+        disk = grid.region_mask((0.0, 15e-3), 2e-3)
+        ring = grid.annulus_mask((0.0, 15e-3), 2.5e-3, 4e-3)
+        assert not np.any(disk & ring)
+
+    def test_annulus_rejects_bad_radii(self, grid):
+        with pytest.raises(ValueError):
+            grid.annulus_mask((0.0, 15e-3), 4e-3, 2e-3)

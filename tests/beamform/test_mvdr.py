@@ -1,0 +1,104 @@
+"""Unit tests for repro.beamform.mvdr."""
+
+import numpy as np
+import pytest
+
+from repro.beamform.mvdr import (
+    MvdrConfig,
+    mvdr_apodization_gops,
+    mvdr_beamform,
+)
+
+
+class TestConfig:
+    def test_default_subaperture_is_half(self):
+        assert MvdrConfig().effective_subaperture(32) == 16
+
+    def test_explicit_subaperture(self):
+        assert MvdrConfig(subaperture=8).effective_subaperture(32) == 8
+
+    def test_rejects_subaperture_exceeding_elements(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            MvdrConfig(subaperture=64).effective_subaperture(32)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MvdrConfig(subaperture=1)
+        with pytest.raises(ValueError):
+            MvdrConfig(diagonal_loading=0.0)
+        with pytest.raises(ValueError):
+            MvdrConfig(axial_smoothing=-1)
+
+
+class TestDistortionless:
+    def test_coherent_signal_passes_with_unit_gain(self):
+        # A perfectly coherent (equal across elements) signal is exactly
+        # what the steering vector points at: MVDR must pass it unchanged.
+        signal = (0.7 + 0.3j) * np.ones((6, 5, 16))
+        out = mvdr_beamform(
+            signal, MvdrConfig(subaperture=8, axial_smoothing=0)
+        )
+        assert np.allclose(out, 0.7 + 0.3j, rtol=1e-6)
+
+    def test_suppresses_directional_interference_better_than_das(self):
+        # Against *white* noise the MVDR optimum degenerates to uniform
+        # weights (DAS).  Its advantage — the one the paper's contrast
+        # results rest on — is nulling *correlated, off-axis* energy, so
+        # the test interferer is a plane wave across the aperture.
+        rng = np.random.default_rng(3)
+        elements = np.arange(16)
+        interferer = 20.0 * np.exp(2j * np.pi * 0.13 * elements)
+        data = (
+            np.ones((40, 4, 16), dtype=complex)
+            + interferer
+            + 0.05
+            * (rng.normal(0, 1, (40, 4, 16)) + 1j * rng.normal(0, 1, (40, 4, 16)))
+        )
+        das = data.mean(axis=-1)
+        mvdr = mvdr_beamform(data, MvdrConfig(subaperture=8))
+        das_error = np.abs(das - 1.0).mean()
+        mvdr_error = np.abs(mvdr - 1.0).mean()
+        assert mvdr_error < 0.5 * das_error
+
+    def test_output_shape(self):
+        out = mvdr_beamform(np.ones((7, 3, 8), dtype=complex))
+        assert out.shape == (7, 3)
+
+    def test_all_zero_input_gives_zero_output(self):
+        out = mvdr_beamform(np.zeros((5, 4, 8), dtype=complex))
+        assert np.allclose(out, 0.0)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            mvdr_beamform(np.zeros((4, 8)))
+
+
+class TestAxialSmoothing:
+    def test_smoothing_changes_speckle_output(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(0, 1, (64, 2, 16)) + 1j * rng.normal(
+            0, 1, (64, 2, 16)
+        )
+        plain = mvdr_beamform(data, MvdrConfig(axial_smoothing=0))
+        smoothed = mvdr_beamform(data, MvdrConfig(axial_smoothing=3))
+        assert not np.allclose(plain, smoothed)
+
+    def test_smoothing_noop_on_constant_field(self):
+        data = (1 + 1j) * np.ones((16, 2, 8))
+        plain = mvdr_beamform(data, MvdrConfig(axial_smoothing=0))
+        smoothed = mvdr_beamform(data, MvdrConfig(axial_smoothing=2))
+        assert np.allclose(plain, smoothed)
+
+
+class TestComplexityModel:
+    def test_paper_scale_order_of_magnitude(self):
+        # The paper (citing [5]) quotes ~98.78 GOPs/frame for MVDR at
+        # 368 x 128 with 128 channels; exact op-counting conventions
+        # differ, so assert the same order of magnitude.
+        gops = mvdr_apodization_gops(368, 128, 128)
+        assert 50.0 < gops < 250.0
+
+    def test_cubic_scaling_in_subaperture(self):
+        small = mvdr_apodization_gops(100, 100, 32, subaperture=8)
+        large = mvdr_apodization_gops(100, 100, 32, subaperture=16)
+        assert large > small

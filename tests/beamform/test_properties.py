@@ -1,0 +1,81 @@
+"""Property-based tests on the beamforming chain (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beamform.das import das_beamform
+from repro.beamform.envelope import log_compress
+from repro.beamform.geometry import ImagingGrid
+from repro.beamform.tof import tof_correct
+from repro.ultrasound.probe import small_probe
+
+
+class TestTofLinearity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=-2, max_value=2),
+    )
+    def test_linear_in_rf(self, seed, scale):
+        probe = small_probe(8)
+        grid = ImagingGrid.from_spans(
+            (-2e-3, 2e-3), (8e-3, 16e-3), nx=5, nz=9
+        )
+        rng = np.random.default_rng(seed)
+        rf1 = rng.normal(size=(512, 8))
+        rf2 = rng.normal(size=(512, 8))
+        combined = tof_correct(rf1 + scale * rf2, probe, grid)
+        separate = tof_correct(rf1, probe, grid) + scale * tof_correct(
+            rf2, probe, grid
+        )
+        assert np.allclose(combined, separate, atol=1e-12)
+
+
+class TestDasProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_das_bounded_by_max_channel(self, seed):
+        # With normalized (convex) weights, |DAS output| cannot exceed
+        # the largest channel magnitude at any pixel.
+        rng = np.random.default_rng(seed)
+        tofc = rng.normal(size=(6, 5, 8))
+        weights = rng.uniform(0, 1, size=(6, 5, 8))
+        weights /= weights.sum(axis=-1, keepdims=True)
+        out = das_beamform(tofc, weights)
+        assert np.all(
+            np.abs(out) <= np.abs(tofc).max(axis=-1) + 1e-12
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_bmode_scale_invariance(self, seed, gain):
+        # Log compression with normalization makes the B-mode invariant
+        # to any global gain applied to the envelope.
+        rng = np.random.default_rng(seed)
+        envelope = np.abs(rng.normal(size=(12, 7))) + 1e-6
+        assert np.allclose(
+            log_compress(envelope),
+            log_compress(gain * envelope),
+            atol=1e-9,
+        )
+
+
+class TestGridMaskProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=-3e-3, max_value=3e-3),
+        st.floats(min_value=10e-3, max_value=18e-3),
+        st.floats(min_value=0.5e-3, max_value=2e-3),
+    )
+    def test_disk_inside_enclosing_annulus_complement(self, cx, cz, radius):
+        grid = ImagingGrid.from_spans(
+            (-6e-3, 6e-3), (6e-3, 22e-3), nx=25, nz=33
+        )
+        disk = grid.region_mask((cx, cz), radius)
+        bigger = grid.region_mask((cx, cz), radius * 2.0)
+        assert np.all(bigger[disk])

@@ -1,0 +1,34 @@
+"""Shared session-scoped fixtures.
+
+Dataset simulation and beamforming are deterministic but not free, so the
+four PICMUS-style presets are built once per test session and shared.
+"""
+
+import pytest
+
+from repro.ultrasound import (
+    phantom_contrast,
+    phantom_resolution,
+    simulation_contrast,
+    simulation_resolution,
+)
+
+
+@pytest.fixture(scope="session")
+def sim_contrast_dataset():
+    return simulation_contrast()
+
+
+@pytest.fixture(scope="session")
+def sim_resolution_dataset():
+    return simulation_resolution()
+
+
+@pytest.fixture(scope="session")
+def vitro_contrast_dataset():
+    return phantom_contrast()
+
+
+@pytest.fixture(scope="session")
+def vitro_resolution_dataset():
+    return phantom_resolution()

@@ -1,0 +1,44 @@
+"""Unit tests for the experiment runners (classical methods only —
+the trained-model paths are covered by integration tests and benches)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    beamform_with,
+    run_contrast_experiment,
+    run_resolution_experiment,
+)
+
+
+class TestBeamformWith:
+    def test_das_runs(self, sim_contrast_dataset):
+        iq = beamform_with(sim_contrast_dataset, "das")
+        assert iq.shape == sim_contrast_dataset.grid.shape
+        assert np.iscomplexobj(iq)
+
+    def test_rejects_unknown_method(self, sim_contrast_dataset):
+        with pytest.raises(ValueError):
+            beamform_with(sim_contrast_dataset, "beam_search")
+
+    def test_learned_method_requires_model(self, sim_contrast_dataset):
+        with pytest.raises(ValueError, match="not in supplied models"):
+            beamform_with(sim_contrast_dataset, "tiny_vbf", models={})
+
+
+class TestRunners:
+    def test_contrast_runner_classical(self, sim_contrast_dataset):
+        results = run_contrast_experiment(
+            sim_contrast_dataset, methods=("das", "mvdr")
+        )
+        assert set(results) == {"das", "mvdr"}
+        assert results["mvdr"].cr_db > results["das"].cr_db
+
+    def test_resolution_runner_classical(self, sim_resolution_dataset):
+        results = run_resolution_experiment(
+            sim_resolution_dataset, methods=("das", "mvdr")
+        )
+        assert results["mvdr"].lateral_m <= results["das"].lateral_m
+        for metrics in results.values():
+            assert 0.05e-3 < metrics.axial_m < 1.0e-3
+            assert 0.1e-3 < metrics.lateral_m < 1.5e-3

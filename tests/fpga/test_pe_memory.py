@@ -1,0 +1,117 @@
+"""Unit tests for the PE datapath and BRAM model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.memory import BramPlan, bram_blocks_for
+from repro.fpga.pe import PE_LANES, AdderTree, ProcessingElement
+from repro.quant.fixed_point import FixedPointFormat
+
+
+@pytest.fixture
+def arith():
+    return FixedPointFormat(total_bits=20, fraction_bits=14)
+
+
+class TestAdderTree:
+    def test_exact_sum_in_float_mode(self):
+        tree = AdderTree(None)
+        values = np.arange(16, dtype=float)
+        assert tree.reduce(values) == pytest.approx(values.sum())
+
+    def test_rejects_wrong_lane_count(self):
+        with pytest.raises(ValueError):
+            AdderTree(None).reduce(np.zeros(8))
+
+    def test_quantized_result_on_grid(self, arith):
+        tree = AdderTree(arith)
+        rng = np.random.default_rng(0)
+        out = tree.reduce(rng.uniform(-1, 1, 16))
+        steps = out / arith.resolution
+        assert steps == pytest.approx(round(steps), abs=1e-9)
+
+    def test_latency_is_log2_lanes(self):
+        assert AdderTree(None).latency_cycles == 4
+
+
+class TestProcessingElement:
+    def test_float_dot_matches_numpy(self):
+        pe = ProcessingElement(None)
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=37), rng.normal(size=37)
+        value, cycles = pe.dot(a, b)
+        assert value == pytest.approx(np.dot(a, b))
+        assert cycles == int(np.ceil(37 / PE_LANES)) + 5
+
+    def test_quantized_dot_close_to_exact(self, arith):
+        pe = ProcessingElement(arith)
+        rng = np.random.default_rng(2)
+        a, b = rng.uniform(-1, 1, 64), rng.uniform(-1, 1, 64)
+        value, _ = pe.dot(a, b)
+        assert value == pytest.approx(np.dot(a, b), abs=64 * arith.resolution)
+
+    def test_matvec_matches_per_row_dots(self, arith):
+        pe = ProcessingElement(arith)
+        rng = np.random.default_rng(3)
+        matrix = rng.uniform(-1, 1, (5, 20))
+        vector = rng.uniform(-1, 1, 20)
+        values, _ = pe.matvec(matrix, vector)
+        expected = [pe.dot(matrix[i], vector)[0] for i in range(5)]
+        assert np.allclose(values, expected)
+
+    def test_rejects_mismatched_operands(self):
+        with pytest.raises(ValueError):
+            ProcessingElement(None).dot(np.zeros(4), np.zeros(5))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=70))
+    def test_cycles_grow_with_chunks(self, n):
+        pe = ProcessingElement(None)
+        _, cycles = pe.dot(np.ones(n), np.ones(n))
+        assert cycles == int(np.ceil(n / PE_LANES)) + 5
+
+    def test_pe_lanes_matches_paper(self):
+        # Paper Fig. 8(b): 16 element multiplications + adder tree.
+        assert PE_LANES == 16
+
+
+class TestBram:
+    def test_18bit_words_pack_two_per_row(self):
+        wide = bram_blocks_for(1024, 20)
+        narrow = bram_blocks_for(1024, 16)
+        assert narrow <= wide / 1.5
+
+    def test_full_width_words(self):
+        # 1024 x 36-bit words = exactly one BRAM36.
+        assert bram_blocks_for(1024, 36) == 1.0
+
+    def test_zero_words_zero_blocks(self):
+        assert bram_blocks_for(0, 16) == 0.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            bram_blocks_for(-1, 8)
+        with pytest.raises(ValueError):
+            bram_blocks_for(10, 0)
+
+    def test_plan_accumulates(self):
+        plan = BramPlan()
+        plan.allocate("a", 1024, 36)
+        plan.allocate("b", 2048, 36)
+        assert plan.total_blocks == pytest.approx(3.0)
+        assert "a" in plan.report()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_monotone_in_words_and_bits(self, n_words, bits):
+        assert bram_blocks_for(n_words + 1000, bits) >= bram_blocks_for(
+            n_words, bits
+        )
+        assert bram_blocks_for(n_words, min(bits + 8, 64)) >= (
+            bram_blocks_for(n_words, bits)
+        )

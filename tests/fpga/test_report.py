@@ -1,0 +1,24 @@
+"""Unit tests for accelerator report helpers."""
+
+from repro.fpga.report import op_utilization, utilization_summary
+from repro.fpga.scheduler import schedule_tiny_vbf
+from repro.models.tiny_vbf import small_config
+
+
+class TestUtilization:
+    def test_values_in_unit_interval(self):
+        report = schedule_tiny_vbf(small_config())
+        for value in op_utilization(report).values():
+            assert 0.0 <= value <= 1.0
+
+    def test_matmul_ops_well_utilized(self):
+        report = schedule_tiny_vbf(small_config())
+        per_op = op_utilization(report)
+        # The big channel-compression matmul should keep the PEs busy.
+        assert per_op["encoder/channel_dense0"] > 0.5
+
+    def test_summary_renders(self):
+        report = schedule_tiny_vbf(small_config())
+        text = utilization_summary(report)
+        assert "overall PE utilization" in text
+        assert "%" in text

@@ -1,0 +1,29 @@
+"""Scheduler PE-array scaling tests."""
+
+import pytest
+
+from repro.fpga.scheduler import schedule_tiny_vbf
+from repro.models.tiny_vbf import small_config
+
+
+class TestPeScaling:
+    def test_more_pes_fewer_cycles(self):
+        cycles = {
+            n: schedule_tiny_vbf(small_config(), n_pes=n).total_cycles
+            for n in (1, 2, 4, 8)
+        }
+        assert cycles[1] > cycles[2] > cycles[4] > cycles[8]
+
+    def test_near_linear_in_matmul_regime(self):
+        one = schedule_tiny_vbf(small_config(), n_pes=1).total_cycles
+        four = schedule_tiny_vbf(small_config(), n_pes=4).total_cycles
+        assert one / four > 2.5
+
+    def test_macs_independent_of_pes(self):
+        a = schedule_tiny_vbf(small_config(), n_pes=1).total_macs
+        b = schedule_tiny_vbf(small_config(), n_pes=16).total_macs
+        assert a == b
+
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ValueError):
+            schedule_tiny_vbf(small_config(), n_pes=0)

@@ -1,0 +1,126 @@
+"""Unit tests for the cycle scheduler and the resource model."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.resources import (
+    PAPER_TABLE_VI,
+    RESOURCE_FIELDS,
+    estimate_resources,
+    reduction_vs_float,
+    utilization_table,
+)
+from repro.fpga.scheduler import CLOCK_HZ, schedule_tiny_vbf
+from repro.models.tiny_vbf import TinyVbfConfig, small_config
+from repro.quant.schemes import FLOAT, HYBRID1, HYBRID2, SCHEMES
+
+
+class TestScheduler:
+    def test_schedule_covers_all_blocks(self):
+        report = schedule_tiny_vbf(small_config())
+        names = [op.name for op in report.ops]
+        assert any("block0/mha/scores" in n for n in names)
+        assert any("block1/mlp2" in n for n in names)
+        assert any("decoder/head2" in n for n in names)
+
+    def test_total_macs_match_structure(self):
+        config = small_config()
+        report = schedule_tiny_vbf(config)
+        # The schedule's MAC count must be half the FLOP count of the
+        # dense/conv parts (1 MAC = 2 FLOPs); elementwise ops and the
+        # softmax are excluded from MACs, so allow a modest gap.
+        from repro.models.tiny_vbf import tiny_vbf_gops
+
+        gops = tiny_vbf_gops(config)
+        macs_gops = 2 * report.total_macs / 1e9
+        assert macs_gops == pytest.approx(gops, rel=0.1)
+
+    def test_latency_at_100mhz(self):
+        report = schedule_tiny_vbf(small_config())
+        assert report.latency_s == pytest.approx(
+            report.total_cycles / CLOCK_HZ
+        )
+        # The paper's CPU inference takes ~0.23 s; the accelerator must
+        # land well under that at the small scale.
+        assert report.latency_s < 0.23
+
+    def test_more_blocks_more_cycles(self):
+        base = TinyVbfConfig(
+            image_shape=(64, 32), n_channels=8, channel_projection=8,
+            patch_size=(8, 8), d_model=32, n_heads=2, n_blocks=1,
+        )
+        deeper = TinyVbfConfig(
+            image_shape=(64, 32), n_channels=8, channel_projection=8,
+            patch_size=(8, 8), d_model=32, n_heads=2, n_blocks=3,
+        )
+        assert (
+            schedule_tiny_vbf(deeper).total_cycles
+            > schedule_tiny_vbf(base).total_cycles
+        )
+
+    def test_table_renders(self):
+        table = schedule_tiny_vbf(small_config()).table()
+        assert "TOTAL" in table and "latency" in table
+
+
+class TestResourceModel:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE_VI))
+    def test_reproduces_published_columns(self, name):
+        estimate = estimate_resources(SCHEMES[name])
+        for field in RESOURCE_FIELDS:
+            assert getattr(estimate, field) == pytest.approx(
+                PAPER_TABLE_VI[name][field], rel=1e-6
+            ), f"{name}/{field}"
+
+    def test_hybrid2_headline_reduction(self):
+        # Paper Fig. 1(b) / conclusion: >50 % resource reduction for the
+        # hybrid scheme vs float on the logic resources.
+        reductions = reduction_vs_float(estimate_resources(HYBRID2))
+        assert reductions["lut"] > 50.0
+        assert reductions["ff"] > 50.0
+        assert reductions["lutram"] > 50.0
+
+    def test_narrower_uniform_widths_use_fewer_luts(self):
+        lut = {
+            bits: estimate_resources(SCHEMES[f"{bits} bits"]).lut
+            for bits in (16, 20, 24)
+        }
+        assert lut[16] < lut[20] < lut[24]
+
+    def test_float_is_most_expensive_logic(self):
+        float_lut = estimate_resources(FLOAT).lut
+        for name in ("24 bits", "20 bits", "16 bits", "hybrid-1",
+                     "hybrid-2"):
+            assert estimate_resources(SCHEMES[name]).lut < float_lut
+
+    def test_utilization_within_device(self):
+        for name in PAPER_TABLE_VI:
+            util = estimate_resources(SCHEMES[name]).utilization_percent()
+            for field in ("lut", "ff", "bram", "dsp", "lutram"):
+                assert 0.0 <= util[field] <= 100.0
+
+    def test_extrapolates_novel_scheme(self):
+        from repro.quant.schemes import uniform_scheme
+
+        estimate = estimate_resources(uniform_scheme(18))
+        assert (
+            estimate_resources(SCHEMES["16 bits"]).lut
+            < estimate.lut
+            < estimate_resources(SCHEMES["20 bits"]).lut
+        )
+
+    def test_table_renders_all_schemes(self):
+        table = utilization_table(
+            [estimate_resources(SCHEMES[n]) for n in PAPER_TABLE_VI]
+        )
+        assert "LUT" in table and "POWER_W" in table
+
+
+class TestHybridOrdering:
+    def test_hybrid1_vs_hybrid2_logic(self):
+        # Hybrid-2's narrower arithmetic must use fewer LUT/FF.
+        h1 = estimate_resources(HYBRID1)
+        h2 = estimate_resources(HYBRID2)
+        assert h2.lut < h1.lut
+        assert h2.ff < h1.ff
+        assert h2.bram < h1.bram

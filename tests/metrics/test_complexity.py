@@ -1,0 +1,50 @@
+"""Unit tests for complexity metrics."""
+
+import pytest
+
+from repro.metrics.complexity import (
+    beamformer_gops,
+    das_gops,
+    measure_inference_seconds,
+)
+
+
+class TestGops:
+    def test_das_is_cheapest(self):
+        gops = {
+            kind: beamformer_gops(kind, "paper")
+            for kind in ("das", "mvdr", "tiny_vbf", "tiny_cnn", "fcnn")
+        }
+        assert gops["das"] < gops["tiny_vbf"]
+        assert gops["tiny_vbf"] < gops["fcnn"] < gops["tiny_cnn"]
+        assert gops["tiny_cnn"] < gops["mvdr"]
+
+    def test_mvdr_order_of_magnitude(self):
+        # Paper (citing [5]): ~98.78 GOPs/frame.
+        assert 50 < beamformer_gops("mvdr", "paper") < 250
+
+    def test_das_analytic_value(self):
+        assert das_gops(100, 100, 128) == pytest.approx(
+            8 * 100 * 100 * 128 / 1e9
+        )
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            beamformer_gops("beam_search", "paper")
+
+
+class TestTiming:
+    def test_measures_positive_time(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            sum(range(1000))
+
+        seconds = measure_inference_seconds(fn, repeats=3)
+        assert seconds >= 0.0
+        assert len(calls) == 4  # warmup + 3 repeats
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            measure_inference_seconds(lambda: None, repeats=0)

@@ -1,0 +1,126 @@
+"""Unit tests for contrast metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beamform.geometry import ImagingGrid
+from repro.metrics.contrast import (
+    contrast_metrics,
+    contrast_ratio_db,
+    contrast_to_noise_ratio,
+    cyst_masks,
+    generalized_cnr,
+)
+
+
+@pytest.fixture
+def masks():
+    inside = np.zeros((20, 20), dtype=bool)
+    inside[8:12, 8:12] = True
+    background = np.zeros((20, 20), dtype=bool)
+    background[:4, :] = True
+    return inside, background
+
+
+class TestContrastRatio:
+    def test_known_ratio(self, masks):
+        inside, background = masks
+        envelope = np.ones((20, 20))
+        envelope[inside] = 0.1
+        assert contrast_ratio_db(envelope, inside, background) == (
+            pytest.approx(20.0)
+        )
+
+    def test_zero_for_identical_regions(self, masks):
+        inside, background = masks
+        envelope = np.full((20, 20), 0.5)
+        assert contrast_ratio_db(envelope, inside, background) == (
+            pytest.approx(0.0)
+        )
+
+    def test_negative_when_cyst_brighter(self, masks):
+        inside, background = masks
+        envelope = np.ones((20, 20))
+        envelope[inside] = 10.0
+        assert contrast_ratio_db(envelope, inside, background) < 0
+
+    def test_rejects_empty_mask(self):
+        envelope = np.ones((4, 4))
+        with pytest.raises(ValueError, match="empty region"):
+            contrast_ratio_db(
+                envelope, np.zeros((4, 4), bool), np.ones((4, 4), bool)
+            )
+
+
+class TestCnr:
+    def test_separated_regions_high_cnr(self, masks):
+        inside, background = masks
+        rng = np.random.default_rng(0)
+        envelope = np.abs(rng.normal(1.0, 0.05, (20, 20)))
+        envelope[inside] = np.abs(rng.normal(0.1, 0.05, inside.sum()))
+        assert contrast_to_noise_ratio(envelope, inside, background) > 3.0
+
+    def test_identical_distributions_low_cnr(self, masks):
+        inside, background = masks
+        rng = np.random.default_rng(1)
+        envelope = np.abs(rng.normal(1.0, 0.3, (20, 20)))
+        assert contrast_to_noise_ratio(envelope, inside, background) < 1.0
+
+    def test_zero_spread_returns_zero(self, masks):
+        inside, background = masks
+        envelope = np.ones((20, 20))
+        assert contrast_to_noise_ratio(envelope, inside, background) == 0.0
+
+
+class TestGcnr:
+    def test_disjoint_histograms_give_one(self, masks):
+        inside, background = masks
+        envelope = np.zeros((20, 20))
+        envelope[inside] = 0.05
+        envelope[background] = 0.95
+        assert generalized_cnr(envelope, inside, background) == (
+            pytest.approx(1.0, abs=0.02)
+        )
+
+    def test_identical_histograms_near_zero(self, masks):
+        inside, background = masks
+        envelope = np.full((20, 20), 0.5)
+        assert generalized_cnr(envelope, inside, background) == (
+            pytest.approx(0.0, abs=0.05)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=400))
+    def test_always_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        envelope = np.abs(rng.normal(0.5, 0.3, (20, 20)))
+        inside = np.zeros((20, 20), bool)
+        inside[5:10, 5:10] = True
+        background = ~inside
+        value = generalized_cnr(envelope, inside, background)
+        assert 0.0 <= value <= 1.0
+
+    def test_rejects_bad_bins(self, masks):
+        inside, background = masks
+        with pytest.raises(ValueError):
+            generalized_cnr(np.ones((20, 20)), inside, background, n_bins=1)
+
+
+class TestCystMasks:
+    def test_masks_disjoint(self):
+        grid = ImagingGrid.from_spans((-8e-3, 8e-3), (5e-3, 30e-3), 33, 51)
+        inside, background = cyst_masks(grid, (0.0, 15e-3), 3e-3)
+        assert inside.any() and background.any()
+        assert not np.any(inside & background)
+
+    def test_bundle_returns_all_three(self, masks):
+        inside, background = masks
+        rng = np.random.default_rng(2)
+        envelope = np.abs(rng.normal(1.0, 0.2, (20, 20)))
+        envelope[inside] *= 0.1
+        metrics = contrast_metrics(envelope, inside, background)
+        assert metrics.cr_db > 10.0
+        assert metrics.cnr > 1.0
+        assert 0.0 <= metrics.gcnr <= 1.0

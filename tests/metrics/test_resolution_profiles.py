@@ -1,0 +1,129 @@
+"""Unit tests for resolution metrics and lateral profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beamform.geometry import ImagingGrid
+from repro.metrics.profiles import lateral_profile_db
+from repro.metrics.resolution import fwhm, point_resolution
+
+
+class TestFwhm:
+    def test_gaussian_profile_exact(self):
+        x = np.linspace(-5, 5, 201)
+        sigma = 0.8
+        profile = np.exp(-(x**2) / (2 * sigma**2))
+        expected = 2 * sigma * np.sqrt(2 * np.log(2))
+        assert fwhm(x, profile) == pytest.approx(expected, rel=0.01)
+
+    def test_subpixel_on_coarse_grid(self):
+        # Only ~7 samples across the lobe: interpolation must still
+        # recover the width to a few percent.
+        x = np.linspace(-2, 2, 15)
+        sigma = 0.5
+        profile = np.exp(-(x**2) / (2 * sigma**2))
+        expected = 2 * sigma * np.sqrt(2 * np.log(2))
+        assert fwhm(x, profile) == pytest.approx(expected, rel=0.05)
+
+    def test_off_center_peak(self):
+        # exp(-(x-7.3)^2 / 0.5) has 2*sigma^2 = 0.5, i.e. sigma = 0.5.
+        x = np.linspace(0, 10, 101)
+        profile = np.exp(-((x - 7.3) ** 2) / 0.5)
+        width = fwhm(x, profile)
+        expected = 2 * 0.5 * np.sqrt(2 * np.log(2))
+        assert width == pytest.approx(expected, rel=0.02)
+
+    def test_unresolved_lobe_raises(self):
+        x = np.linspace(-1, 1, 32)
+        profile = np.full(32, 0.9)
+        profile[16] = 1.0
+        # Profile never falls below half max -> not resolvable.
+        with pytest.raises(ValueError, match="half maximum"):
+            fwhm(x, profile)
+
+    def test_rejects_descending_positions(self):
+        with pytest.raises(ValueError):
+            fwhm(np.array([3.0, 2.0, 1.0, 0.0]), np.ones(4))
+
+    def test_rejects_flat_zero_profile(self):
+        with pytest.raises(ValueError):
+            fwhm(np.linspace(0, 1, 8), np.zeros(8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.2, max_value=1.2))
+    def test_width_scales_with_sigma(self, sigma):
+        x = np.linspace(-4, 4, 161)
+        profile = np.exp(-(x**2) / (2 * sigma**2))
+        assert fwhm(x, profile) == pytest.approx(
+            2 * sigma * np.sqrt(2 * np.log(2)), rel=0.02
+        )
+
+
+class TestPointResolution:
+    @pytest.fixture
+    def grid(self):
+        return ImagingGrid.from_spans((-4e-3, 4e-3), (10e-3, 20e-3),
+                                      nx=81, nz=101)
+
+    def _psf_image(self, grid, x0, z0, sig_x, sig_z):
+        xx, zz = grid.meshgrid()
+        return np.exp(
+            -((xx - x0) ** 2) / (2 * sig_x**2)
+            - ((zz - z0) ** 2) / (2 * sig_z**2)
+        )
+
+    def test_measures_anisotropic_psf(self, grid):
+        sig_x, sig_z = 0.4e-3, 0.15e-3
+        envelope = self._psf_image(grid, 0.5e-3, 14e-3, sig_x, sig_z)
+        metrics = point_resolution(envelope, grid, (0.5e-3, 14e-3))
+        factor = 2 * np.sqrt(2 * np.log(2))
+        assert metrics.lateral_m == pytest.approx(sig_x * factor, rel=0.06)
+        assert metrics.axial_m == pytest.approx(sig_z * factor, rel=0.06)
+
+    def test_finds_peak_despite_offset_query(self, grid):
+        envelope = self._psf_image(grid, 0.0, 15e-3, 0.3e-3, 0.2e-3)
+        metrics = point_resolution(
+            envelope, grid, (0.3e-3, 15.3e-3)
+        )
+        assert metrics.lateral_mm == pytest.approx(
+            0.3 * 2 * np.sqrt(2 * np.log(2)), rel=0.08
+        )
+
+    def test_rejects_point_outside_grid(self, grid):
+        envelope = np.ones(grid.shape)
+        with pytest.raises(ValueError, match="no pixels"):
+            point_resolution(envelope, grid, (50e-3, 50e-3))
+
+
+class TestLateralProfile:
+    def test_profile_peaks_at_zero_db(self):
+        grid = ImagingGrid.from_spans((-4e-3, 4e-3), (10e-3, 20e-3), 41, 21)
+        envelope = np.ones(grid.shape)
+        envelope[10, 20] = 5.0
+        x_mm, profile = lateral_profile_db(
+            envelope, grid, grid.z_m[10]
+        )
+        assert profile.max() == pytest.approx(0.0)
+        assert x_mm.shape == profile.shape
+
+    def test_span_restriction(self):
+        grid = ImagingGrid.from_spans((-4e-3, 4e-3), (10e-3, 20e-3), 41, 21)
+        envelope = np.ones(grid.shape)
+        x_mm, _ = lateral_profile_db(
+            envelope, grid, 15e-3, x_span_m=(-1e-3, 1e-3)
+        )
+        assert x_mm.min() >= -1.001 and x_mm.max() <= 1.001
+
+    def test_rejects_bad_shape(self):
+        grid = ImagingGrid.from_spans((-4e-3, 4e-3), (10e-3, 20e-3), 41, 21)
+        with pytest.raises(ValueError):
+            lateral_profile_db(np.ones((5, 5)), grid, 15e-3)
+
+    def test_rejects_empty_span(self):
+        grid = ImagingGrid.from_spans((-4e-3, 4e-3), (10e-3, 20e-3), 41, 21)
+        with pytest.raises(ValueError, match="empty lateral span"):
+            lateral_profile_db(
+                np.ones(grid.shape), grid, 15e-3, x_span_m=(9e-3, 10e-3)
+            )

@@ -1,0 +1,119 @@
+"""Unit tests for Tiny-CNN and FCNN baselines + the shared beamformer head."""
+
+import numpy as np
+import pytest
+
+from repro.models.common import (
+    WeightedSumBeamformer,
+    complex_to_stacked,
+    stacked_to_complex,
+)
+from repro.models.fcnn import FcnnConfig, build_fcnn
+from repro.models.tiny_cnn import TinyCnnConfig, build_tiny_cnn
+from repro.nn import Dense, Sequential
+
+from tests.nn.gradcheck import check_input_gradient, check_parameter_gradients
+
+
+class TestStacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(3, 4)) + 1j * rng.normal(size=(3, 4))
+        assert np.allclose(stacked_to_complex(complex_to_stacked(z)), z)
+
+    def test_rejects_bad_trailing_axis(self):
+        with pytest.raises(ValueError):
+            stacked_to_complex(np.zeros((3, 4)))
+
+
+class TestWeightedSumBeamformer:
+    def _head(self, n_channels=5):
+        net = Sequential([Dense(n_channels, n_channels, seed=0)])
+        return WeightedSumBeamformer(net, n_channels)
+
+    def test_identity_weights_reproduce_das_sum(self):
+        # Force the weight net to output constant 1/n weights: the head
+        # must then equal plain DAS (channel mean * n / n).
+        n = 4
+        net = Sequential([Dense(n, n, seed=0)])
+        net.layers[0].weight.value[...] = 0.0
+        net.layers[0].bias.value[...] = 1.0 / n
+        head = WeightedSumBeamformer(net, n)
+        rng = np.random.default_rng(1)
+        tofc = rng.normal(size=(1, 3, 2, n)) + 1j * rng.normal(size=(1, 3, 2, n))
+        out = head.forward(complex_to_stacked(tofc))
+        expected = tofc.mean(axis=-1)
+        assert np.allclose(out[..., 0], expected.real)
+        assert np.allclose(out[..., 1], expected.imag)
+
+    def test_input_gradient(self):
+        head = self._head()
+        x = np.random.default_rng(2).normal(size=(2, 3, 2, 5, 2))
+        check_input_gradient(head, x, rtol=1e-4)
+
+    def test_parameter_gradients(self):
+        head = self._head()
+        x = np.random.default_rng(3).normal(size=(2, 3, 2, 5, 2))
+        check_parameter_gradients(head, x, rtol=1e-4)
+
+    def test_rejects_wrong_input_shape(self):
+        with pytest.raises(ValueError):
+            self._head().forward(np.zeros((1, 3, 2, 5)))
+
+
+class TestTinyCnn:
+    def test_output_shape(self):
+        model = build_tiny_cnn(
+            TinyCnnConfig(n_channels=6, hidden_channels=4, seed=0)
+        )
+        x = np.random.default_rng(0).normal(size=(2, 8, 6, 6, 2))
+        assert model.forward(x).shape == (2, 8, 6, 2)
+
+    def test_gradients_flow(self):
+        model = build_tiny_cnn(
+            TinyCnnConfig(n_channels=4, hidden_channels=3, seed=1)
+        )
+        x = np.random.default_rng(1).normal(size=(1, 6, 4, 4, 2))
+        out = model.forward(x, training=True)
+        model.backward(np.ones_like(out))
+        assert all(
+            np.isfinite(p.grad).all() for p in model.parameters()
+        )
+
+    def test_weights_depend_on_neighbourhood(self):
+        # Convolutional receptive field: perturbing a neighbouring pixel
+        # changes a pixel's output (unlike FCNN).
+        model = build_tiny_cnn(
+            TinyCnnConfig(n_channels=4, hidden_channels=3, seed=2)
+        )
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 6, 6, 4, 2))
+        base = model.forward(x)
+        perturbed = x.copy()
+        perturbed[0, 2, 2] += 1.0
+        delta = model.forward(perturbed) - base
+        assert np.abs(delta[0, 3, 3]).max() > 0.0
+
+
+class TestFcnn:
+    def test_output_shape(self):
+        model = build_fcnn(FcnnConfig(n_channels=6, hidden_units=(8,), seed=0))
+        x = np.random.default_rng(0).normal(size=(2, 5, 4, 6, 2))
+        assert model.forward(x).shape == (2, 5, 4, 2)
+
+    def test_strictly_per_pixel(self):
+        # FCNN captures only local (per-pixel) features: perturbing one
+        # pixel must not change any other pixel's output.
+        model = build_fcnn(FcnnConfig(n_channels=4, hidden_units=(6,), seed=1))
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 5, 4, 4, 2))
+        base = model.forward(x)
+        perturbed = x.copy()
+        perturbed[0, 2, 2] += 1.0
+        delta = model.forward(perturbed) - base
+        delta[0, 2, 2] = 0.0
+        assert np.abs(delta).max() == 0.0
+
+    def test_rejects_empty_hidden(self):
+        with pytest.raises(ValueError):
+            FcnnConfig(n_channels=4, hidden_units=())

@@ -1,0 +1,90 @@
+"""Numerical gradient checking helpers.
+
+Strategy: reduce the layer output to a scalar ``L = sum(forward(x) * R)``
+with a fixed random projection ``R``.  Then ``dL/dx`` equals
+``backward(R)`` and ``dL/dtheta`` equals each parameter's accumulated
+gradient — both are compared against central finite differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+EPS = 1e-6
+
+
+def check_input_gradient(
+    layer,
+    x: np.ndarray,
+    rtol: float = 1e-5,
+    atol: float = 1e-7,
+    n_probes: int = 24,
+    seed: int = 0,
+) -> None:
+    """Assert analytic input gradients match finite differences."""
+    rng = np.random.default_rng(seed)
+    x = np.asarray(x, dtype=float)
+    projection = rng.normal(size=layer.forward(x, training=False).shape)
+
+    for parameter in layer.parameters():
+        parameter.zero_grad()
+    layer.forward(x, training=False)
+    analytic = layer.backward(projection)
+
+    flat = x.reshape(-1)
+    indices = rng.choice(flat.size, size=min(n_probes, flat.size),
+                         replace=False)
+    for index in indices:
+        original = flat[index]
+        flat[index] = original + EPS
+        plus = np.sum(layer.forward(x, training=False) * projection)
+        flat[index] = original - EPS
+        minus = np.sum(layer.forward(x, training=False) * projection)
+        flat[index] = original
+        numeric = (plus - minus) / (2.0 * EPS)
+        assert np.isclose(
+            analytic.reshape(-1)[index], numeric, rtol=rtol, atol=atol
+        ), (
+            f"input grad mismatch at {index}: analytic "
+            f"{analytic.reshape(-1)[index]:.8e} vs numeric {numeric:.8e}"
+        )
+
+
+def check_parameter_gradients(
+    layer,
+    x: np.ndarray,
+    rtol: float = 1e-5,
+    atol: float = 1e-7,
+    n_probes: int = 16,
+    seed: int = 1,
+) -> None:
+    """Assert analytic parameter gradients match finite differences."""
+    rng = np.random.default_rng(seed)
+    x = np.asarray(x, dtype=float)
+    projection = rng.normal(size=layer.forward(x, training=False).shape)
+
+    for parameter in layer.parameters():
+        parameter.zero_grad()
+    layer.forward(x, training=False)
+    layer.backward(projection)
+
+    for parameter in layer.parameters():
+        flat = parameter.value.reshape(-1)
+        grad_flat = parameter.grad.reshape(-1)
+        indices = rng.choice(
+            flat.size, size=min(n_probes, flat.size), replace=False
+        )
+        for index in indices:
+            original = flat[index]
+            flat[index] = original + EPS
+            plus = np.sum(layer.forward(x, training=False) * projection)
+            flat[index] = original - EPS
+            minus = np.sum(layer.forward(x, training=False) * projection)
+            flat[index] = original
+            numeric = (plus - minus) / (2.0 * EPS)
+            assert np.isclose(
+                grad_flat[index], numeric, rtol=rtol, atol=atol
+            ), (
+                f"{parameter.name}[{index}]: analytic "
+                f"{grad_flat[index]:.8e} vs numeric {numeric:.8e}"
+            )

@@ -1,0 +1,95 @@
+"""Unit tests for the FLOP counter."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2D,
+    Dense,
+    MultiHeadAttention,
+    Patchify,
+    ReLU,
+    Residual,
+    Sequential,
+    Unpatchify,
+)
+from repro.nn.flops import count_flops, gops_per_frame
+
+
+class TestDenseFlops:
+    def test_known_value(self):
+        flops, shape = count_flops(Dense(10, 20, seed=0), (4, 10))
+        assert flops == 2 * 4 * 10 * 20
+        assert shape == (4, 20)
+
+    def test_high_rank_batches(self):
+        flops, shape = count_flops(Dense(8, 2, seed=0), (2, 3, 8))
+        assert flops == 2 * 6 * 8 * 2
+        assert shape == (2, 3, 2)
+
+
+class TestConvFlops:
+    def test_known_value(self):
+        layer = Conv2D(3, 5, (3, 3), seed=0)
+        flops, shape = count_flops(layer, (1, 10, 12, 3))
+        assert flops == 2 * 10 * 12 * 9 * 3 * 5
+        assert shape == (1, 10, 12, 5)
+
+
+class TestAttentionFlops:
+    def test_projection_dominated_scaling(self):
+        layer = MultiHeadAttention(16, 2, seed=0)
+        small, _ = count_flops(layer, (1, 8, 16))
+        large, _ = count_flops(layer, (1, 16, 16))
+        # Token count doubles: projections double, score terms quadruple.
+        assert 2.0 < large / small < 4.0
+
+    def test_shape_preserved(self):
+        layer = MultiHeadAttention(8, 2, seed=0)
+        _, shape = count_flops(layer, (2, 5, 8))
+        assert shape == (2, 5, 8)
+
+
+class TestContainers:
+    def test_sequential_sums_and_propagates(self):
+        model = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 2, seed=1)])
+        flops, shape = count_flops(model, (3, 4))
+        assert flops == 2 * 3 * 4 * 8 + 3 * 8 + 2 * 3 * 8 * 2
+        assert shape == (3, 2)
+
+    def test_residual_adds_elementwise_cost(self):
+        inner = Dense(6, 6, seed=0)
+        flops, shape = count_flops(Residual(inner), (2, 6))
+        inner_flops, _ = count_flops(inner, (2, 6))
+        assert flops == inner_flops + 12
+        assert shape == (2, 6)
+
+    def test_residual_rejects_shape_change(self):
+        with pytest.raises(ValueError):
+            count_flops(Residual(Dense(6, 5, seed=0)), (2, 6))
+
+
+class TestPatchFlops:
+    def test_patchify_free_but_reshapes(self):
+        flops, shape = count_flops(Patchify((2, 2)), (1, 8, 8, 3))
+        assert flops == 0.0
+        assert shape == (1, 16, 12)
+
+    def test_unpatchify_shape(self):
+        layer = Unpatchify((2, 2), (8, 8), channels=2)
+        flops, shape = count_flops(layer, (1, 16, 8))
+        assert shape == (1, 8, 8, 2)
+
+
+class TestGopsPerFrame:
+    def test_unit_conversion(self):
+        layer = Dense(1000, 500, seed=0)
+        gops = gops_per_frame(layer, (1000,))
+        assert gops == pytest.approx(2 * 1000 * 500 / 1e9)
+
+    def test_unknown_layer_raises(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(TypeError):
+            count_flops(Mystery(), (1, 2))

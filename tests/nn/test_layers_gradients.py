@@ -1,0 +1,194 @@
+"""Gradient checks: every layer's backward vs finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2D,
+    Dense,
+    LayerNorm,
+    LearnedPositionalEmbedding,
+    MultiHeadAttention,
+    Patchify,
+    ReLU,
+    Residual,
+    Sequential,
+    Softmax,
+    Tanh,
+    Unpatchify,
+)
+
+from tests.nn.gradcheck import check_input_gradient, check_parameter_gradients
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestDenseGradients:
+    def test_input_gradient_2d(self):
+        layer = Dense(6, 4, seed=0)
+        check_input_gradient(layer, RNG.normal(size=(5, 6)))
+
+    def test_input_gradient_high_rank(self):
+        layer = Dense(5, 3, seed=1)
+        check_input_gradient(layer, RNG.normal(size=(2, 3, 4, 5)))
+
+    def test_parameter_gradients(self):
+        layer = Dense(6, 4, seed=2)
+        check_parameter_gradients(layer, RNG.normal(size=(7, 6)))
+
+    def test_parameter_gradients_high_rank(self):
+        layer = Dense(4, 2, seed=3)
+        check_parameter_gradients(layer, RNG.normal(size=(2, 3, 4)))
+
+    def test_no_bias_variant(self):
+        layer = Dense(4, 3, bias=False, seed=4)
+        assert len(layer.parameters()) == 1
+        check_parameter_gradients(layer, RNG.normal(size=(5, 4)))
+
+
+class TestActivationGradients:
+    def test_relu_input_gradient(self):
+        # Keep probe points away from the kink at 0.
+        x = RNG.normal(size=(4, 7))
+        x[np.abs(x) < 0.1] += 0.2
+        check_input_gradient(ReLU(), x)
+
+    def test_tanh_input_gradient(self):
+        check_input_gradient(Tanh(), RNG.normal(size=(3, 5)))
+
+    def test_softmax_input_gradient(self):
+        check_input_gradient(Softmax(), RNG.normal(size=(4, 6)))
+
+    def test_softmax_rows_sum_to_one(self):
+        out = Softmax().forward(RNG.normal(size=(9, 11)) * 10)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_softmax_numerical_stability(self):
+        out = Softmax().forward(np.array([[1e4, 1e4 + 1.0]]))
+        assert np.all(np.isfinite(out))
+
+
+class TestLayerNormGradients:
+    def test_input_gradient(self):
+        check_input_gradient(LayerNorm(8), RNG.normal(size=(4, 8)), rtol=1e-4)
+
+    def test_input_gradient_3d(self):
+        check_input_gradient(
+            LayerNorm(6), RNG.normal(size=(2, 5, 6)), rtol=1e-4
+        )
+
+    def test_parameter_gradients(self):
+        check_parameter_gradients(LayerNorm(8), RNG.normal(size=(4, 8)))
+
+    def test_normalizes_statistics(self):
+        out = LayerNorm(16).forward(RNG.normal(2.0, 3.0, size=(10, 16)))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+
+class TestAttentionGradients:
+    def test_input_gradient(self):
+        layer = MultiHeadAttention(d_model=8, n_heads=2, seed=5)
+        check_input_gradient(
+            layer, RNG.normal(size=(2, 5, 8)), rtol=1e-4, atol=1e-6
+        )
+
+    def test_parameter_gradients(self):
+        layer = MultiHeadAttention(d_model=6, n_heads=3, seed=6)
+        check_parameter_gradients(
+            layer, RNG.normal(size=(2, 4, 6)), rtol=1e-4, atol=1e-6
+        )
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError, match="divisible"):
+            MultiHeadAttention(d_model=7, n_heads=2)
+
+    def test_output_shape(self):
+        layer = MultiHeadAttention(d_model=8, n_heads=4, seed=7)
+        out = layer.forward(RNG.normal(size=(3, 9, 8)))
+        assert out.shape == (3, 9, 8)
+
+
+class TestConvGradients:
+    def test_input_gradient(self):
+        layer = Conv2D(3, 2, (3, 3), seed=8)
+        check_input_gradient(layer, RNG.normal(size=(2, 5, 4, 3)))
+
+    def test_parameter_gradients(self):
+        layer = Conv2D(2, 3, (3, 3), seed=9)
+        check_parameter_gradients(layer, RNG.normal(size=(2, 4, 4, 2)))
+
+    def test_same_padding_shape(self):
+        layer = Conv2D(4, 6, (5, 3), seed=10)
+        out = layer.forward(RNG.normal(size=(1, 10, 8, 4)))
+        assert out.shape == (1, 10, 8, 6)
+
+    def test_matches_direct_convolution(self):
+        # Cross-check im2col against a naive direct computation.
+        layer = Conv2D(1, 1, (3, 3), bias=False, seed=11)
+        x = RNG.normal(size=(1, 6, 6, 1))
+        out = layer.forward(x)
+        kernel = layer.weight.value.reshape(3, 3)
+        padded = np.pad(x[0, :, :, 0], 1)
+        direct = np.zeros((6, 6))
+        for i in range(6):
+            for j in range(6):
+                direct[i, j] = np.sum(padded[i : i + 3, j : j + 3] * kernel)
+        assert np.allclose(out[0, :, :, 0], direct)
+
+    def test_rejects_even_kernel(self):
+        with pytest.raises(ValueError, match="odd"):
+            Conv2D(1, 1, (2, 2))
+
+
+class TestPatchLayers:
+    def test_roundtrip_identity(self):
+        patchify = Patchify((2, 3))
+        unpatchify = Unpatchify((2, 3), (4, 6), channels=5)
+        x = RNG.normal(size=(2, 4, 6, 5))
+        assert np.allclose(unpatchify.forward(patchify.forward(x)), x)
+
+    def test_patchify_gradient(self):
+        check_input_gradient(Patchify((2, 2)), RNG.normal(size=(2, 4, 4, 3)))
+
+    def test_unpatchify_gradient(self):
+        layer = Unpatchify((2, 2), (4, 4), channels=3)
+        check_input_gradient(layer, RNG.normal(size=(2, 4, 12)))
+
+    def test_token_count(self):
+        assert Patchify.token_count((368, 64), (8, 8)) == 46 * 8
+
+    def test_token_count_rejects_indivisible(self):
+        with pytest.raises(ValueError, match="divisible"):
+            Patchify.token_count((10, 10), (3, 3))
+
+    def test_patch_content_row_major(self):
+        # First token must be the top-left tile.
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        tokens = Patchify((2, 2)).forward(x)
+        assert np.allclose(tokens[0, 0], [0, 1, 4, 5])
+
+
+class TestContainersAndEmbedding:
+    def test_sequential_gradient(self):
+        model = Sequential([Dense(5, 8, seed=12), ReLU(), Dense(8, 3, seed=13)])
+        x = RNG.normal(size=(4, 5))
+        check_input_gradient(model, x, rtol=1e-4)
+        check_parameter_gradients(model, x, rtol=1e-4)
+
+    def test_residual_gradient(self):
+        block = Residual(Sequential([Dense(6, 6, seed=14), Tanh()]))
+        x = RNG.normal(size=(3, 6))
+        check_input_gradient(block, x, rtol=1e-4)
+        check_parameter_gradients(block, x, rtol=1e-4)
+
+    def test_positional_embedding_gradient(self):
+        layer = LearnedPositionalEmbedding(5, 4, seed=15)
+        x = RNG.normal(size=(3, 5, 4))
+        check_input_gradient(layer, x)
+        check_parameter_gradients(layer, x)
+
+    def test_sequential_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sequential([])

@@ -1,0 +1,106 @@
+"""Unit tests for Model (weights I/O) and Trainer (learning dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Dense, Model, MSELoss, ReLU, Sequential, Trainer
+
+
+def _make_model(seed=0):
+    return Model(
+        Sequential([Dense(3, 16, seed=seed), ReLU(), Dense(16, 1, seed=seed + 1)]),
+        name="test",
+    )
+
+
+class TestModel:
+    def test_parameter_count(self):
+        model = _make_model()
+        assert model.n_parameters == (3 * 16 + 16) + (16 * 1 + 1)
+
+    def test_predict_batches_match_single_pass(self):
+        model = _make_model()
+        x = np.random.default_rng(0).normal(size=(11, 3))
+        assert np.allclose(model.predict(x, batch_size=4), model.forward(x))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        model = _make_model(seed=1)
+        x = np.random.default_rng(1).normal(size=(5, 3))
+        expected = model.forward(x)
+        path = model.save_weights(tmp_path / "w.npz")
+
+        fresh = _make_model(seed=99)
+        assert not np.allclose(fresh.forward(x), expected)
+        fresh.load_weights(path)
+        assert np.allclose(fresh.forward(x), expected)
+
+    def test_load_rejects_wrong_architecture(self, tmp_path):
+        model = _make_model()
+        path = model.save_weights(tmp_path / "w.npz")
+        other = Model(Sequential([Dense(3, 8, seed=0), Dense(8, 1, seed=1)]))
+        with pytest.raises(ValueError):
+            other.load_weights(path)
+
+    def test_summary_mentions_count(self):
+        model = _make_model()
+        assert str(model.n_parameters) in model.summary()
+
+
+class TestTrainer:
+    def test_learns_linear_map(self):
+        rng = np.random.default_rng(3)
+        true_w = np.array([[1.5], [-2.0], [0.5]])
+        x = rng.normal(size=(64, 3))
+        y = x @ true_w + 0.3
+        model = Model(Sequential([Dense(3, 1, seed=3)]))
+        trainer = Trainer(model, Adam(model.parameters(), 0.02), seed=0)
+        history = trainer.fit(x, y, epochs=150, batch_size=16)
+        assert history.final_loss < 1e-3
+        assert history.loss[0] > history.final_loss
+
+    def test_nonlinear_regression_improves(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-1, 1, size=(96, 3))
+        y = np.sin(2 * x.sum(axis=1, keepdims=True))
+        model = _make_model(seed=5)
+        trainer = Trainer(model, Adam(model.parameters(), 1e-2), seed=1)
+        history = trainer.fit(x, y, epochs=100, batch_size=10)
+        assert history.final_loss < 0.3 * history.loss[0]
+
+    def test_validation_tracked(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(32, 3))
+        y = x[:, :1]
+        model = _make_model(seed=6)
+        trainer = Trainer(model, Adam(model.parameters(), 1e-2), seed=2)
+        history = trainer.fit(
+            x[:24], y[:24], epochs=5, validation=(x[24:], y[24:])
+        )
+        assert len(history.val_loss) == 5
+
+    def test_deterministic_given_seeds(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(20, 3))
+        y = x[:, :1] * 2.0
+
+        def run():
+            model = _make_model(seed=7)
+            trainer = Trainer(model, Adam(model.parameters(), 1e-2), seed=3)
+            trainer.fit(x, y, epochs=3, batch_size=5)
+            return model.forward(x)
+
+        assert np.allclose(run(), run())
+
+    def test_rejects_mismatched_samples(self):
+        model = _make_model()
+        trainer = Trainer(model, Adam(model.parameters(), 1e-3))
+        with pytest.raises(ValueError, match="sample count"):
+            trainer.fit(np.zeros((4, 3)), np.zeros((5, 1)), epochs=1)
+
+    def test_history_records_learning_rate(self):
+        rng = np.random.default_rng(7)
+        x, y = rng.normal(size=(10, 3)), rng.normal(size=(10, 1))
+        model = _make_model(seed=8)
+        trainer = Trainer(model, Adam(model.parameters(), 1e-3), seed=4)
+        history = trainer.fit(x, y, epochs=2)
+        assert len(history.learning_rate) == 2

@@ -1,0 +1,142 @@
+"""Unit tests for optimizers, schedules, losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, ConstantSchedule, CyclicPolynomialDecay, MSELoss, SGD
+from repro.nn.layers.base import Parameter
+
+
+def _quadratic_grad(parameter, target):
+    parameter.zero_grad()
+    parameter.grad += 2.0 * (parameter.value - target)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        optimizer = SGD([parameter], learning_rate=0.1)
+        for _ in range(200):
+            _quadratic_grad(parameter, target)
+            optimizer.step()
+        assert np.allclose(parameter.value, target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            parameter = Parameter(np.array([10.0]))
+            optimizer = SGD([parameter], 0.02, momentum=momentum)
+            for _ in range(50):
+                _quadratic_grad(parameter, np.zeros(1))
+                optimizer.step()
+            return abs(parameter.value[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], 0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([4.0, -7.0, 0.5]))
+        target = np.array([-1.0, 3.0, 2.0])
+        optimizer = Adam([parameter], learning_rate=0.05)
+        for _ in range(800):
+            _quadratic_grad(parameter, target)
+            optimizer.step()
+        assert np.allclose(parameter.value, target, atol=1e-4)
+
+    def test_first_step_is_learning_rate_sized(self):
+        # With bias correction, the first Adam step is ~lr * sign(grad).
+        parameter = Parameter(np.array([0.0]))
+        optimizer = Adam([parameter], learning_rate=1e-3)
+        parameter.grad += np.array([123.0])
+        optimizer.step()
+        assert parameter.value[0] == pytest.approx(-1e-3, rel=1e-3)
+
+    def test_zero_grad_clears_all(self):
+        p1, p2 = Parameter(np.zeros(2)), Parameter(np.zeros(3))
+        optimizer = Adam([p1, p2], 1e-3)
+        p1.grad += 1.0
+        p2.grad += 2.0
+        optimizer.zero_grad()
+        assert np.all(p1.grad == 0) and np.all(p2.grad == 0)
+
+    def test_rejects_empty_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([], 1e-3)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.01)
+        assert schedule(0) == schedule(10**6) == 0.01
+
+    def test_polynomial_starts_at_initial(self):
+        schedule = CyclicPolynomialDecay(1e-4, 1e-6, decay_steps=1000)
+        assert schedule(0) == pytest.approx(1e-4, rel=1e-3)
+
+    def test_polynomial_reaches_final(self):
+        schedule = CyclicPolynomialDecay(1e-4, 1e-6, decay_steps=1000)
+        assert schedule(999) == pytest.approx(1e-6, rel=0.2)
+
+    def test_cycles_restart(self):
+        # Just past a cycle boundary, the rate snaps back up: the paper's
+        # "polynomial decay schedule with cyclic changes".
+        schedule = CyclicPolynomialDecay(1e-4, 1e-6, decay_steps=1000)
+        end_of_cycle = schedule(999)
+        after_restart = schedule(1100)
+        assert after_restart > 10 * end_of_cycle
+
+    def test_monotone_within_cycle(self):
+        schedule = CyclicPolynomialDecay(1e-4, 1e-6, decay_steps=500)
+        rates = [schedule(step) for step in range(500)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_rejects_final_above_initial(self):
+        with pytest.raises(ValueError):
+            CyclicPolynomialDecay(1e-6, 1e-4)
+
+    def test_schedule_drives_optimizer(self):
+        parameter = Parameter(np.zeros(1))
+        optimizer = SGD(
+            [parameter], CyclicPolynomialDecay(0.1, 0.001, decay_steps=10)
+        )
+        assert optimizer.current_learning_rate == pytest.approx(0.1)
+        for _ in range(9):
+            optimizer.step()
+        assert optimizer.current_learning_rate < 0.02
+
+
+class TestMSELoss:
+    def test_known_value(self):
+        loss = MSELoss()
+        value = loss.forward(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert value == pytest.approx(2.5)
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        prediction = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 4))
+        loss = MSELoss()
+        loss.forward(prediction, target)
+        grad = loss.backward()
+        eps = 1e-6
+        probe = (1, 2)
+        perturbed = prediction.copy()
+        perturbed[probe] += eps
+        numeric = (
+            loss.forward(perturbed, target)
+            - loss.forward(prediction, target)
+        ) / eps
+        assert grad[probe] == pytest.approx(numeric, rel=1e-4)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().forward(np.zeros(3), np.zeros(4))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            MSELoss().backward()

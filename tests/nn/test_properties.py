@@ -1,0 +1,117 @@
+"""Property-based tests on NN building blocks (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Dense,
+    LayerNorm,
+    MultiHeadAttention,
+    Patchify,
+    Softmax,
+    Unpatchify,
+)
+
+
+def _finite_arrays(shape, scale=3.0):
+    return st.integers(min_value=0, max_value=2**31 - 1).map(
+        lambda seed: np.random.default_rng(seed).uniform(
+            -scale, scale, shape
+        )
+    )
+
+
+class TestSoftmaxProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(_finite_arrays((5, 9)))
+    def test_simplex_output(self, x):
+        out = Softmax().forward(x)
+        assert np.all(out >= 0)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(_finite_arrays((4, 7)), st.floats(-50, 50))
+    def test_shift_invariance(self, x, shift):
+        layer = Softmax()
+        assert np.allclose(
+            layer.forward(x), layer.forward(x + shift), atol=1e-12
+        )
+
+
+class TestLayerNormProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        _finite_arrays((6, 12)),
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=0.1, max_value=10),
+    )
+    def test_affine_input_invariance(self, x, shift, gain):
+        # LayerNorm output is invariant to affine rescaling of the input
+        # (exactly so as eps -> 0; use a tiny eps so the property holds
+        # to tight tolerance even for small gains).
+        layer = LayerNorm(12, eps=1e-12)
+        assert np.allclose(
+            layer.forward(x),
+            layer.forward(gain * x + shift),
+            atol=1e-5,
+        )
+
+
+class TestAttentionProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_token_permutation_equivariance(self, seed):
+        # Self-attention without positional information is permutation
+        # equivariant: permuting input tokens permutes outputs the same
+        # way.  (This is why Tiny-VBF needs its positional embedding.)
+        rng = np.random.default_rng(seed)
+        layer = MultiHeadAttention(8, 2, seed=3)
+        x = rng.normal(size=(2, 6, 8))
+        permutation = rng.permutation(6)
+        out = layer.forward(x)
+        out_permuted = layer.forward(x[:, permutation, :])
+        assert np.allclose(out_permuted, out[:, permutation, :],
+                           atol=1e-10)
+
+
+class TestDenseProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=-3, max_value=3),
+        st.floats(min_value=-3, max_value=3),
+    )
+    def test_linearity_without_bias(self, seed, a, b):
+        rng = np.random.default_rng(seed)
+        layer = Dense(5, 4, bias=False, seed=1)
+        x1, x2 = rng.normal(size=(3, 5)), rng.normal(size=(3, 5))
+        combined = layer.forward(a * x1 + b * x2)
+        separate = a * layer.forward(x1) + b * layer.forward(x2)
+        assert np.allclose(combined, separate, atol=1e-9)
+
+
+class TestPatchProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from([(2, 2), (4, 2), (2, 4), (8, 4)]),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_roundtrip_any_geometry(self, patch, channels, seed):
+        pz, px = patch
+        nz, nx = pz * 3, px * 5
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, nz, nx, channels))
+        tokens = Patchify(patch).forward(x)
+        back = Unpatchify(patch, (nz, nx), channels).forward(tokens)
+        assert np.allclose(back, x)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_patchify_preserves_energy(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 8, 8, 3))
+        tokens = Patchify((4, 4)).forward(x)
+        assert np.isclose((tokens**2).sum(), (x**2).sum())

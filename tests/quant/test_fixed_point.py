@@ -1,0 +1,94 @@
+"""Unit tests for fixed-point formats (incl. property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quant.fixed_point import FixedPointFormat
+
+
+class TestFormatBasics:
+    def test_resolution(self):
+        fmt = FixedPointFormat(total_bits=8, fraction_bits=6)
+        assert fmt.resolution == pytest.approx(1.0 / 64)
+
+    def test_range(self):
+        fmt = FixedPointFormat(total_bits=8, fraction_bits=6)
+        assert fmt.max_value == pytest.approx(127.0 / 64)
+        assert fmt.min_value == pytest.approx(-2.0)
+
+    def test_rejects_bad_configs(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=1, fraction_bits=0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=8, fraction_bits=8)
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=8, fraction_bits=-1)
+
+    def test_str_q_notation(self):
+        fmt = FixedPointFormat(total_bits=16, fraction_bits=10)
+        assert "Q5.10" in str(fmt)
+
+
+class TestQuantize:
+    def test_exact_values_unchanged(self):
+        fmt = FixedPointFormat(total_bits=8, fraction_bits=4)
+        values = np.array([0.0, 0.25, -1.5, 2.0])
+        assert np.allclose(fmt.quantize(values), values)
+
+    def test_rounding_to_nearest(self):
+        fmt = FixedPointFormat(total_bits=8, fraction_bits=2)
+        assert fmt.quantize(np.array([0.3]))[0] == pytest.approx(0.25)
+        assert fmt.quantize(np.array([0.4]))[0] == pytest.approx(0.5)
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(total_bits=8, fraction_bits=6)
+        assert fmt.quantize(np.array([100.0]))[0] == fmt.max_value
+        assert fmt.quantize(np.array([-100.0]))[0] == fmt.min_value
+
+    @given(
+        st.integers(min_value=4, max_value=24),
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3),
+            min_size=1,
+            max_size=32,
+        ),
+    )
+    def test_idempotent(self, bits, values):
+        fmt = FixedPointFormat(total_bits=bits, fraction_bits=bits // 2)
+        once = fmt.quantize(np.asarray(values))
+        twice = fmt.quantize(once)
+        assert np.array_equal(once, twice)
+
+    @given(
+        st.integers(min_value=4, max_value=24),
+        st.lists(
+            st.floats(min_value=-1.9, max_value=1.9),
+            min_size=1,
+            max_size=32,
+        ),
+    )
+    def test_error_bounded_by_half_step_inside_range(self, bits, values):
+        fmt = FixedPointFormat(total_bits=bits, fraction_bits=bits - 2)
+        values = np.asarray(values)
+        in_range = (values >= fmt.min_value) & (values <= fmt.max_value)
+        error = np.abs(fmt.quantize(values) - values)
+        assert np.all(
+            error[in_range] <= fmt.quantization_noise_bound() + 1e-15
+        )
+
+    @given(st.lists(st.floats(-8, 8), min_size=1, max_size=16))
+    def test_integer_roundtrip(self, values):
+        fmt = FixedPointFormat(total_bits=16, fraction_bits=10)
+        q = fmt.quantize(np.asarray(values))
+        assert np.allclose(fmt.from_integers(fmt.to_integers(values)), q)
+
+    def test_finer_format_smaller_error(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-1, 1, 1000)
+        coarse = FixedPointFormat(16, 10)
+        fine = FixedPointFormat(24, 18)
+        err_coarse = np.abs(coarse.quantize(values) - values).mean()
+        err_fine = np.abs(fine.quantize(values) - values).mean()
+        assert err_fine < err_coarse / 100

@@ -1,0 +1,49 @@
+"""Unit tests for multi-angle fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.models.registry import build_model
+from repro.training.finetune import compounded_target, finetune_on_multi_angle
+from repro.ultrasound.datasets import multi_angle_set
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return multi_angle_set(n_angles=3, scale="small", seed=17)
+
+
+class TestCompoundedTarget:
+    def test_normalized(self, bundle):
+        target = compounded_target(bundle)
+        assert np.abs(target).max() == pytest.approx(1.0)
+        assert target.shape == bundle.base.grid.shape
+
+    def test_compounding_uses_all_angles(self, bundle):
+        single = compounded_target(
+            type(bundle)(
+                base=bundle.base,
+                rf_stack=bundle.rf_stack[:1],
+                angles_rad=bundle.angles_rad[:1],
+            )
+        )
+        multi = compounded_target(bundle)
+        assert not np.allclose(single, multi)
+
+
+class TestFinetune:
+    def test_improves_fit_to_compound_reference(self, bundle):
+        model = build_model("fcnn", "small", seed=2)
+        history = finetune_on_multi_angle(
+            model,
+            "fcnn",
+            bundles=[bundle],
+            epochs=6,
+            learning_rate=3e-4,
+        )
+        assert history.final_loss < history.loss[0]
+
+    def test_rejects_empty_bundles(self):
+        model = build_model("fcnn", "small", seed=2)
+        with pytest.raises(ValueError):
+            finetune_on_multi_angle(model, "fcnn", bundles=[])

@@ -1,0 +1,110 @@
+"""Unit tests for ground-truth generation and the training pipeline.
+
+These use deliberately tiny corpora/epoch counts — the full cached
+training run is exercised by the benchmarks and integration tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.training.groundtruth import model_arrays, prepare_frame
+from repro.training.pipeline import assemble_arrays, train_beamformer
+from repro.ultrasound.datasets import training_frames
+
+
+@pytest.fixture(scope="module")
+def frame_pair():
+    frame = training_frames(1, seed=3)[0]
+    return frame, prepare_frame(frame)
+
+
+class TestPrepareFrame:
+    def test_input_normalized(self, frame_pair):
+        _, pair = frame_pair
+        assert np.abs(pair.tofc).max() == pytest.approx(1.0)
+
+    def test_targets_normalized(self, frame_pair):
+        _, pair = frame_pair
+        assert np.abs(pair.target_carrier).max() == pytest.approx(1.0)
+        assert np.abs(pair.target_baseband).max() == pytest.approx(1.0)
+
+    def test_baseband_and_carrier_share_envelope(self, frame_pair):
+        _, pair = frame_pair
+        assert np.allclose(
+            np.abs(pair.target_baseband), np.abs(pair.target_carrier)
+        )
+
+    def test_shapes_match_grid(self, frame_pair):
+        frame, pair = frame_pair
+        assert pair.tofc.shape == (*frame.grid.shape, frame.probe.n_elements)
+        assert pair.target_carrier.shape == frame.grid.shape
+
+
+class TestModelArrays:
+    def test_tiny_vbf_iq_channel_layout(self, frame_pair):
+        _, pair = frame_pair
+        x, y = model_arrays("tiny_vbf", pair)
+        n_channels = pair.tofc.shape[-1]
+        assert x.shape[-1] == 2 * n_channels
+        assert np.allclose(x[..., :n_channels], pair.tofc.real)
+        assert y.shape[-1] == 2
+
+    def test_baseline_stacked_layout(self, frame_pair):
+        _, pair = frame_pair
+        x, y = model_arrays("tiny_cnn", pair)
+        assert x.shape[-2:] == (pair.tofc.shape[-1], 2)
+        assert y.shape[-1] == 2
+
+    def test_rejects_unknown_kind(self, frame_pair):
+        _, pair = frame_pair
+        with pytest.raises(ValueError):
+            model_arrays("unet", pair)
+
+    def test_assemble_stacks_batch_axis(self, frame_pair):
+        _, pair = frame_pair
+        x, y = assemble_arrays("fcnn", [pair, pair])
+        assert x.shape[0] == 2 and y.shape[0] == 2
+
+    def test_assemble_rejects_empty(self):
+        with pytest.raises(ValueError):
+            assemble_arrays("fcnn", [])
+
+
+class TestTrainBeamformer:
+    def test_short_run_reduces_loss(self):
+        result = train_beamformer(
+            "fcnn", n_frames=2, epochs=8, seed=5, initial_lr=1e-3
+        )
+        assert result.history.final_loss < result.history.loss[0]
+        assert result.epochs == 8
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            train_beamformer("unet", n_frames=1, epochs=1)
+
+    def test_deterministic(self):
+        def run():
+            result = train_beamformer(
+                "fcnn", n_frames=2, epochs=2, seed=9
+            )
+            return [p.value.copy() for p in result.model.parameters()]
+
+        a, b = run(), run()
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestCache:
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.training.cache import get_trained_model, trained_weights_path
+
+        model = get_trained_model(
+            "fcnn", scale="small", seed=11, n_frames=2, epochs=2
+        )
+        path = trained_weights_path("fcnn", "small", 11)
+        assert path.exists()
+        assert path.with_suffix(".json").exists()
+
+        reloaded = get_trained_model("fcnn", scale="small", seed=11)
+        for p, q in zip(model.parameters(), reloaded.parameters()):
+            assert np.array_equal(p.value, q.value)

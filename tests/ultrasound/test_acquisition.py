@@ -1,0 +1,118 @@
+"""Unit tests for repro.ultrasound.acquisition."""
+
+import numpy as np
+import pytest
+
+from repro.ultrasound.acquisition import (
+    PlaneWaveAcquisition,
+    simulate_multi_angle_rf,
+    simulate_rf,
+)
+from repro.ultrasound.medium import Medium
+from repro.ultrasound.phantoms import Phantom, point_phantom
+from repro.ultrasound.probe import small_probe
+
+
+@pytest.fixture
+def acquisition():
+    return PlaneWaveAcquisition(
+        probe=small_probe(16), max_depth_m=30e-3
+    )
+
+
+class TestRecordGeometry:
+    def test_record_covers_round_trip(self, acquisition):
+        c = acquisition.medium.sound_speed_m_s
+        t_round_trip = 2 * acquisition.max_depth_m / c
+        assert acquisition.time_axis_s[-1] > t_round_trip
+
+    def test_time_axis_matches_sampling(self, acquisition):
+        dt = np.diff(acquisition.time_axis_s)
+        assert np.allclose(dt, 1.0 / acquisition.probe.sampling_frequency_hz)
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ValueError):
+            PlaneWaveAcquisition(probe=small_probe(8), max_depth_m=0.0)
+
+
+class TestSimulateRf:
+    def test_empty_phantom_gives_silence(self, acquisition):
+        phantom = Phantom(np.zeros((0, 2)), np.zeros(0))
+        rf = simulate_rf(acquisition, phantom)
+        assert rf.shape == (acquisition.n_samples, 16)
+        assert np.all(rf == 0.0)
+
+    def test_on_axis_echo_arrives_at_round_trip_time(self, acquisition):
+        depth = 20e-3
+        rf = simulate_rf(acquisition, point_phantom([(0.0, depth)]))
+        c = acquisition.medium.sound_speed_m_s
+        fs = acquisition.probe.sampling_frequency_hz
+        # Center-most element: round trip is almost exactly 2 z / c.
+        center = acquisition.probe.n_elements // 2
+        envelope = np.abs(rf[:, center])
+        peak_time = np.argmax(envelope) / fs
+        element_x = acquisition.probe.element_positions_m[center]
+        expected = (depth + np.hypot(element_x, depth)) / c
+        assert peak_time == pytest.approx(expected, abs=2.0 / fs)
+
+    def test_edge_elements_receive_later(self, acquisition):
+        rf = simulate_rf(acquisition, point_phantom([(0.0, 15e-3)]))
+        peak = np.argmax(np.abs(rf), axis=0)
+        assert peak[0] > peak[7]
+        assert peak[-1] > peak[8]
+
+    def test_echo_amplitude_decreases_with_depth(self, acquisition):
+        shallow = simulate_rf(acquisition, point_phantom([(0.0, 10e-3)]))
+        deep = simulate_rf(acquisition, point_phantom([(0.0, 25e-3)]))
+        assert np.abs(deep).max() < np.abs(shallow).max()
+
+    def test_linearity_superposition(self, acquisition):
+        a = point_phantom([(1e-3, 12e-3)])
+        b = point_phantom([(-2e-3, 22e-3)], amplitude=0.5)
+        rf_a = simulate_rf(acquisition, a)
+        rf_b = simulate_rf(acquisition, b)
+        rf_ab = simulate_rf(acquisition, a.combined_with(b))
+        assert np.allclose(rf_ab, rf_a + rf_b, atol=1e-12)
+
+    def test_amplitude_scales_linearly(self, acquisition):
+        one = simulate_rf(acquisition, point_phantom([(0.0, 18e-3)], 1.0))
+        three = simulate_rf(acquisition, point_phantom([(0.0, 18e-3)], 3.0))
+        assert np.allclose(three, 3.0 * one, rtol=1e-12, atol=1e-15)
+
+    def test_attenuating_medium_reduces_amplitude(self):
+        probe = small_probe(16)
+        lossless = PlaneWaveAcquisition(probe=probe, max_depth_m=30e-3)
+        lossy = PlaneWaveAcquisition(
+            probe=probe,
+            medium=Medium(attenuation_db_cm_mhz=0.7),
+            max_depth_m=30e-3,
+        )
+        phantom = point_phantom([(0.0, 25e-3)])
+        assert (
+            np.abs(simulate_rf(lossy, phantom)).max()
+            < np.abs(simulate_rf(lossless, phantom)).max()
+        )
+
+    def test_steering_shifts_arrival_asymmetry(self, acquisition):
+        # A steered transmit reaches a -x target earlier than a +x target,
+        # so the first-element peak moves earlier for the -x scatterer.
+        angle = np.deg2rad(8.0)
+        left = simulate_rf(acquisition, point_phantom([(-3e-3, 20e-3)]), angle)
+        right = simulate_rf(acquisition, point_phantom([(3e-3, 20e-3)]), angle)
+        t_left = np.argmax(np.abs(left).max(axis=1) > 0.0)
+        t_right = np.argmax(np.abs(right).max(axis=1) > 0.0)
+        assert t_left < t_right
+
+
+class TestMultiAngle:
+    def test_stack_shape(self, acquisition):
+        phantom = point_phantom([(0.0, 15e-3)])
+        angles = np.deg2rad([-5.0, 0.0, 5.0])
+        stack = simulate_multi_angle_rf(acquisition, phantom, angles)
+        assert stack.shape == (3, acquisition.n_samples, 16)
+
+    def test_zero_angle_matches_single_shot(self, acquisition):
+        phantom = point_phantom([(1e-3, 15e-3)])
+        stack = simulate_multi_angle_rf(acquisition, phantom, [0.0])
+        single = simulate_rf(acquisition, phantom, 0.0)
+        assert np.array_equal(stack[0], single)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.ultrasound.noise."""
+
+import numpy as np
+import pytest
+
+from repro.ultrasound.noise import (
+    add_reverberation_clutter,
+    add_thermal_noise,
+    apply_element_variation,
+    in_vitro_impairments,
+)
+
+
+@pytest.fixture
+def clean_rf():
+    rng = np.random.default_rng(0)
+    rf = np.zeros((512, 8))
+    rf[100:140] = rng.normal(0, 1.0, (40, 8))
+    return rf
+
+
+class TestThermalNoise:
+    def test_measured_snr_close_to_requested(self, clean_rf):
+        noisy = add_thermal_noise(clean_rf, snr_db=20.0, seed=1)
+        noise = noisy - clean_rf
+        signal_power = np.mean(clean_rf[100:140] ** 2)
+        measured = 10 * np.log10(signal_power / np.mean(noise**2))
+        assert measured == pytest.approx(20.0, abs=1.0)
+
+    def test_silent_input_unchanged(self):
+        out = add_thermal_noise(np.zeros((64, 4)), snr_db=20.0)
+        assert np.all(out == 0.0)
+
+    def test_deterministic_for_seed(self, clean_rf):
+        a = add_thermal_noise(clean_rf, 25.0, seed=9)
+        b = add_thermal_noise(clean_rf, 25.0, seed=9)
+        assert np.array_equal(a, b)
+
+
+class TestReverberation:
+    def test_adds_delayed_copy(self):
+        rf = np.zeros((256, 2))
+        rf[10, 0] = 1.0
+        out = add_reverberation_clutter(rf, delay_samples=50,
+                                        relative_amplitude=0.1, n_echoes=2)
+        assert out[60, 0] == pytest.approx(0.1)
+        assert out[110, 0] == pytest.approx(0.01)
+
+    def test_original_signal_preserved(self):
+        rf = np.zeros((128, 2))
+        rf[5, 1] = 2.0
+        out = add_reverberation_clutter(rf, 40, 0.2)
+        assert out[5, 1] == pytest.approx(2.0)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError, match="relative_amplitude"):
+            add_reverberation_clutter(np.zeros((10, 1)), 2, 1.0)
+
+    def test_rejects_bad_delay(self):
+        with pytest.raises(ValueError, match="delay_samples"):
+            add_reverberation_clutter(np.zeros((10, 1)), 0, 0.5)
+
+    def test_delay_beyond_record_is_noop(self):
+        rf = np.zeros((32, 1))
+        rf[3, 0] = 1.0
+        out = add_reverberation_clutter(rf, 100, 0.5)
+        assert np.array_equal(out, rf)
+
+
+class TestElementVariation:
+    def test_preserves_shape_and_energy_scale(self, clean_rf):
+        out = apply_element_variation(clean_rf, seed=2)
+        assert out.shape == clean_rf.shape
+        ratio = np.linalg.norm(out) / np.linalg.norm(clean_rf)
+        assert 0.7 < ratio < 1.3
+
+    def test_zero_variation_is_identity(self, clean_rf):
+        out = apply_element_variation(
+            clean_rf, gain_std=0.0, jitter_std_samples=0.0, seed=2
+        )
+        assert np.allclose(out, clean_rf, atol=1e-10)
+
+    def test_rejects_negative_std(self, clean_rf):
+        with pytest.raises(ValueError):
+            apply_element_variation(clean_rf, gain_std=-0.1)
+
+
+class TestImpairmentChain:
+    def test_full_chain_changes_data_deterministically(self, clean_rf):
+        a = in_vitro_impairments(clean_rf, seed=4)
+        b = in_vitro_impairments(clean_rf, seed=4)
+        assert np.array_equal(a, b)
+        assert not np.allclose(a, clean_rf)

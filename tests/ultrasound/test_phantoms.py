@@ -1,0 +1,119 @@
+"""Unit tests for repro.ultrasound.phantoms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ultrasound.phantoms import (
+    Phantom,
+    cyst_phantom,
+    point_phantom,
+    resolution_point_layout,
+    speckle_field,
+)
+
+
+class TestPhantom:
+    def test_rejects_mismatched_amplitudes(self):
+        with pytest.raises(ValueError, match="amplitudes"):
+            Phantom(np.zeros((3, 2)), np.zeros(2))
+
+    def test_rejects_bad_positions_shape(self):
+        with pytest.raises(ValueError, match="positions"):
+            Phantom(np.zeros((3, 3)), np.zeros(3))
+
+    def test_combined_with_concatenates(self):
+        a = point_phantom([(0.0, 1e-3)])
+        b = point_phantom([(1e-3, 2e-3), (2e-3, 3e-3)])
+        combined = a.combined_with(b)
+        assert combined.n_scatterers == 3
+
+
+class TestPointPhantom:
+    def test_single_point(self):
+        phantom = point_phantom([(1e-3, 20e-3)], amplitude=2.0)
+        assert phantom.n_scatterers == 1
+        assert phantom.amplitudes[0] == 2.0
+
+    def test_accepts_1d_single_point(self):
+        phantom = point_phantom(np.array([1e-3, 20e-3]))
+        assert phantom.positions_m.shape == (1, 2)
+
+
+class TestSpeckleField:
+    def test_scatterers_inside_bounds(self):
+        phantom = speckle_field((-5e-3, 5e-3), (10e-3, 30e-3), 500, seed=1)
+        x, z = phantom.positions_m[:, 0], phantom.positions_m[:, 1]
+        assert np.all((x >= -5e-3) & (x <= 5e-3))
+        assert np.all((z >= 10e-3) & (z <= 30e-3))
+
+    def test_deterministic_for_seed(self):
+        a = speckle_field((-5e-3, 5e-3), (10e-3, 30e-3), 100, seed=3)
+        b = speckle_field((-5e-3, 5e-3), (10e-3, 30e-3), 100, seed=3)
+        assert np.array_equal(a.positions_m, b.positions_m)
+
+    def test_amplitudes_zero_mean(self):
+        phantom = speckle_field((-5e-3, 5e-3), (5e-3, 45e-3), 20000, seed=5)
+        assert abs(phantom.amplitudes.mean()) < 0.05
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            speckle_field((-1e-3, 1e-3), (1e-3, 2e-3), 0)
+
+
+class TestCystPhantom:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=-3e-3, max_value=3e-3),
+        st.floats(min_value=12e-3, max_value=25e-3),
+        st.floats(min_value=1e-3, max_value=4e-3),
+    )
+    def test_no_scatterer_inside_any_cyst(self, cx, cz, radius):
+        phantom = cyst_phantom(
+            (-8e-3, 8e-3),
+            (5e-3, 30e-3),
+            np.array([[cx, cz]]),
+            radius,
+            2000,
+            seed=11,
+        )
+        d2 = (
+            (phantom.positions_m[:, 0] - cx) ** 2
+            + (phantom.positions_m[:, 1] - cz) ** 2
+        )
+        assert np.all(d2 >= radius**2)
+
+    def test_multiple_cysts_all_cleared(self):
+        centers = np.array([[0.0, 13e-3], [0.0, 25e-3]])
+        phantom = cyst_phantom(
+            (-8e-3, 8e-3), (5e-3, 30e-3), centers, 3e-3, 3000, seed=2
+        )
+        for cx, cz in centers:
+            d2 = (
+                (phantom.positions_m[:, 0] - cx) ** 2
+                + (phantom.positions_m[:, 1] - cz) ** 2
+            )
+            assert np.all(d2 >= (3e-3) ** 2)
+
+    def test_removes_some_scatterers(self):
+        base = speckle_field((-8e-3, 8e-3), (5e-3, 30e-3), 3000, seed=2)
+        phantom = cyst_phantom(
+            (-8e-3, 8e-3),
+            (5e-3, 30e-3),
+            np.array([[0.0, 15e-3]]),
+            3e-3,
+            3000,
+            seed=2,
+        )
+        assert phantom.n_scatterers < base.n_scatterers
+
+
+class TestResolutionLayout:
+    def test_grid_count(self):
+        points = resolution_point_layout((15e-3, 35e-3), (-2e-3, 0.0, 2e-3))
+        assert points.shape == (6, 2)
+
+    def test_rows_at_requested_depths(self):
+        points = resolution_point_layout((15e-3, 35e-3), (0.0,))
+        assert set(points[:, 1]) == {15e-3, 35e-3}

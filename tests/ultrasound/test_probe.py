@@ -1,0 +1,56 @@
+"""Unit tests for repro.ultrasound.probe."""
+
+import numpy as np
+import pytest
+
+from repro.ultrasound.probe import LinearProbe, l11_5v, small_probe
+
+
+class TestLinearProbe:
+    def test_element_positions_centered(self):
+        probe = small_probe(8)
+        positions = probe.element_positions_m
+        assert positions.shape == (8,)
+        assert np.isclose(positions.mean(), 0.0)
+        assert np.allclose(positions, -positions[::-1])
+
+    def test_element_spacing_matches_pitch(self):
+        probe = small_probe(16)
+        assert np.allclose(np.diff(probe.element_positions_m), probe.pitch_m)
+
+    def test_aperture(self):
+        probe = small_probe(32)
+        assert probe.aperture_m == pytest.approx(31 * 0.3e-3)
+
+    def test_wavelength(self):
+        probe = l11_5v()
+        assert probe.wavelength_m(1540.0) == pytest.approx(
+            1540.0 / 7.6e6
+        )
+
+    def test_rejects_single_element(self):
+        with pytest.raises(ValueError, match="n_elements"):
+            LinearProbe(1, 0.3e-3, 0.27e-3, 7.6e6, 31.25e6)
+
+    def test_rejects_element_wider_than_pitch(self):
+        with pytest.raises(ValueError, match="element_width"):
+            LinearProbe(8, 0.3e-3, 0.4e-3, 7.6e6, 31.25e6)
+
+    def test_rejects_sub_nyquist_sampling(self):
+        with pytest.raises(ValueError, match="Nyquist"):
+            LinearProbe(8, 0.3e-3, 0.27e-3, 7.6e6, 10e6)
+
+
+class TestPresets:
+    def test_l11_5v_matches_paper_acquisition(self):
+        probe = l11_5v()
+        assert probe.n_elements == 128
+        assert probe.center_frequency_hz == pytest.approx(7.6e6)
+        assert probe.sampling_frequency_hz == pytest.approx(31.25e6)
+
+    def test_small_probe_same_frequency_family(self):
+        small = small_probe(32)
+        paper = l11_5v()
+        assert small.pitch_m == paper.pitch_m
+        assert small.center_frequency_hz == paper.center_frequency_hz
+        assert small.n_elements == 32

@@ -1,0 +1,69 @@
+"""Unit tests for repro.ultrasound.pulse."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ultrasound.pulse import GaussianPulse
+
+
+class TestGaussianPulse:
+    def test_peak_at_zero(self):
+        pulse = GaussianPulse(5e6)
+        t = np.linspace(-1e-6, 1e-6, 2001)
+        waveform = pulse.waveform(t)
+        assert np.argmax(np.abs(waveform)) == 1000
+
+    def test_envelope_symmetric(self):
+        pulse = GaussianPulse(5e6, 0.6)
+        t = np.linspace(-5e-7, 5e-7, 501)
+        env = pulse.envelope(t)
+        assert np.allclose(env, env[::-1])
+
+    def test_waveform_bounded_by_envelope(self):
+        pulse = GaussianPulse(7.6e6)
+        t = np.linspace(-4e-7, 4e-7, 997)
+        assert np.all(np.abs(pulse.waveform(t)) <= pulse.envelope(t) + 1e-12)
+
+    def test_support_samples_is_odd(self):
+        pulse = GaussianPulse(7.6e6)
+        assert pulse.support_samples(31.25e6) % 2 == 1
+
+    def test_support_covers_tail(self):
+        pulse = GaussianPulse(7.6e6)
+        assert pulse.envelope(pulse.half_duration_s) < 1e-3
+
+    def test_spectrum_centered_on_carrier(self):
+        pulse = GaussianPulse(6e6, 0.5)
+        fs = 80e6
+        t = (np.arange(4096) - 2048) / fs
+        spectrum = np.abs(np.fft.rfft(pulse.waveform(t)))
+        freqs = np.fft.rfftfreq(4096, 1 / fs)
+        assert freqs[np.argmax(spectrum)] == pytest.approx(6e6, rel=0.02)
+
+    def test_minus_6db_bandwidth_matches_fractional_bandwidth(self):
+        fractional = 0.67
+        pulse = GaussianPulse(7.6e6, fractional)
+        fs = 125e6
+        t = (np.arange(8192) - 4096) / fs
+        spectrum = np.abs(np.fft.rfft(pulse.waveform(t)))
+        freqs = np.fft.rfftfreq(8192, 1 / fs)
+        peak = spectrum.max()
+        above = freqs[spectrum >= peak / 2.0]
+        measured = (above[-1] - above[0]) / 7.6e6
+        assert measured == pytest.approx(fractional, rel=0.05)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            GaussianPulse(0.0)
+
+    def test_rejects_extreme_bandwidth(self):
+        with pytest.raises(ValueError, match="fractional_bandwidth"):
+            GaussianPulse(5e6, 3.0)
+
+    @given(st.floats(min_value=0.1, max_value=1.5))
+    def test_narrower_bandwidth_means_longer_pulse(self, bandwidth):
+        pulse = GaussianPulse(5e6, bandwidth)
+        reference = GaussianPulse(5e6, 1.5)
+        assert pulse.sigma_s >= reference.sigma_s - 1e-15

@@ -1,0 +1,113 @@
+"""Unit tests for repro.ultrasound.wavefield and .medium."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ultrasound.medium import Medium
+from repro.ultrasound.wavefield import (
+    element_directivity,
+    geometric_spreading,
+    plane_wave_tx_delay,
+    rx_delay,
+)
+
+
+class TestTxDelay:
+    def test_zero_angle_is_depth_over_c(self):
+        tau = plane_wave_tx_delay(np.array([5e-3]), np.array([20e-3]), 0.0, 1540.0)
+        assert tau[0] == pytest.approx(20e-3 / 1540.0)
+
+    def test_steering_orders_arrival_by_lateral_position(self):
+        # With a +10 deg steer the wavefront propagates toward +x: at t=0
+        # it passes the origin, so -x points were hit earlier and +x
+        # points are hit later.
+        angle = np.deg2rad(10.0)
+        later = plane_wave_tx_delay(np.array([5e-3]), np.array([20e-3]), angle, 1540.0)
+        earlier = plane_wave_tx_delay(np.array([-5e-3]), np.array([20e-3]), angle, 1540.0)
+        assert earlier[0] < later[0]
+
+    @given(st.floats(min_value=-0.3, max_value=0.3))
+    def test_reduces_to_depth_delay_on_axis(self, angle):
+        tau = plane_wave_tx_delay(np.array([0.0]), np.array([30e-3]), angle, 1540.0)
+        assert tau[0] == pytest.approx(
+            30e-3 * np.cos(angle) / 1540.0, rel=1e-12
+        )
+
+
+class TestRxDelay:
+    def test_directly_above_element(self):
+        tau = rx_delay(np.array([1e-3]), np.array([10e-3]), np.array([1e-3]), 1540.0)
+        assert tau[0, 0] == pytest.approx(10e-3 / 1540.0)
+
+    def test_symmetric_elements_equal_delay(self):
+        elements = np.array([-2e-3, 2e-3])
+        tau = rx_delay(np.array([0.0]), np.array([15e-3]), elements, 1540.0)
+        assert tau[0, 0] == pytest.approx(tau[0, 1])
+
+    @given(
+        st.floats(min_value=-10e-3, max_value=10e-3),
+        st.floats(min_value=1e-3, max_value=50e-3),
+        st.floats(min_value=-10e-3, max_value=10e-3),
+    )
+    def test_never_faster_than_depth(self, x, z, ex):
+        tau = rx_delay(np.array([x]), np.array([z]), np.array([ex]), 1540.0)
+        assert tau[0, 0] >= z / 1540.0 - 1e-15
+
+
+class TestDirectivity:
+    def test_maximal_at_broadside(self):
+        elements = np.array([0.0])
+        on_axis = element_directivity(
+            np.array([0.0]), np.array([10e-3]), elements, 0.27e-3, 0.2e-3
+        )
+        off_axis = element_directivity(
+            np.array([8e-3]), np.array([10e-3]), elements, 0.27e-3, 0.2e-3
+        )
+        assert on_axis[0, 0] == pytest.approx(1.0)
+        assert abs(off_axis[0, 0]) < on_axis[0, 0]
+
+    def test_symmetric_in_lateral_offset(self):
+        elements = np.array([0.0])
+        left = element_directivity(
+            np.array([-4e-3]), np.array([12e-3]), elements, 0.27e-3, 0.2e-3
+        )
+        right = element_directivity(
+            np.array([4e-3]), np.array([12e-3]), elements, 0.27e-3, 0.2e-3
+        )
+        assert left[0, 0] == pytest.approx(right[0, 0])
+
+
+class TestSpreading:
+    def test_decreases_with_distance(self):
+        gains = geometric_spreading(np.array([1e-3, 4e-3, 16e-3]))
+        assert gains[0] > gains[1] > gains[2]
+
+    def test_sqrt_law(self):
+        gains = geometric_spreading(np.array([1e-3, 4e-3]))
+        assert gains[0] / gains[1] == pytest.approx(2.0)
+
+    def test_clamped_below_reference(self):
+        assert geometric_spreading(np.array([0.0]))[0] == pytest.approx(1.0)
+
+
+class TestMedium:
+    def test_lossless_medium_unity_gain(self):
+        medium = Medium(attenuation_db_cm_mhz=0.0)
+        assert medium.attenuation_amplitude(0.1, 7.6e6) == pytest.approx(1.0)
+
+    def test_known_attenuation_value(self):
+        medium = Medium(attenuation_db_cm_mhz=0.5)
+        # 0.5 dB/cm/MHz * 2 cm * 5 MHz = 5 dB.
+        assert medium.attenuation_amplitude(0.02, 5e6) == pytest.approx(
+            10 ** (-5.0 / 20.0)
+        )
+
+    def test_rejects_negative_attenuation(self):
+        with pytest.raises(ValueError):
+            Medium(attenuation_db_cm_mhz=-0.1)
+
+    def test_rejects_nonpositive_sound_speed(self):
+        with pytest.raises(ValueError):
+            Medium(sound_speed_m_s=0.0)

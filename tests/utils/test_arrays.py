@@ -1,0 +1,88 @@
+"""Unit tests for repro.utils.arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.arrays import (
+    db,
+    from_db,
+    hann_window,
+    normalize_minus1_1,
+    normalize_unit_max,
+)
+
+
+class TestDb:
+    def test_unit_amplitude_is_zero_db(self):
+        assert db(1.0) == pytest.approx(0.0)
+
+    def test_half_amplitude_is_minus_six_db(self):
+        assert db(0.5) == pytest.approx(-6.0206, abs=1e-3)
+
+    def test_zero_amplitude_is_finite(self):
+        assert np.isfinite(db(0.0))
+        assert db(0.0) < -200.0
+
+    def test_negative_amplitude_uses_magnitude(self):
+        assert db(-2.0) == pytest.approx(db(2.0))
+
+    def test_array_input(self):
+        out = db(np.array([1.0, 10.0, 100.0]))
+        assert np.allclose(out, [0.0, 20.0, 40.0])
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_roundtrip(self, amplitude):
+        assert from_db(db(amplitude)) == pytest.approx(
+            amplitude, rel=1e-9
+        )
+
+
+class TestNormalize:
+    def test_unit_max(self):
+        out = normalize_unit_max(np.array([1.0, -4.0, 2.0]))
+        assert np.max(np.abs(out)) == pytest.approx(1.0)
+        assert out[1] == pytest.approx(-1.0)
+
+    def test_all_zero_input_unchanged(self):
+        out = normalize_unit_max(np.zeros(5))
+        assert np.all(out == 0.0)
+
+    def test_preserves_sign_structure(self):
+        values = np.array([-3.0, 0.0, 1.5])
+        out = normalize_minus1_1(values)
+        assert np.all(np.sign(out) == np.sign(values))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=1,
+            max_size=32,
+        ).filter(lambda v: max(abs(x) for x in v) > 1e-9)
+    )
+    def test_output_always_within_unit_interval(self, values):
+        out = normalize_minus1_1(np.asarray(values))
+        assert np.max(np.abs(out)) <= 1.0 + 1e-12
+
+
+class TestHannWindow:
+    def test_length_one_is_unity(self):
+        assert np.allclose(hann_window(1), [1.0])
+
+    def test_endpoints_are_zero(self):
+        win = hann_window(16)
+        assert win[0] == pytest.approx(0.0)
+        assert win[-1] == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        win = hann_window(33)
+        assert np.allclose(win, win[::-1])
+
+    def test_peak_at_center(self):
+        win = hann_window(31)
+        assert win[15] == pytest.approx(1.0)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            hann_window(0)

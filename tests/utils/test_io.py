@@ -1,0 +1,61 @@
+"""Unit tests for repro.utils.io."""
+
+import numpy as np
+import pytest
+
+from repro.utils.io import load_npz, save_npz, write_csv, write_pgm
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        arrays = {
+            "a": np.arange(6).reshape(2, 3),
+            "b": np.linspace(0, 1, 5),
+        }
+        path = save_npz(tmp_path / "bundle.npz", arrays)
+        loaded = load_npz(path)
+        assert set(loaded) == {"a", "b"}
+        assert np.array_equal(loaded["a"], arrays["a"])
+        assert np.allclose(loaded["b"], arrays["b"])
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_npz(tmp_path / "deep" / "dir" / "x.npz", {"a": np.ones(2)})
+        assert path.exists()
+
+
+class TestCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = write_csv(
+            tmp_path / "series.csv",
+            {"x": [1.0, 2.0], "y": [3.0, 4.0]},
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,3"
+
+    def test_rejects_unequal_columns(self, tmp_path):
+        with pytest.raises(ValueError, match="column lengths"):
+            write_csv(tmp_path / "bad.csv", {"x": [1.0], "y": [1.0, 2.0]})
+
+
+class TestPgm:
+    def test_header_and_size(self, tmp_path):
+        image = np.linspace(-60.0, 0.0, 12).reshape(3, 4)
+        path = write_pgm(tmp_path / "img.pgm", image, dynamic_range_db=60.0)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n4 3\n255\n")
+        assert len(data) == len(b"P5\n4 3\n255\n") + 12
+
+    def test_peak_maps_to_white_and_floor_to_black(self, tmp_path):
+        image = np.array([[0.0, -60.0]])
+        path = write_pgm(tmp_path / "img.pgm", image, dynamic_range_db=60.0)
+        payload = path.read_bytes()[-2:]
+        assert payload == bytes([255, 0])
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError, match="2-D"):
+            write_pgm(tmp_path / "img.pgm", np.zeros((2, 2, 2)))
+
+    def test_rejects_bad_dynamic_range(self, tmp_path):
+        with pytest.raises(ValueError, match="dynamic_range"):
+            write_pgm(tmp_path / "img.pgm", np.zeros((2, 2)), 0.0)

@@ -1,0 +1,66 @@
+"""Unit tests for repro.utils.rng and repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.validation import check_positive, check_shape, require_in
+
+
+class TestMakeRng:
+    def test_none_is_deterministic(self):
+        a = make_rng(None).integers(0, 1000, 10)
+        b = make_rng(None).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_same_seed_same_stream(self):
+        assert np.array_equal(
+            make_rng(42).integers(0, 1000, 10),
+            make_rng(42).integers(0, 1000, 10),
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            make_rng(1).integers(0, 1000, 10),
+            make_rng(2).integers(0, 1000, 10),
+        )
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(7)
+        assert make_rng(rng) is rng
+
+    def test_spawn_is_independent(self):
+        parent = make_rng(3)
+        child = spawn_rng(parent)
+        assert child is not parent
+        # The child stream should not replay the parent stream.
+        assert not np.array_equal(
+            child.integers(0, 10**9, 8), make_rng(3).integers(0, 10**9, 8)
+        )
+
+
+class TestValidation:
+    def test_check_positive_passes_through(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_check_shape_accepts_wildcards(self):
+        arr = np.zeros((3, 4))
+        out = check_shape("arr", arr, (None, 4))
+        assert out is not None
+
+    def test_check_shape_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("arr", np.zeros(3), (None, None))
+
+    def test_check_shape_rejects_wrong_axis(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("arr", np.zeros((3, 4)), (3, 5))
+
+    def test_require_in(self):
+        assert require_in("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError, match="mode must be one of"):
+            require_in("mode", "c", ("a", "b"))
