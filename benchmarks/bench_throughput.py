@@ -1,0 +1,116 @@
+"""Throughput benchmark: ToF-plan reuse vs per-frame recomputation.
+
+Measures DAS frames/sec over a batch of same-geometry frames in two
+configurations:
+
+* **cold** — the plan cache is cleared before every frame, so each frame
+  pays the full per-pixel delay recomputation (the pre-`repro.api`
+  behavior of every legacy entry point),
+* **warm** — ``Beamformer.beamform_batch`` with the plan built once and
+  reused across the whole batch.
+
+Writes ``benchmarks/BENCH_throughput.json`` so the perf trajectory of
+the serving path is tracked across PRs.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_throughput.py [n_frames]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import create_beamformer
+from repro.beamform.tof import clear_tof_plan_cache, tof_plan_cache_stats
+from repro.ultrasound import simulation_contrast
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_throughput.json"
+
+
+def make_frames(n_frames: int) -> list:
+    """Same-geometry frames: one simulation, per-frame rf perturbations."""
+    base = simulation_contrast()
+    rng = np.random.default_rng(0)
+    frames = [base]
+    for _ in range(n_frames - 1):
+        noise = 1.0 + 0.01 * rng.standard_normal(base.rf.shape)
+        frames.append(replace(base, rf=base.rf * noise))
+    return frames
+
+
+def bench_cold(beamformer, frames) -> float:
+    """Per-frame geometry recomputation (cache cleared every frame)."""
+    start = time.perf_counter()
+    for frame in frames:
+        clear_tof_plan_cache()
+        beamformer.beamform(frame)
+    return time.perf_counter() - start
+
+
+def bench_warm(beamformer, frames) -> float:
+    """Batch execution over one cached plan."""
+    clear_tof_plan_cache()
+    start = time.perf_counter()
+    beamformer.beamform_batch(frames)
+    return time.perf_counter() - start
+
+
+def best_of(bench, beamformer, frames, repeats: int = 3) -> float:
+    """Minimum wall-clock over ``repeats`` runs (noise-robust on shared
+    CI runners — a single pass can be stalled by a noisy neighbor)."""
+    return min(bench(beamformer, frames) for _ in range(repeats))
+
+
+def main(n_frames: int = 16) -> dict:
+    frames = make_frames(n_frames)
+    beamformer = create_beamformer("das")
+
+    # Warm-up pass so first-touch costs (imports, BLAS init) are paid
+    # outside the timed regions.
+    beamformer.beamform(frames[0])
+
+    cold_s = best_of(bench_cold, beamformer, frames)
+    warm_s = best_of(bench_warm, beamformer, frames)
+    stats = tof_plan_cache_stats()
+
+    result = {
+        "bench": "tof_plan_throughput",
+        "beamformer": "das",
+        "n_frames": n_frames,
+        "grid_shape": list(frames[0].grid.shape),
+        "n_elements": frames[0].probe.n_elements,
+        "cold_frames_per_s": n_frames / cold_s,
+        "warm_frames_per_s": n_frames / warm_s,
+        "speedup": cold_s / warm_s,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "plan_cache": {
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "plan_nbytes": stats["nbytes"],
+        },
+    }
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(
+        f"cold (per-frame recompute): {result['cold_frames_per_s']:.2f} "
+        f"frames/s\nwarm (cached TofPlan):      "
+        f"{result['warm_frames_per_s']:.2f} frames/s\n"
+        f"speedup: {result['speedup']:.2f}x  -> {OUT_PATH}"
+    )
+    if result["speedup"] <= 1.0:
+        raise SystemExit(
+            "plan reuse did not beat per-frame recomputation "
+            f"(speedup={result['speedup']:.2f}x)"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16)

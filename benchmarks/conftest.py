@@ -10,7 +10,9 @@ from pathlib import Path
 
 import pytest
 
-from repro.eval.experiments import load_eval_models
+from repro.api import create_beamformer
+from repro.eval.experiments import eval_beamformers, load_eval_models
+from repro.quant.schemes import SCHEMES
 from repro.ultrasound import (
     phantom_contrast,
     phantom_resolution,
@@ -45,6 +47,25 @@ def vitro_resolution():
 def models():
     """Trained learned beamformers (cached weights)."""
     return load_eval_models(("tiny_vbf", "tiny_cnn", "fcnn"))
+
+
+@pytest.fixture(scope="session")
+def beamformers(models):
+    """Unified-API beamformers (classical + learned) for the benches."""
+    return eval_beamformers(
+        ("das", "mvdr", "tiny_vbf", "tiny_cnn", "fcnn"), models
+    )
+
+
+@pytest.fixture(scope="session")
+def quantized_beamformers(models):
+    """Tiny-VBF through the FPGA datapath, one per Table-III scheme."""
+    return {
+        name: create_beamformer(
+            f"tiny_vbf@{name}", model=models["tiny_vbf"]
+        )
+        for name in SCHEMES
+    }
 
 
 @pytest.fixture(scope="session")

@@ -8,29 +8,25 @@ transitions at the cyst boundary for Tiny-VBF/MVDR.
 
 import numpy as np
 
-from repro.eval import (
-    beamform_with,
-    export_bmode_images,
-    export_lateral_profiles,
-)
+from repro.eval import export_bmode_images, export_lateral_profiles
 from repro.metrics.profiles import lateral_profile_db
 
 METHODS = ("das", "mvdr", "tiny_cnn", "tiny_vbf")
 DEEP_CYST_DEPTH_M = 37e-3
 
 
-def _reconstruct_all(dataset, models):
+def _reconstruct_all(dataset, beamformers):
     return {
-        method: beamform_with(dataset, method, models)
+        method: beamformers[method].beamform(dataset)
         for method in METHODS
     }
 
 
 def test_fig09_bmodes_and_lateral_variation(
-    benchmark, sim_contrast, models, figures_dir, record_result
+    benchmark, sim_contrast, beamformers, figures_dir, record_result
 ):
     iq = benchmark.pedantic(
-        _reconstruct_all, args=(sim_contrast, models), rounds=1,
+        _reconstruct_all, args=(sim_contrast, beamformers), rounds=1,
         iterations=1,
     )
     paths = export_bmode_images(iq, sim_contrast, figures_dir)
@@ -67,13 +63,13 @@ def test_fig09_bmodes_and_lateral_variation(
 
 
 def test_fig09b_profile_edges_sharper(
-    benchmark, sim_contrast, models
+    benchmark, sim_contrast, beamformers
 ):
     # Edge sharpness at the 37 mm cyst boundary: maximum lateral
     # gradient of the profile, Tiny-VBF vs Tiny-CNN.
     def compute():
         iq = {
-            method: beamform_with(sim_contrast, method, models)
+            method: beamformers[method].beamform(sim_contrast)
             for method in ("tiny_cnn", "tiny_vbf")
         }
         gradients = {}

@@ -7,24 +7,24 @@ blur.
 
 import numpy as np
 
-from repro.eval import beamform_with, export_bmode_images
+from repro.eval import export_bmode_images
 from repro.metrics.contrast import cyst_masks
 
 METHODS = ("das", "mvdr", "tiny_cnn", "tiny_vbf")
 
 
-def _reconstruct_all(dataset, models):
+def _reconstruct_all(dataset, beamformers):
     return {
-        method: beamform_with(dataset, method, models)
+        method: beamformers[method].beamform(dataset)
         for method in METHODS
     }
 
 
 def test_fig10_invitro_bmodes(
-    benchmark, vitro_contrast, models, figures_dir, record_result
+    benchmark, vitro_contrast, beamformers, figures_dir, record_result
 ):
     iq = benchmark.pedantic(
-        _reconstruct_all, args=(vitro_contrast, models), rounds=1,
+        _reconstruct_all, args=(vitro_contrast, beamformers), rounds=1,
         iterations=1,
     )
     paths = export_bmode_images(iq, vitro_contrast, figures_dir)

@@ -6,24 +6,24 @@ and MVDR render visibly tighter points than DAS and Tiny-CNN.
 
 import numpy as np
 
-from repro.eval import beamform_with, export_bmode_images
+from repro.eval import export_bmode_images
 from repro.metrics.resolution import point_resolution
 
 METHODS = ("das", "mvdr", "tiny_cnn", "tiny_vbf")
 
 
-def _reconstruct_all(dataset, models):
+def _reconstruct_all(dataset, beamformers):
     return {
-        method: beamform_with(dataset, method, models)
+        method: beamformers[method].beamform(dataset)
         for method in METHODS
     }
 
 
 def test_fig11_bmodes(
-    benchmark, sim_resolution, models, figures_dir, record_result
+    benchmark, sim_resolution, beamformers, figures_dir, record_result
 ):
     iq = benchmark.pedantic(
-        _reconstruct_all, args=(sim_resolution, models), rounds=1,
+        _reconstruct_all, args=(sim_resolution, beamformers), rounds=1,
         iterations=1,
     )
     paths = export_bmode_images(iq, sim_resolution, figures_dir)

@@ -8,7 +8,7 @@ quantify both properties.
 
 import numpy as np
 
-from repro.eval import beamform_with, export_lateral_profiles
+from repro.eval import export_lateral_profiles
 from repro.metrics.profiles import lateral_profile_db
 
 METHODS = ("das", "mvdr", "tiny_cnn", "tiny_vbf")
@@ -17,9 +17,9 @@ DEPTHS_M = (15.12e-3, 35.15e-3)
 HALF_WINDOW_M = 1.05e-3
 
 
-def _profiles(dataset, models, depth_m):
+def _profiles(dataset, beamformers, depth_m):
     iq = {
-        method: beamform_with(dataset, method, models)
+        method: beamformers[method].beamform(dataset)
         for method in METHODS
     }
     profiles = {}
@@ -45,12 +45,12 @@ def _mainlobe_fwhm_mm(x_mm, values):
 
 
 def test_fig12_psf_profiles(
-    benchmark, sim_resolution, models, figures_dir, record_result
+    benchmark, sim_resolution, beamformers, figures_dir, record_result
 ):
     # Profile the deep row: the near-field center point is already
     # diffraction-limited for DAS, so the adaptive gain shows at depth.
     iq, profiles = benchmark.pedantic(
-        _profiles, args=(sim_resolution, models, DEPTHS_M[1]),
+        _profiles, args=(sim_resolution, beamformers, DEPTHS_M[1]),
         rounds=1, iterations=1,
     )
     for depth in DEPTHS_M:

@@ -6,7 +6,7 @@ wider than DAS's at -6 dB on the impaired data.
 
 import numpy as np
 
-from repro.eval import beamform_with, export_lateral_profiles
+from repro.eval import export_lateral_profiles
 from repro.metrics.profiles import lateral_profile_db
 from repro.metrics.resolution import fwhm
 
@@ -15,9 +15,9 @@ DEPTHS_M = (14.01e-3, 32.79e-3)
 HALF_WINDOW_M = 1.05e-3
 
 
-def _mainlobe_widths(dataset, models, depth_m):
+def _mainlobe_widths(dataset, beamformers, depth_m):
     iq = {
-        method: beamform_with(dataset, method, models)
+        method: beamformers[method].beamform(dataset)
         for method in METHODS
     }
     widths = {}
@@ -31,10 +31,10 @@ def _mainlobe_widths(dataset, models, depth_m):
 
 
 def test_fig14_psf_profiles(
-    benchmark, vitro_resolution, models, figures_dir, record_result
+    benchmark, vitro_resolution, beamformers, figures_dir, record_result
 ):
     iq, widths = benchmark.pedantic(
-        _mainlobe_widths, args=(vitro_resolution, models, DEPTHS_M[0]),
+        _mainlobe_widths, args=(vitro_resolution, beamformers, DEPTHS_M[0]),
         rounds=1, iterations=1,
     )
     for depth in DEPTHS_M:

@@ -9,25 +9,24 @@ difference from the float B-mode.
 import numpy as np
 
 from repro.beamform.bmode import bmode_image
-from repro.eval.experiments import quantized_iq
 from repro.utils.io import write_pgm
 
 SCHEME_NAMES = ("float", "24 bits", "20 bits", "16 bits", "hybrid-1",
                 "hybrid-2")
 
 
-def _bmodes(model, dataset):
+def _bmodes(quantized_beamformers, dataset):
     return {
-        name: bmode_image(quantized_iq(model, dataset, name))
+        name: bmode_image(quantized_beamformers[name].beamform(dataset))
         for name in SCHEME_NAMES
     }
 
 
 def test_fig15_quantized_bmodes(
-    benchmark, sim_contrast, models, figures_dir, record_result
+    benchmark, sim_contrast, quantized_beamformers, figures_dir, record_result
 ):
     bmodes = benchmark.pedantic(
-        _bmodes, args=(models["tiny_vbf"], sim_contrast), rounds=1,
+        _bmodes, args=(quantized_beamformers, sim_contrast), rounds=1,
         iterations=1,
     )
     for name, image in bmodes.items():

@@ -7,7 +7,6 @@ Shape under test: quantization down to 20-bit / hybrid leaves the FWHM
 within a few percent of float.
 """
 
-from repro.eval.experiments import quantized_iq
 from repro.eval.tables import PAPER_TABLE_IV
 from repro.metrics.resolution import dataset_resolution
 
@@ -16,19 +15,19 @@ import numpy as np
 SCHEME_NAMES = ("float", "24 bits", "20 bits", "hybrid-1", "hybrid-2")
 
 
-def _run(model, dataset):
+def _run(quantized_beamformers, dataset):
     results = {}
     for name in SCHEME_NAMES:
-        envelope = np.abs(quantized_iq(model, dataset, name))
+        envelope = np.abs(quantized_beamformers[name].beamform(dataset))
         results[name] = dataset_resolution(envelope, dataset)
     return results
 
 
 def test_table4_quant_resolution(
-    benchmark, sim_resolution, models, record_result
+    benchmark, sim_resolution, quantized_beamformers, record_result
 ):
     results = benchmark.pedantic(
-        _run, args=(models["tiny_vbf"], sim_resolution), rounds=1,
+        _run, args=(quantized_beamformers, sim_resolution), rounds=1,
         iterations=1,
     )
 

@@ -11,26 +11,25 @@ quality.
 
 import numpy as np
 
-from repro.eval.experiments import quantized_iq
 from repro.eval.tables import PAPER_TABLE_V
 from repro.metrics.contrast import dataset_contrast
 
 SCHEME_NAMES = ("float", "24 bits", "20 bits", "hybrid-1", "hybrid-2")
 
 
-def _run(model, dataset):
+def _run(quantized_beamformers, dataset):
     results = {}
     for name in SCHEME_NAMES:
-        envelope = np.abs(quantized_iq(model, dataset, name))
+        envelope = np.abs(quantized_beamformers[name].beamform(dataset))
         results[name] = dataset_contrast(envelope, dataset)
     return results
 
 
 def test_table5_quant_contrast(
-    benchmark, sim_contrast, models, record_result
+    benchmark, sim_contrast, quantized_beamformers, record_result
 ):
     results = benchmark.pedantic(
-        _run, args=(models["tiny_vbf"], sim_contrast), rounds=1,
+        _run, args=(quantized_beamformers, sim_contrast), rounds=1,
         iterations=1,
     )
 

@@ -11,7 +11,7 @@ import sys
 from pathlib import Path
 
 from repro.eval import (
-    beamform_with,
+    eval_beamformers,
     export_bmode_images,
     export_lateral_profiles,
     load_eval_models,
@@ -27,7 +27,9 @@ METHODS = ("das", "mvdr", "tiny_cnn", "tiny_vbf")
 
 
 def main(output_dir: Path) -> None:
-    models = load_eval_models(("tiny_vbf", "tiny_cnn"))
+    beamformers = eval_beamformers(
+        METHODS, load_eval_models(("tiny_vbf", "tiny_cnn"))
+    )
     datasets = [
         simulation_contrast(),
         phantom_contrast(),
@@ -36,7 +38,7 @@ def main(output_dir: Path) -> None:
     ]
     for dataset in datasets:
         iq = {
-            method: beamform_with(dataset, method, models)
+            method: beamformers[method].beamform(dataset)
             for method in METHODS
         }
         paths = export_bmode_images(iq, dataset, output_dir)

@@ -11,7 +11,8 @@ Usage:
 import sys
 from pathlib import Path
 
-from repro.beamform import beamform_dataset, bmode_image
+from repro.api import create_beamformer
+from repro.beamform import bmode_image
 from repro.beamform.envelope import envelope_detect
 from repro.metrics import dataset_contrast
 from repro.ultrasound import simulation_contrast
@@ -26,7 +27,7 @@ def main(output_dir: Path) -> None:
           f"({dataset.probe.n_elements} elements)")
 
     for method in ("das", "mvdr"):
-        iq = beamform_dataset(dataset, method)
+        iq = create_beamformer(method).beamform(dataset)
         metrics = dataset_contrast(envelope_detect(iq), dataset)
         path = write_pgm(
             output_dir / f"quickstart_{method}.pgm", bmode_image(iq)

@@ -11,11 +11,11 @@ Usage:
 
 import argparse
 
-from repro.beamform import beamform_dataset
+from repro.api import create_beamformer
 from repro.beamform.envelope import envelope_detect
 from repro.eval.tables import PAPER_TABLE_I, format_contrast_table
 from repro.metrics import dataset_contrast
-from repro.training import get_trained_model, predict_iq
+from repro.training import get_trained_model
 from repro.ultrasound import simulation_contrast
 
 
@@ -37,17 +37,16 @@ def main() -> None:
     print(f"  {model.n_parameters:,} weights")
 
     dataset = simulation_contrast()
+    beamformers = {
+        "das": create_beamformer("das"),
+        "mvdr": create_beamformer("mvdr"),
+        "tiny_vbf": create_beamformer("tiny_vbf", model=model),
+    }
     measured = {
-        "das": dataset_contrast(
-            envelope_detect(beamform_dataset(dataset, "das")), dataset
-        ),
-        "mvdr": dataset_contrast(
-            envelope_detect(beamform_dataset(dataset, "mvdr")), dataset
-        ),
-        "tiny_vbf": dataset_contrast(
-            envelope_detect(predict_iq(model, "tiny_vbf", dataset)),
-            dataset,
-        ),
+        name: dataset_contrast(
+            envelope_detect(beamformer.beamform(dataset)), dataset
+        )
+        for name, beamformer in beamformers.items()
     }
     print(format_contrast_table(
         measured, PAPER_TABLE_I["simulation"],

@@ -3,6 +3,9 @@
 A vision-transformer ultrasound beamformer for single-angle plane-wave
 imaging, built with every substrate it depends on:
 
+* :mod:`repro.api` — the unified :class:`Beamformer` interface and
+  ``create_beamformer`` factory over every datapath (classical, learned,
+  FPGA-quantized) with plan-cached ToF geometry,
 * :mod:`repro.ultrasound` — plane-wave acquisition simulator and
   PICMUS-style dataset presets,
 * :mod:`repro.beamform` — ToF correction, DAS, MVDR, compounding, B-mode,
@@ -23,6 +26,7 @@ paper-vs-measured results.
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "ultrasound",
     "beamform",
     "nn",

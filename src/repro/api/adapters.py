@@ -1,0 +1,213 @@
+"""Concrete :class:`~repro.api.base.Beamformer` adapters.
+
+====================  ===================================================
+adapter               wraps
+====================  ===================================================
+``DasBeamformer``     boxcar-apodized Delay-and-Sum (paper baseline)
+``MvdrBeamformer``    MVDR with spatial smoothing + diagonal loading
+``LearnedBeamformer`` a trained model (Tiny-VBF / Tiny-CNN / FCNN) plus
+                      its input layout, loaded from the weight cache
+``QuantizedBeamformer``  Tiny-VBF through the simulated FPGA datapath
+                      (:class:`~repro.fpga.accelerator.TinyVbfAccelerator`)
+                      under a Table-III quantization scheme
+====================  ===================================================
+
+All adapters prepare their input through the shared plan-cached helpers
+in :mod:`repro.api.base`, so the float and quantized datapaths see the
+same normalization (including the silent-frame guard) and repeated
+frames on one geometry never recompute the delay tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.api.base import Beamformer, dataset_tofc, normalized_tofc
+from repro.beamform.tof import plan_cache_key
+from repro.beamform.apodization import boxcar_rx_apodization
+from repro.beamform.das import das_beamform
+from repro.beamform.mvdr import MvdrConfig, mvdr_beamform
+from repro.models.common import stacked_to_complex
+from repro.models.registry import MODEL_KINDS, model_input
+from repro.nn import Model
+from repro.quant.schemes import SCHEMES, QuantizationScheme
+from repro.utils.validation import require_in
+
+
+def _geometry_key(dataset) -> tuple:
+    """Cheap acquisition-geometry identity (no plan build needed)."""
+    return plan_cache_key(
+        dataset.probe,
+        dataset.grid,
+        dataset.angle_rad,
+        dataset.sound_speed_m_s,
+        getattr(dataset, "t_start_s", 0.0),
+        np.asarray(dataset.rf).shape[0],
+    )
+
+
+def _resolve_model(
+    kind: str, model: Model | None, scale: str, seed: int
+) -> Model:
+    """Use the supplied model or load (training on first use) the cached
+    one.  Imported lazily: repro.training pulls this package back in."""
+    if model is not None:
+        return model
+    from repro.training.cache import get_trained_model
+
+    return get_trained_model(kind, scale=scale, seed=seed)
+
+
+class DasBeamformer(Beamformer):
+    """Boxcar-apodized Delay-and-Sum over the cached ToF plan.
+
+    Boxcar is the paper's data-independent DAS baseline; its higher
+    sidelobes are exactly the contrast deficit the learned beamformers
+    are meant to fix.
+    """
+
+    name = "das"
+
+    def __init__(self, f_number: float = 1.75) -> None:
+        self.f_number = f_number
+        self._apod_key: tuple | None = None
+        self._apod: np.ndarray | None = None
+
+    def _apodization(self, dataset) -> np.ndarray:
+        key = (
+            dataset.probe,
+            dataset.grid.x_m.tobytes(),
+            dataset.grid.z_m.tobytes(),
+            self.f_number,
+        )
+        if key != self._apod_key:
+            self._apod = boxcar_rx_apodization(
+                dataset.probe, dataset.grid, f_number=self.f_number
+            )
+            self._apod_key = key
+        return self._apod
+
+    def beamform(self, dataset) -> np.ndarray:
+        return das_beamform(dataset_tofc(dataset), self._apodization(dataset))
+
+    def describe(self) -> dict:
+        return {"name": self.name, "backend": "classical",
+                "f_number": self.f_number}
+
+
+class MvdrBeamformer(Beamformer):
+    """Minimum-variance beamformer (the paper's training ground truth)."""
+
+    name = "mvdr"
+
+    def __init__(self, config: MvdrConfig | None = None) -> None:
+        self.config = config
+
+    def beamform(self, dataset) -> np.ndarray:
+        return mvdr_beamform(dataset_tofc(dataset), self.config)
+
+    def describe(self) -> dict:
+        config = self.config or MvdrConfig()
+        return {
+            "name": self.name,
+            "backend": "classical",
+            "subaperture": config.subaperture,
+            "diagonal_loading": config.diagonal_loading,
+            "axial_smoothing": config.axial_smoothing,
+        }
+
+
+class LearnedBeamformer(Beamformer):
+    """A trained model plus its input layout behind the uniform API.
+
+    The model-kind string that legacy callers had to carry out-of-band
+    (``predict_iq(model, kind, dataset)``) is bound at construction, so
+    a ``LearnedBeamformer`` can be passed anywhere a classical one can.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        model: Model | None = None,
+        scale: str = "small",
+        seed: int = 0,
+    ) -> None:
+        require_in("kind", kind, MODEL_KINDS)
+        self.kind = kind
+        self.name = kind
+        self.scale = scale
+        self.seed = seed
+        self.model = _resolve_model(kind, model, scale, seed)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        return self.model.forward(x, training=False)
+
+    def beamform(self, dataset) -> np.ndarray:
+        x = model_input(self.kind, normalized_tofc(dataset))
+        return stacked_to_complex(self._forward(x)[0])
+
+    def beamform_batch(self, datasets: Sequence) -> list[np.ndarray]:
+        """Stack same-geometry frames through one model forward pass.
+
+        Frames are still normalized per frame (the training convention);
+        mixed-geometry batches fall back to the per-frame loop.
+        """
+        datasets = list(datasets)
+        if len(datasets) < 2:
+            return super().beamform_batch(datasets)
+        key = _geometry_key(datasets[0])
+        if any(_geometry_key(d) != key for d in datasets[1:]):
+            return super().beamform_batch(datasets)
+        stacked = np.stack(
+            [normalized_tofc(dataset) for dataset in datasets]
+        )
+        iq = self._forward(model_input(self.kind, stacked))
+        return [stacked_to_complex(frame) for frame in iq]
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "backend": "learned",
+            "kind": self.kind,
+            "scale": self.scale,
+            "seed": self.seed,
+            "n_parameters": self.model.n_parameters,
+        }
+
+
+class QuantizedBeamformer(LearnedBeamformer):
+    """Tiny-VBF through the simulated FPGA datapath (Table III schemes).
+
+    Shares :class:`LearnedBeamformer`'s input preparation — including
+    the silent-frame normalization guard — and swaps the float forward
+    pass for the bit-accurate quantized one.
+    """
+
+    def __init__(
+        self,
+        scheme: str | QuantizationScheme = "float",
+        model: Model | None = None,
+        scale: str = "small",
+        seed: int = 0,
+    ) -> None:
+        from repro.fpga.accelerator import TinyVbfAccelerator
+
+        if isinstance(scheme, str):
+            require_in("scheme", scheme, tuple(SCHEMES))
+            scheme = SCHEMES[scheme]
+        super().__init__("tiny_vbf", model=model, scale=scale, seed=seed)
+        self.scheme = scheme
+        self.name = f"tiny_vbf@{scheme.name}"
+        self.accelerator = TinyVbfAccelerator(self.model, scheme)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        return self.accelerator.run(x)
+
+    def describe(self) -> dict:
+        description = super().describe()
+        description.update(
+            name=self.name, backend="fpga", scheme=self.scheme.name
+        )
+        return description

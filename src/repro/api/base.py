@@ -1,0 +1,102 @@
+"""The `Beamformer` abstraction: one interface over every datapath.
+
+Every beamforming path in the repo — classical DAS/MVDR, the three
+learned models, and the quantized FPGA datapath — consumes the same
+analytic ToFC cube and produces the same ``(nz, nx)`` complex IQ image.
+:class:`Beamformer` makes that contract explicit so callers (experiment
+runners, benches, serving loops) never dispatch on strings or carry
+model-kind metadata out-of-band.
+
+Input preparation is shared here so all adapters get identical numerics:
+the ToFC cube always comes from the LRU-cached :class:`TofPlan`
+(:func:`repro.beamform.tof.get_tof_plan`), which means any sequence of
+frames on one acquisition geometry — a ``beamform_batch`` call, a bench
+sweep, repeated serving traffic — computes the per-pixel delay tables
+exactly once.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.beamform.tof import TofPlan, get_tof_plan
+
+
+def dataset_tof_plan(dataset) -> TofPlan:
+    """The (cached) delay plan for a dataset's acquisition geometry."""
+    return get_tof_plan(
+        dataset.probe,
+        dataset.grid,
+        int(np.asarray(dataset.rf).shape[0]),
+        angle_rad=dataset.angle_rad,
+        sound_speed_m_s=dataset.sound_speed_m_s,
+        t_start_s=getattr(dataset, "t_start_s", 0.0),
+    )
+
+
+def dataset_tofc(dataset) -> np.ndarray:
+    """Analytic ToFC cube of a dataset through the cached plan."""
+    return dataset_tof_plan(dataset).apply_analytic(dataset.rf)
+
+
+def normalized_tofc(dataset) -> np.ndarray:
+    """ToFC cube normalized to [-1, 1] — the learned models' convention.
+
+    Raises:
+        ValueError: when the dataset contains no signal at all (a silent
+            ToFC cube cannot be normalized; this guard applies to the
+            float *and* quantized datapaths).
+    """
+    tofc = dataset_tofc(dataset)
+    peak = np.abs(tofc).max()
+    if peak == 0.0:
+        name = getattr(dataset, "name", "<unnamed>")
+        raise ValueError(f"dataset {name} has silent ToFC data")
+    return tofc / peak
+
+
+class Beamformer(abc.ABC):
+    """Abstract single-angle plane-wave beamformer.
+
+    Concrete adapters live in :mod:`repro.api.adapters`; build them
+    directly or through :func:`repro.api.create_beamformer`.
+    """
+
+    #: Short machine-readable identity, e.g. ``"das"`` or ``"tiny_vbf"``.
+    name: str = "beamformer"
+
+    @abc.abstractmethod
+    def beamform(self, dataset) -> np.ndarray:
+        """Beamform one dataset -> ``(nz, nx)`` complex IQ image.
+
+        ``dataset`` is any object exposing ``rf``, ``probe``, ``grid``,
+        ``angle_rad`` and ``sound_speed_m_s`` (e.g.
+        :class:`repro.ultrasound.datasets.PlaneWaveDataset`).
+        """
+
+    def beamform_batch(self, datasets: Sequence) -> list[np.ndarray]:
+        """Beamform many datasets -> list of complex IQ images.
+
+        The default implementation loops over :meth:`beamform`; the ToF
+        plan cache still collapses the per-frame delay computation to a
+        single build per distinct geometry.  Adapters that can exploit
+        true batch execution (stacking frames through one model forward)
+        override this.
+        """
+        return [self.beamform(dataset) for dataset in datasets]
+
+    @abc.abstractmethod
+    def describe(self) -> dict:
+        """Self-description: ``name``, ``backend`` and the knobs that
+        select this beamformer (scheme, scale, f-number, ...)."""
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in self.describe().items()
+            if key != "name"
+        )
+        return f"{type(self).__name__}({params})"

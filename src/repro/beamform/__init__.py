@@ -14,7 +14,16 @@ builds on:
 """
 
 from repro.beamform.geometry import ImagingGrid
-from repro.beamform.tof import tof_correct, analytic_rf
+from repro.beamform.tof import (
+    TofPlan,
+    analytic_rf,
+    analytic_tofc,
+    clear_tof_plan_cache,
+    get_tof_plan,
+    set_tof_plan_cache_size,
+    tof_correct,
+    tof_plan_cache_stats,
+)
 from repro.beamform.apodization import (
     boxcar_rx_apodization,
     hann_rx_apodization,
@@ -31,8 +40,14 @@ from repro.beamform.bmode import beamform_dataset, bmode_image
 
 __all__ = [
     "ImagingGrid",
+    "TofPlan",
+    "get_tof_plan",
+    "tof_plan_cache_stats",
+    "clear_tof_plan_cache",
+    "set_tof_plan_cache_size",
     "tof_correct",
     "analytic_rf",
+    "analytic_tofc",
     "boxcar_rx_apodization",
     "hann_rx_apodization",
     "das_beamform",

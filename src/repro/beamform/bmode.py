@@ -10,11 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.beamform.apodization import boxcar_rx_apodization
-from repro.beamform.das import das_beamform
 from repro.beamform.envelope import envelope_detect, log_compress
-from repro.beamform.mvdr import MvdrConfig, mvdr_beamform
-from repro.beamform.tof import analytic_tofc
+from repro.beamform.mvdr import MvdrConfig
 from repro.utils.validation import require_in
 
 CLASSICAL_BEAMFORMERS = ("das", "mvdr")
@@ -40,22 +37,14 @@ def beamform_dataset(
         ``(nz, nx)`` complex IQ image.
     """
     require_in("method", method, CLASSICAL_BEAMFORMERS)
-    tofc = analytic_tofc(
-        dataset.rf,
-        dataset.probe,
-        dataset.grid,
-        angle_rad=dataset.angle_rad,
-        sound_speed_m_s=dataset.sound_speed_m_s,
-    )
+    # One canonical classical path: the repro.api adapters (plan-cached
+    # ToF geometry, see DESIGN.md).  Imported lazily — repro.api pulls
+    # this package back in.
+    from repro.api.adapters import DasBeamformer, MvdrBeamformer
+
     if method == "das":
-        # Boxcar is the paper's data-independent DAS baseline; its higher
-        # sidelobes are exactly the contrast deficit the learned
-        # beamformers are meant to fix.
-        apodization = boxcar_rx_apodization(
-            dataset.probe, dataset.grid, f_number=f_number
-        )
-        return das_beamform(tofc, apodization)
-    return mvdr_beamform(tofc, mvdr_config)
+        return DasBeamformer(f_number=f_number).beamform(dataset)
+    return MvdrBeamformer(mvdr_config).beamform(dataset)
 
 
 def bmode_image(iq_image: np.ndarray) -> np.ndarray:

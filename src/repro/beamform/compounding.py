@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.beamform.das import das_beamform
 from repro.beamform.geometry import ImagingGrid
-from repro.beamform.tof import analytic_tofc
+from repro.beamform.tof import get_tof_plan
 from repro.ultrasound.probe import LinearProbe
 
 
@@ -23,6 +23,7 @@ def compound_das(
     grid: ImagingGrid,
     sound_speed_m_s: float = 1540.0,
     apodization: np.ndarray | None = None,
+    t_start_s: float = 0.0,
 ) -> np.ndarray:
     """Coherently compound DAS images over a set of steering angles.
 
@@ -34,6 +35,7 @@ def compound_das(
         grid: target pixel grid.
         sound_speed_m_s: assumed propagation speed.
         apodization: optional receive apodization shared by all angles.
+        t_start_s: receive time of the first RF sample (all angles).
 
     Returns:
         ``(nz, nx)`` complex compounded IQ image (mean over angles).
@@ -47,9 +49,11 @@ def compound_das(
         )
     accumulator = np.zeros(grid.shape, dtype=complex)
     for rf, angle in zip(rf_stack, angles):
-        tofc = analytic_tofc(
-            rf, probe, grid, angle_rad=angle,
-            sound_speed_m_s=sound_speed_m_s,
+        # Per-angle plans come from the LRU cache, so repeated frames on
+        # one angle set skip the delay recomputation entirely.
+        plan = get_tof_plan(
+            probe, grid, rf.shape[0], angle_rad=angle,
+            sound_speed_m_s=sound_speed_m_s, t_start_s=t_start_s,
         )
-        accumulator += das_beamform(tofc, apodization)
+        accumulator += das_beamform(plan.apply_analytic(rf), apodization)
     return accumulator / angles.size

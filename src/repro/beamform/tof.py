@@ -8,9 +8,23 @@ input of DAS, MVDR and all three learned beamformers (the paper feeds
 Delays use the same plane-wave convention as the simulator
 (:mod:`repro.ultrasound.wavefield`): the transmitted wavefront crosses the
 array center at t = 0.
+
+Two entry points exist:
+
+* :func:`tof_correct` / :func:`analytic_tofc` — one-shot correction that
+  recomputes the per-pixel delay geometry on every call,
+* :class:`TofPlan` via :func:`get_tof_plan` — the delay/interpolation
+  tables precomputed once and LRU-cached by (probe, grid, angle, sound
+  speed, record geometry), so repeated frames on the same geometry pay
+  only the gather/interpolate cost.  ``TofPlan.apply`` is bit-for-bit
+  identical to :func:`tof_correct` (see DESIGN.md for the cache
+  contract).
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.signal import hilbert
@@ -30,6 +44,237 @@ def analytic_rf(rf: np.ndarray) -> np.ndarray:
     if rf.ndim != 2:
         raise ValueError(f"rf must be (n_samples, n_elements), got {rf.shape}")
     return hilbert(np.real(rf), axis=0)
+
+
+@dataclass(frozen=True, eq=False)
+class TofPlan:
+    """Precomputed per-pixel delay/interpolation tables for one geometry.
+
+    A plan freezes everything about ToF correction that does not depend
+    on the RF sample values: the floor sample index, the linear
+    interpolation fraction and the in-record validity mask for every
+    (pixel, element) pair.  Applying the plan to a frame is then a pure
+    gather + lerp, which is the hot path for repeated frames on the same
+    acquisition geometry.
+
+    Attributes:
+        probe: array geometry/sampling the plan was built for.
+        grid: target pixel grid.
+        angle_rad: plane-wave steering angle of the transmit event.
+        sound_speed_m_s: assumed propagation speed.
+        t_start_s: receive time of the first RF sample.
+        n_samples: RF record length the validity mask was computed for.
+        idx0: ``(P, E)`` floor sample index, clipped into the record.
+        frac: ``(P, E)`` linear interpolation fraction.
+        valid: ``(P, E)`` mask of delays falling inside the record.
+    """
+
+    probe: LinearProbe
+    grid: ImagingGrid
+    angle_rad: float
+    sound_speed_m_s: float
+    t_start_s: float
+    n_samples: int
+    idx0: np.ndarray = field(repr=False)
+    frac: np.ndarray = field(repr=False)
+    valid: np.ndarray = field(repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        probe: LinearProbe,
+        grid: ImagingGrid,
+        n_samples: int,
+        angle_rad: float = 0.0,
+        sound_speed_m_s: float = 1540.0,
+        t_start_s: float = 0.0,
+    ) -> "TofPlan":
+        """Compute the delay tables for one acquisition geometry."""
+        if n_samples < 2:
+            raise ValueError(f"n_samples must be >= 2, got {n_samples}")
+        fs = probe.sampling_frequency_hz
+
+        xx, zz = grid.meshgrid()  # (nz, nx)
+        flat_x = xx.ravel()
+        flat_z = zz.ravel()
+
+        tau_tx = plane_wave_tx_delay(
+            flat_x, flat_z, angle_rad, sound_speed_m_s
+        )  # (P,)
+        tau_rx = rx_delay(
+            flat_x, flat_z, probe.element_positions_m, sound_speed_m_s
+        )  # (P, E)
+        delay_samples = (tau_tx[:, np.newaxis] + tau_rx - t_start_s) * fs
+
+        idx0 = np.floor(delay_samples).astype(np.int64)
+        frac = delay_samples - idx0
+        valid = (idx0 >= 0) & (idx0 < n_samples - 1)
+        # Clipped indices fit int32 (bounded by the record length); this
+        # trims ~24% off the plan (frac stays float64, the other
+        # equally-sized table).
+        idx0_safe = np.clip(idx0, 0, n_samples - 2).astype(np.int32)
+
+        return cls(
+            probe=probe,
+            grid=grid,
+            angle_rad=float(angle_rad),
+            sound_speed_m_s=float(sound_speed_m_s),
+            t_start_s=float(t_start_s),
+            n_samples=int(n_samples),
+            idx0=idx0_safe,
+            frac=frac,
+            valid=valid,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the precomputed tables."""
+        return self.idx0.nbytes + self.frac.nbytes + self.valid.nbytes
+
+    def apply(self, rf: np.ndarray) -> np.ndarray:
+        """Delay one frame of channel data onto the pixel grid.
+
+        Args:
+            rf: ``(n_samples, n_elements)`` real or complex channel data
+                matching the geometry the plan was built for.
+
+        Returns:
+            ``(nz, nx, n_elements)`` ToFC cube, numerically identical to
+            :func:`tof_correct` on the same inputs.
+        """
+        rf = np.asarray(rf)
+        if rf.ndim != 2 or rf.shape[1] != self.probe.n_elements:
+            raise ValueError(
+                f"rf must be (n_samples, {self.probe.n_elements}), "
+                f"got {rf.shape}"
+            )
+        if rf.shape[0] != self.n_samples:
+            raise ValueError(
+                f"plan was built for {self.n_samples} samples, "
+                f"got {rf.shape[0]} — rebuild via get_tof_plan"
+            )
+        element_idx = np.broadcast_to(
+            np.arange(self.probe.n_elements), self.idx0.shape
+        )
+        lower = rf[self.idx0, element_idx]
+        upper = rf[self.idx0 + 1, element_idx]
+        samples = lower + self.frac * (upper - lower)
+        samples = np.where(self.valid, samples, 0)
+        return samples.reshape(
+            self.grid.nz, self.grid.nx, self.probe.n_elements
+        )
+
+    def apply_analytic(self, rf: np.ndarray) -> np.ndarray:
+        """ToF-correct the analytic signal of ``rf`` (complex cube)."""
+        return self.apply(analytic_rf(rf))
+
+
+# --------------------------------------------------------------------------
+# Plan cache
+# --------------------------------------------------------------------------
+
+_DEFAULT_CACHE_SIZE = 8
+_plan_cache: "OrderedDict[tuple, TofPlan]" = OrderedDict()
+_plan_cache_max = _DEFAULT_CACHE_SIZE
+_plan_cache_hits = 0
+_plan_cache_misses = 0
+
+
+def plan_cache_key(
+    probe: LinearProbe,
+    grid: ImagingGrid,
+    angle_rad: float,
+    sound_speed_m_s: float,
+    t_start_s: float,
+    n_samples: int,
+) -> tuple:
+    """The hashable acquisition-geometry identity the plan cache keys on.
+
+    Public so callers that need to compare geometries (e.g. batch
+    stacking in ``repro.api``) share one definition with the cache.
+    """
+    return (
+        probe,
+        grid.x_m.tobytes(),
+        grid.z_m.tobytes(),
+        float(angle_rad),
+        float(sound_speed_m_s),
+        float(t_start_s),
+        int(n_samples),
+    )
+
+
+def get_tof_plan(
+    probe: LinearProbe,
+    grid: ImagingGrid,
+    n_samples: int,
+    angle_rad: float = 0.0,
+    sound_speed_m_s: float = 1540.0,
+    t_start_s: float = 0.0,
+) -> TofPlan:
+    """Fetch (or build and cache) the :class:`TofPlan` for a geometry.
+
+    Plans are kept in a process-wide LRU cache keyed by every input that
+    affects the delay tables.  Hitting the cache skips the per-pixel
+    delay computation entirely, which is what makes batch beamforming of
+    repeated frames on one geometry fast (see ``repro.api``).
+    """
+    global _plan_cache_hits, _plan_cache_misses
+    key = plan_cache_key(
+        probe, grid, angle_rad, sound_speed_m_s, t_start_s, n_samples
+    )
+    plan = _plan_cache.get(key)
+    if plan is not None:
+        _plan_cache.move_to_end(key)
+        _plan_cache_hits += 1
+        return plan
+    _plan_cache_misses += 1
+    plan = TofPlan.build(
+        probe,
+        grid,
+        n_samples,
+        angle_rad=angle_rad,
+        sound_speed_m_s=sound_speed_m_s,
+        t_start_s=t_start_s,
+    )
+    _plan_cache[key] = plan
+    while len(_plan_cache) > _plan_cache_max:
+        _plan_cache.popitem(last=False)
+    return plan
+
+
+def tof_plan_cache_stats() -> dict:
+    """Cache observability: hits/misses/entries/bytes since last clear."""
+    return {
+        "hits": _plan_cache_hits,
+        "misses": _plan_cache_misses,
+        "size": len(_plan_cache),
+        "max_size": _plan_cache_max,
+        "nbytes": sum(plan.nbytes for plan in _plan_cache.values()),
+    }
+
+
+def clear_tof_plan_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters."""
+    global _plan_cache_hits, _plan_cache_misses
+    _plan_cache.clear()
+    _plan_cache_hits = 0
+    _plan_cache_misses = 0
+
+
+def set_tof_plan_cache_size(max_size: int) -> None:
+    """Resize the LRU cache (evicting oldest entries if shrinking)."""
+    global _plan_cache_max
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    _plan_cache_max = max_size
+    while len(_plan_cache) > _plan_cache_max:
+        _plan_cache.popitem(last=False)
+
+
+# --------------------------------------------------------------------------
+# One-shot correction (no caching)
+# --------------------------------------------------------------------------
 
 
 def tof_correct(
@@ -60,35 +305,15 @@ def tof_correct(
         raise ValueError(
             f"rf must be (n_samples, {probe.n_elements}), got {rf.shape}"
         )
-    fs = probe.sampling_frequency_hz
-    n_samples = rf.shape[0]
-
-    xx, zz = grid.meshgrid()  # (nz, nx)
-    flat_x = xx.ravel()
-    flat_z = zz.ravel()
-
-    tau_tx = plane_wave_tx_delay(
-        flat_x, flat_z, angle_rad, sound_speed_m_s
-    )  # (P,)
-    tau_rx = rx_delay(
-        flat_x, flat_z, probe.element_positions_m, sound_speed_m_s
-    )  # (P, E)
-    delay_samples = (tau_tx[:, np.newaxis] + tau_rx - t_start_s) * fs
-
-    idx0 = np.floor(delay_samples).astype(np.int64)
-    frac = delay_samples - idx0
-    valid = (idx0 >= 0) & (idx0 < n_samples - 1)
-    idx0_safe = np.clip(idx0, 0, n_samples - 2)
-
-    element_idx = np.broadcast_to(
-        np.arange(probe.n_elements), idx0.shape
+    plan = TofPlan.build(
+        probe,
+        grid,
+        rf.shape[0],
+        angle_rad=angle_rad,
+        sound_speed_m_s=sound_speed_m_s,
+        t_start_s=t_start_s,
     )
-    lower = rf[idx0_safe, element_idx]
-    upper = rf[idx0_safe + 1, element_idx]
-    samples = lower + frac * (upper - lower)
-    samples = np.where(valid, samples, 0)
-
-    return samples.reshape(grid.nz, grid.nx, probe.n_elements)
+    return plan.apply(rf)
 
 
 def analytic_tofc(

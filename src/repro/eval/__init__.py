@@ -12,6 +12,7 @@
 from repro.eval.experiments import (
     EVAL_BEAMFORMERS,
     beamform_with,
+    eval_beamformers,
     load_eval_models,
     run_contrast_experiment,
     run_quantized_experiments,
@@ -30,6 +31,7 @@ from repro.eval.figures import export_bmode_images, export_lateral_profiles
 __all__ = [
     "EVAL_BEAMFORMERS",
     "beamform_with",
+    "eval_beamformers",
     "load_eval_models",
     "run_contrast_experiment",
     "run_resolution_experiment",

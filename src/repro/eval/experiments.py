@@ -1,30 +1,38 @@
 """Experiment runners over the PICMUS-style presets.
 
-Every runner takes a dataset and a list of beamformer names and returns
-per-beamformer metrics.  Beamformers:
+Every runner takes a dataset and a list of beamformer specs and returns
+per-beamformer metrics.  Beamformers are built through the unified
+:mod:`repro.api` factory:
 
 * ``das`` / ``mvdr`` — classical chain (:mod:`repro.beamform`),
 * ``tiny_vbf`` / ``tiny_cnn`` / ``fcnn`` — trained models from the
   weight cache (:mod:`repro.training.cache`),
-* quantized runners execute Tiny-VBF through the simulated FPGA
-  datapath for every scheme of Table III.
+* ``tiny_vbf@<scheme>`` — Tiny-VBF through the simulated FPGA datapath
+  for every scheme of Table III.
+
+:func:`beamform_with` and :func:`quantized_iq` are deprecated shims kept
+for legacy callers; new code should use
+``create_beamformer(spec).beamform(dataset)`` directly.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.beamform.bmode import beamform_dataset
+from repro.api import (
+    Beamformer,
+    QuantizedBeamformer,
+    create_beamformer,
+    parse_spec,
+)
 from repro.beamform.envelope import envelope_detect
-from repro.fpga.accelerator import TinyVbfAccelerator
 from repro.metrics.contrast import ContrastMetrics, dataset_contrast
 from repro.metrics.resolution import ResolutionMetrics, dataset_resolution
-from repro.models.common import stacked_to_complex
-from repro.models.registry import MODEL_KINDS, model_input
+from repro.models.registry import MODEL_KINDS
 from repro.nn import Model
-from repro.quant.schemes import SCHEMES
 from repro.training.cache import get_trained_model
-from repro.training.inference import predict_iq
 from repro.utils.validation import require_in
 
 # Paper evaluation order (Tables I and II).
@@ -44,19 +52,50 @@ def load_eval_models(
     }
 
 
+def eval_beamformers(
+    methods: tuple[str, ...] = EVAL_BEAMFORMERS,
+    models: dict[str, Model] | None = None,
+) -> dict[str, Beamformer]:
+    """Build the evaluation beamformers through the unified factory.
+
+    ``models`` optionally supplies pre-trained models keyed by kind so a
+    bench session can share one weight-cache load across runners.  When
+    a ``models`` dict is given it must cover every learned method —
+    a missing entry raises instead of silently training a default model.
+    """
+    beamformers = {}
+    for method in methods:
+        kind, _ = parse_spec(method)  # "tiny_vbf@float" -> "tiny_vbf"
+        model = None
+        if models is not None and kind in MODEL_KINDS:
+            if kind not in models:
+                raise ValueError(
+                    f"model {kind!r} not in supplied models"
+                )
+            model = models[kind]
+        beamformers[method] = create_beamformer(method, model=model)
+    return beamformers
+
+
 def beamform_with(
     dataset,
     method: str,
     models: dict[str, Model] | None = None,
 ) -> np.ndarray:
-    """Beamform ``dataset`` with any supported method -> complex IQ."""
+    """Beamform ``dataset`` with any supported method -> complex IQ.
+
+    .. deprecated::
+        Use ``create_beamformer(method).beamform(dataset)`` instead.
+    """
+    warnings.warn(
+        "beamform_with is deprecated; use "
+        "repro.api.create_beamformer(method).beamform(dataset)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     require_in("method", method, ALL_BEAMFORMERS)
-    if method in ("das", "mvdr"):
-        return beamform_dataset(dataset, method)
-    models = models if models is not None else load_eval_models((method,))
-    if method not in models:
-        raise ValueError(f"model {method!r} not in supplied models")
-    return predict_iq(models[method], method, dataset)
+    beamformer = eval_beamformers((method,), models)[method]
+    return beamformer.beamform(dataset)
 
 
 def run_contrast_experiment(
@@ -66,8 +105,8 @@ def run_contrast_experiment(
 ) -> dict[str, ContrastMetrics]:
     """CR/CNR/GCNR per beamformer on a contrast dataset (Table I)."""
     results = {}
-    for method in methods:
-        iq = beamform_with(dataset, method, models)
+    for method, beamformer in eval_beamformers(methods, models).items():
+        iq = beamformer.beamform(dataset)
         results[method] = dataset_contrast(envelope_detect(iq), dataset)
     return results
 
@@ -80,8 +119,8 @@ def run_resolution_experiment(
     """Axial/lateral FWHM per beamformer on a resolution dataset
     (Table II)."""
     results = {}
-    for method in methods:
-        iq = beamform_with(dataset, method, models)
+    for method, beamformer in eval_beamformers(methods, models).items():
+        iq = beamformer.beamform(dataset)
         results[method] = dataset_resolution(envelope_detect(iq), dataset)
     return results
 
@@ -91,20 +130,19 @@ def quantized_iq(
     dataset,
     scheme_name: str,
 ) -> np.ndarray:
-    """Tiny-VBF IQ image through the simulated FPGA datapath."""
-    from repro.beamform.tof import analytic_tofc
+    """Tiny-VBF IQ image through the simulated FPGA datapath.
 
-    tofc = analytic_tofc(
-        dataset.rf,
-        dataset.probe,
-        dataset.grid,
-        angle_rad=dataset.angle_rad,
-        sound_speed_m_s=dataset.sound_speed_m_s,
+    .. deprecated::
+        Use ``create_beamformer(f"tiny_vbf@{scheme_name}",
+        model=model).beamform(dataset)`` instead.
+    """
+    warnings.warn(
+        "quantized_iq is deprecated; use repro.api.create_beamformer("
+        "f'tiny_vbf@{scheme}', model=model).beamform(dataset)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    peak = np.abs(tofc).max()
-    x = model_input("tiny_vbf", tofc / peak)
-    accelerator = TinyVbfAccelerator(model, SCHEMES[scheme_name])
-    return stacked_to_complex(accelerator.run(x)[0])
+    return QuantizedBeamformer(scheme_name, model=model).beamform(dataset)
 
 
 def run_quantized_experiments(
@@ -123,11 +161,12 @@ def run_quantized_experiments(
     model = model or get_trained_model("tiny_vbf")
     results: dict[str, dict] = {}
     for name in scheme_names:
+        beamformer = QuantizedBeamformer(name, model=model)
         contrast_env = envelope_detect(
-            quantized_iq(model, contrast_dataset, name)
+            beamformer.beamform(contrast_dataset)
         )
         resolution_env = envelope_detect(
-            quantized_iq(model, resolution_dataset, name)
+            beamformer.beamform(resolution_dataset)
         )
         results[name] = {
             "contrast": dataset_contrast(contrast_env, contrast_dataset),

@@ -26,6 +26,7 @@ def compounded_target(bundle: MultiAngleDataset) -> np.ndarray:
         bundle.base.probe,
         bundle.base.grid,
         sound_speed_m_s=bundle.base.sound_speed_m_s,
+        t_start_s=getattr(bundle.base, "t_start_s", 0.0),
     )
     peak = np.abs(compounded).max()
     if peak == 0.0:
@@ -69,17 +70,13 @@ def finetune_on_multi_angle(
     if not bundles:
         raise ValueError("no fine-tuning bundles supplied")
 
-    from repro.beamform.tof import analytic_tofc
+    from repro.api.base import dataset_tofc
     from repro.training.groundtruth import FramePair
 
     pairs = []
     for bundle in bundles:
         base = bundle.base
-        tofc = analytic_tofc(
-            base.rf, base.probe, base.grid,
-            angle_rad=base.angle_rad,
-            sound_speed_m_s=base.sound_speed_m_s,
-        )
+        tofc = dataset_tofc(base)
         peak = np.abs(tofc).max()
         target = compounded_target(bundle)
         pairs.append(

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.beamform.envelope import baseband_demodulate
 from repro.beamform.mvdr import MvdrConfig, mvdr_beamform
-from repro.beamform.tof import analytic_tofc
+from repro.api.base import dataset_tofc
 from repro.models.common import complex_to_stacked
 
 
@@ -46,13 +46,9 @@ def prepare_frame(
     dataset, mvdr_config: MvdrConfig | None = None
 ) -> FramePair:
     """Compute the (input, target) pair for one single-angle dataset."""
-    tofc = analytic_tofc(
-        dataset.rf,
-        dataset.probe,
-        dataset.grid,
-        angle_rad=dataset.angle_rad,
-        sound_speed_m_s=dataset.sound_speed_m_s,
-    )
+    # Plan-cached and t_start_s-aware: training frames see exactly the
+    # input geometry the repro.api inference adapters use.
+    tofc = dataset_tofc(dataset)
     peak_in = np.abs(tofc).max()
     if peak_in == 0.0:
         raise ValueError(f"dataset {dataset.name} has silent ToFC data")

@@ -1,12 +1,17 @@
-"""Inference helpers: run a trained beamformer on a dataset."""
+"""Inference helpers: run a trained beamformer on a dataset.
+
+.. deprecated::
+    :func:`predict_iq` is a compatibility shim over
+    :class:`repro.api.LearnedBeamformer`; new code should use
+    ``create_beamformer(kind, model=model).beamform(dataset)``.
+"""
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.beamform.tof import analytic_tofc
-from repro.models.common import stacked_to_complex
-from repro.models.registry import model_input
 from repro.nn import Model
 
 
@@ -17,21 +22,23 @@ def predict_iq(
 ) -> np.ndarray:
     """Beamform ``dataset`` with a trained model.
 
-    Computes the analytic ToFC cube, normalizes it to [-1, 1] (the
+    Computes the analytic ToFC cube (through the cached
+    :class:`~repro.beamform.tof.TofPlan`), normalizes it to [-1, 1] (the
     training input convention), runs the model and returns the complex
     ``(nz, nx)`` IQ image.  Tiny-VBF outputs baseband IQ and the
     baselines carrier IQ; both have the envelope the metrics consume.
+
+    .. deprecated::
+        Use ``repro.api.LearnedBeamformer(kind, model=model)`` instead.
     """
-    tofc = analytic_tofc(
-        dataset.rf,
-        dataset.probe,
-        dataset.grid,
-        angle_rad=dataset.angle_rad,
-        sound_speed_m_s=dataset.sound_speed_m_s,
+    warnings.warn(
+        "predict_iq is deprecated; use repro.api.create_beamformer("
+        "kind, model=model).beamform(dataset)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    peak = np.abs(tofc).max()
-    if peak == 0.0:
-        raise ValueError(f"dataset {dataset.name} has silent ToFC data")
-    x = model_input(kind, tofc / peak)
-    iq_stacked = model.forward(x, training=False)[0]
-    return stacked_to_complex(iq_stacked)
+    # Imported lazily: repro.api loads trained models through
+    # repro.training, so a module-level import would be circular.
+    from repro.api import LearnedBeamformer
+
+    return LearnedBeamformer(kind, model=model).beamform(dataset)

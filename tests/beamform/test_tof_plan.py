@@ -1,0 +1,130 @@
+"""TofPlan: parity with direct correction and LRU cache behavior."""
+
+import numpy as np
+import pytest
+
+from repro.beamform.geometry import ImagingGrid
+from repro.beamform.tof import (
+    TofPlan,
+    analytic_rf,
+    analytic_tofc,
+    clear_tof_plan_cache,
+    get_tof_plan,
+    set_tof_plan_cache_size,
+    tof_correct,
+    tof_plan_cache_stats,
+)
+from repro.ultrasound.probe import small_probe
+
+
+@pytest.fixture
+def probe():
+    return small_probe(8)
+
+
+@pytest.fixture
+def grid():
+    return ImagingGrid.from_spans((-4e-3, 4e-3), (5e-3, 15e-3), 6, 10)
+
+
+@pytest.fixture
+def rf(probe):
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((256, probe.n_elements))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_tof_plan_cache()
+    set_tof_plan_cache_size(8)
+    yield
+    clear_tof_plan_cache()
+    set_tof_plan_cache_size(8)
+
+
+class TestPlanParity:
+    def test_apply_matches_tof_correct_bit_for_bit(self, probe, grid, rf):
+        plan = TofPlan.build(probe, grid, rf.shape[0], angle_rad=0.05)
+        direct = tof_correct(rf, probe, grid, angle_rad=0.05)
+        assert np.array_equal(plan.apply(rf), direct)
+
+    def test_apply_analytic_matches_analytic_tofc(self, probe, grid, rf):
+        plan = TofPlan.build(probe, grid, rf.shape[0])
+        assert np.array_equal(
+            plan.apply_analytic(rf), analytic_tofc(rf, probe, grid)
+        )
+
+    def test_plan_reuse_across_frames(self, probe, grid, rf):
+        plan = TofPlan.build(probe, grid, rf.shape[0])
+        other = np.roll(rf, 11, axis=0)
+        assert np.array_equal(plan.apply(other),
+                              tof_correct(other, probe, grid))
+
+    def test_complex_in_complex_out(self, probe, grid, rf):
+        plan = TofPlan.build(probe, grid, rf.shape[0])
+        cube = plan.apply(analytic_rf(rf))
+        assert np.iscomplexobj(cube)
+        assert cube.shape == (grid.nz, grid.nx, probe.n_elements)
+
+
+class TestPlanValidation:
+    def test_rejects_wrong_record_length(self, probe, grid, rf):
+        plan = TofPlan.build(probe, grid, rf.shape[0])
+        with pytest.raises(ValueError, match="rebuild via get_tof_plan"):
+            plan.apply(rf[:-3])
+
+    def test_rejects_wrong_element_count(self, probe, grid, rf):
+        plan = TofPlan.build(probe, grid, rf.shape[0])
+        with pytest.raises(ValueError):
+            plan.apply(rf[:, :-1])
+
+    def test_rejects_tiny_record(self, probe, grid):
+        with pytest.raises(ValueError):
+            TofPlan.build(probe, grid, 1)
+
+
+class TestPlanCache:
+    def test_same_geometry_hits(self, probe, grid):
+        first = get_tof_plan(probe, grid, 256, angle_rad=0.0)
+        second = get_tof_plan(probe, grid, 256, angle_rad=0.0)
+        assert second is first
+        stats = tof_plan_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+
+    def test_distinct_geometry_misses(self, probe, grid):
+        get_tof_plan(probe, grid, 256)
+        get_tof_plan(probe, grid, 256, angle_rad=0.1)
+        get_tof_plan(probe, grid, 300)
+        stats = tof_plan_cache_stats()
+        assert stats["misses"] == 3
+        assert stats["hits"] == 0
+        assert stats["size"] == 3
+
+    def test_equal_grid_values_share_plan(self, probe):
+        grid_a = ImagingGrid.from_spans((-4e-3, 4e-3), (5e-3, 15e-3), 6, 10)
+        grid_b = ImagingGrid.from_spans((-4e-3, 4e-3), (5e-3, 15e-3), 6, 10)
+        assert get_tof_plan(probe, grid_a, 64) is get_tof_plan(
+            probe, grid_b, 64
+        )
+
+    def test_lru_eviction(self, probe, grid):
+        set_tof_plan_cache_size(2)
+        first = get_tof_plan(probe, grid, 100)
+        get_tof_plan(probe, grid, 200)
+        get_tof_plan(probe, grid, 300)  # evicts the n=100 plan
+        assert tof_plan_cache_stats()["size"] == 2
+        refetched = get_tof_plan(probe, grid, 100)
+        assert refetched is not first
+
+    def test_clear_resets_counters(self, probe, grid):
+        get_tof_plan(probe, grid, 64)
+        get_tof_plan(probe, grid, 64)
+        clear_tof_plan_cache()
+        stats = tof_plan_cache_stats()
+        assert stats == {**stats, "hits": 0, "misses": 0, "size": 0}
+
+    def test_rejects_bad_cache_size(self):
+        with pytest.raises(ValueError):
+            set_tof_plan_cache_size(0)

@@ -25,6 +25,16 @@ class TestBeamformWith:
         with pytest.raises(ValueError, match="not in supplied models"):
             beamform_with(sim_contrast_dataset, "tiny_vbf", models={})
 
+    def test_runner_rejects_incomplete_models(self, sim_contrast_dataset):
+        # A supplied models dict must cover every learned method; a
+        # missing entry must not silently train a default model.
+        with pytest.raises(ValueError, match="not in supplied models"):
+            run_contrast_experiment(
+                sim_contrast_dataset,
+                methods=("das", "tiny_cnn"),
+                models={"tiny_vbf": object()},
+            )
+
 
 class TestRunners:
     def test_contrast_runner_classical(self, sim_contrast_dataset):
