@@ -21,8 +21,10 @@ architecture and cache contract are documented in DESIGN.md).
 
 from repro.api.base import (
     Beamformer,
+    dataset_plan_key,
     dataset_tof_plan,
     dataset_tofc,
+    group_indices_by_geometry,
     normalized_tofc,
 )
 from repro.api.adapters import (
@@ -48,7 +50,9 @@ __all__ = [
     "parse_spec",
     "register_beamformer",
     "registered_beamformers",
+    "dataset_plan_key",
     "dataset_tof_plan",
     "dataset_tofc",
+    "group_indices_by_geometry",
     "normalized_tofc",
 ]

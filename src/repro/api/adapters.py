@@ -24,8 +24,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.api.base import Beamformer, dataset_tofc, normalized_tofc
-from repro.beamform.tof import plan_cache_key
+from repro.api.base import (
+    Beamformer,
+    dataset_tofc,
+    group_indices_by_geometry,
+    normalized_tofc,
+)
 from repro.beamform.apodization import boxcar_rx_apodization
 from repro.beamform.das import das_beamform
 from repro.beamform.mvdr import MvdrConfig, mvdr_beamform
@@ -34,18 +38,6 @@ from repro.models.registry import MODEL_KINDS, model_input
 from repro.nn import Model
 from repro.quant.schemes import SCHEMES, QuantizationScheme
 from repro.utils.validation import require_in
-
-
-def _geometry_key(dataset) -> tuple:
-    """Cheap acquisition-geometry identity (no plan build needed)."""
-    return plan_cache_key(
-        dataset.probe,
-        dataset.grid,
-        dataset.angle_rad,
-        dataset.sound_speed_m_s,
-        getattr(dataset, "t_start_s", 0.0),
-        np.asarray(dataset.rf).shape[0],
-    )
 
 
 def _resolve_model(
@@ -151,20 +143,26 @@ class LearnedBeamformer(Beamformer):
     def beamform_batch(self, datasets: Sequence) -> list[np.ndarray]:
         """Stack same-geometry frames through one model forward pass.
 
-        Frames are still normalized per frame (the training convention);
-        mixed-geometry batches fall back to the per-frame loop.
+        Frames are still normalized per frame (the training convention).
+        Mixed-geometry batches are partitioned by
+        :func:`~repro.api.base.group_indices_by_geometry` and each group
+        gets its own stacked forward, so plan locality and batch
+        execution survive interleaved geometries; results come back in
+        input order.
         """
         datasets = list(datasets)
-        if len(datasets) < 2:
-            return super().beamform_batch(datasets)
-        key = _geometry_key(datasets[0])
-        if any(_geometry_key(d) != key for d in datasets[1:]):
-            return super().beamform_batch(datasets)
-        stacked = np.stack(
-            [normalized_tofc(dataset) for dataset in datasets]
-        )
-        iq = self._forward(model_input(self.kind, stacked))
-        return [stacked_to_complex(frame) for frame in iq]
+        images: list[np.ndarray | None] = [None] * len(datasets)
+        for group in group_indices_by_geometry(datasets):
+            if len(group) == 1:
+                images[group[0]] = self.beamform(datasets[group[0]])
+                continue
+            stacked = np.stack(
+                [normalized_tofc(datasets[index]) for index in group]
+            )
+            iq = self._forward(model_input(self.kind, stacked))
+            for index, frame in zip(group, iq):
+                images[index] = stacked_to_complex(frame)
+        return images
 
     def describe(self) -> dict:
         return {
@@ -204,6 +202,16 @@ class QuantizedBeamformer(LearnedBeamformer):
 
     def _forward(self, x: np.ndarray) -> np.ndarray:
         return self.accelerator.run(x)
+
+    def beamform_batch(self, datasets: Sequence) -> list[np.ndarray]:
+        """Geometry-grouped per-frame execution (no stacked forward).
+
+        The modeled FPGA is a frame-serial device — it has no batch
+        dimension, and the heavy after-every-op re-quantization makes a
+        stacked software pass strictly slower than the loop.  The
+        grouped default still preserves ToF-plan locality per geometry.
+        """
+        return Beamformer.beamform_batch(self, datasets)
 
     def describe(self) -> dict:
         description = super().describe()

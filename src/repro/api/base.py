@@ -22,7 +22,34 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.beamform.tof import TofPlan, get_tof_plan
+from repro.beamform.tof import TofPlan, get_tof_plan, plan_cache_key
+
+
+def dataset_plan_key(dataset) -> tuple:
+    """Cheap acquisition-geometry identity of a dataset (no plan build).
+
+    Shares :func:`repro.beamform.tof.plan_cache_key`'s definition, so two
+    datasets with equal keys are guaranteed to resolve to the same cached
+    :class:`TofPlan`.  Batch execution and the serving scheduler both
+    group frames by this key.
+    """
+    return plan_cache_key(
+        dataset.probe,
+        dataset.grid,
+        dataset.angle_rad,
+        dataset.sound_speed_m_s,
+        getattr(dataset, "t_start_s", 0.0),
+        int(np.asarray(dataset.rf).shape[0]),
+    )
+
+
+def group_indices_by_geometry(datasets: Sequence) -> list[list[int]]:
+    """Partition dataset indices into same-geometry runs, in first-seen
+    order; order within each group follows the input order."""
+    groups: dict[tuple, list[int]] = {}
+    for index, dataset in enumerate(datasets):
+        groups.setdefault(dataset_plan_key(dataset), []).append(index)
+    return list(groups.values())
 
 
 def dataset_tof_plan(dataset) -> TofPlan:
@@ -80,13 +107,20 @@ class Beamformer(abc.ABC):
     def beamform_batch(self, datasets: Sequence) -> list[np.ndarray]:
         """Beamform many datasets -> list of complex IQ images.
 
-        The default implementation loops over :meth:`beamform`; the ToF
-        plan cache still collapses the per-frame delay computation to a
-        single build per distinct geometry.  Adapters that can exploit
-        true batch execution (stacking frames through one model forward)
-        override this.
+        The default implementation loops over :meth:`beamform`, but
+        *grouped by acquisition geometry* (:func:`dataset_plan_key`)
+        rather than in input order: a batch that interleaves more
+        geometries than the plan cache holds would otherwise rebuild its
+        delay tables on every frame.  Results always come back in input
+        order.  Adapters that can exploit true batch execution (stacking
+        frames through one model forward) override this.
         """
-        return [self.beamform(dataset) for dataset in datasets]
+        datasets = list(datasets)
+        images: list[np.ndarray | None] = [None] * len(datasets)
+        for group in group_indices_by_geometry(datasets):
+            for index in group:
+                images[index] = self.beamform(datasets[index])
+        return images
 
     @abc.abstractmethod
     def describe(self) -> dict:

@@ -23,6 +23,7 @@ Two entry points exist:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -178,6 +179,10 @@ _plan_cache: "OrderedDict[tuple, TofPlan]" = OrderedDict()
 _plan_cache_max = _DEFAULT_CACHE_SIZE
 _plan_cache_hits = 0
 _plan_cache_misses = 0
+# Guards the OrderedDict *and* the hit/miss counters: the serve worker
+# pool calls get_tof_plan concurrently, and an unlocked OrderedDict
+# corrupts under concurrent move_to_end/popitem.
+_plan_cache_lock = threading.RLock()
 
 
 def plan_cache_key(
@@ -218,17 +223,23 @@ def get_tof_plan(
     affects the delay tables.  Hitting the cache skips the per-pixel
     delay computation entirely, which is what makes batch beamforming of
     repeated frames on one geometry fast (see ``repro.api``).
+
+    Thread-safe: lookups and insertions are serialized, but plan *builds*
+    run outside the lock so workers building different geometries never
+    block each other.  Two threads missing on the same geometry at once
+    may both build it (benign: identical plans, last insert wins).
     """
     global _plan_cache_hits, _plan_cache_misses
     key = plan_cache_key(
         probe, grid, angle_rad, sound_speed_m_s, t_start_s, n_samples
     )
-    plan = _plan_cache.get(key)
-    if plan is not None:
-        _plan_cache.move_to_end(key)
-        _plan_cache_hits += 1
-        return plan
-    _plan_cache_misses += 1
+    with _plan_cache_lock:
+        plan = _plan_cache.get(key)
+        if plan is not None:
+            _plan_cache.move_to_end(key)
+            _plan_cache_hits += 1
+            return plan
+        _plan_cache_misses += 1
     plan = TofPlan.build(
         probe,
         grid,
@@ -237,29 +248,33 @@ def get_tof_plan(
         sound_speed_m_s=sound_speed_m_s,
         t_start_s=t_start_s,
     )
-    _plan_cache[key] = plan
-    while len(_plan_cache) > _plan_cache_max:
-        _plan_cache.popitem(last=False)
+    with _plan_cache_lock:
+        _plan_cache[key] = plan
+        _plan_cache.move_to_end(key)
+        while len(_plan_cache) > _plan_cache_max:
+            _plan_cache.popitem(last=False)
     return plan
 
 
 def tof_plan_cache_stats() -> dict:
     """Cache observability: hits/misses/entries/bytes since last clear."""
-    return {
-        "hits": _plan_cache_hits,
-        "misses": _plan_cache_misses,
-        "size": len(_plan_cache),
-        "max_size": _plan_cache_max,
-        "nbytes": sum(plan.nbytes for plan in _plan_cache.values()),
-    }
+    with _plan_cache_lock:
+        return {
+            "hits": _plan_cache_hits,
+            "misses": _plan_cache_misses,
+            "size": len(_plan_cache),
+            "max_size": _plan_cache_max,
+            "nbytes": sum(plan.nbytes for plan in _plan_cache.values()),
+        }
 
 
 def clear_tof_plan_cache() -> None:
     """Drop every cached plan and reset the hit/miss counters."""
     global _plan_cache_hits, _plan_cache_misses
-    _plan_cache.clear()
-    _plan_cache_hits = 0
-    _plan_cache_misses = 0
+    with _plan_cache_lock:
+        _plan_cache.clear()
+        _plan_cache_hits = 0
+        _plan_cache_misses = 0
 
 
 def set_tof_plan_cache_size(max_size: int) -> None:
@@ -267,9 +282,10 @@ def set_tof_plan_cache_size(max_size: int) -> None:
     global _plan_cache_max
     if max_size < 1:
         raise ValueError(f"max_size must be >= 1, got {max_size}")
-    _plan_cache_max = max_size
-    while len(_plan_cache) > _plan_cache_max:
-        _plan_cache.popitem(last=False)
+    with _plan_cache_lock:
+        _plan_cache_max = max_size
+        while len(_plan_cache) > _plan_cache_max:
+            _plan_cache.popitem(last=False)
 
 
 # --------------------------------------------------------------------------

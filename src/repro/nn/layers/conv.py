@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.nn.init import glorot_uniform
 from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.dense import _flat_matmul
 
 
 class Conv2D(Layer):
@@ -88,7 +89,7 @@ class Conv2D(Layer):
         cols = self._im2col(x)
         self._cols = cols
         self._x_shape = x.shape
-        y = cols @ self.weight.value
+        y = _flat_matmul(cols, self.weight.value)
         if self.bias is not None:
             y = y + self.bias.value
         return y
@@ -104,7 +105,7 @@ class Conv2D(Layer):
         if self.bias is not None:
             self.bias.grad += grad_output.sum(axis=(0, 1, 2))
 
-        grad_cols = grad_output @ self.weight.value.T
+        grad_cols = _flat_matmul(grad_output, self.weight.value.T)
         return self._col2im(grad_cols)
 
     def _col2im(self, grad_cols: np.ndarray) -> np.ndarray:

@@ -8,6 +8,23 @@ from repro.nn.init import glorot_uniform
 from repro.nn.layers.base import Layer, Parameter
 
 
+def _flat_matmul(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``x @ weight`` with all leading axes flattened into one GEMM.
+
+    For rank > 2 inputs, ``x @ weight`` dispatches a *stacked* matmul —
+    one small GEMM per leading-axis slice — whose throughput collapses on
+    batched frames (and on non-contiguous views such as decoder skip
+    concatenations).  Collapsing the leading axes first runs a single
+    large GEMM over identical per-element reductions, so the result is
+    unchanged while batch execution scales linearly.
+    """
+    if x.ndim <= 2:
+        return x @ weight
+    lead = x.shape[:-1]
+    flat = np.ascontiguousarray(x).reshape(-1, x.shape[-1])
+    return (flat @ weight).reshape(*lead, weight.shape[-1])
+
+
 class Dense(Layer):
     """Affine map ``y = x @ W + b`` applied to the last axis.
 
@@ -54,7 +71,7 @@ class Dense(Layer):
                 f"got input shape {x.shape}"
             )
         self._x = x
-        y = x @ self.weight.value
+        y = _flat_matmul(x, self.weight.value)
         if self.bias is not None:
             y = y + self.bias.value
         return y
@@ -71,7 +88,7 @@ class Dense(Layer):
         if self.bias is not None:
             axes = tuple(range(grad_output.ndim - 1))
             self.bias.grad += grad_output.sum(axis=axes)
-        return grad_output @ self.weight.value.T
+        return _flat_matmul(grad_output, self.weight.value.T)
 
     def parameters(self) -> list[Parameter]:
         params = [self.weight]

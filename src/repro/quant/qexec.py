@@ -28,7 +28,7 @@ from repro.nn.layers.activations import ReLU, Softmax, Tanh, softmax
 from repro.nn.layers.attention import MultiHeadAttention
 from repro.nn.layers.base import Layer
 from repro.nn.layers.container import Residual, Sequential
-from repro.nn.layers.dense import Dense
+from repro.nn.layers.dense import Dense, _flat_matmul
 from repro.nn.layers.dropout import Dropout
 from repro.nn.layers.embedding import LearnedPositionalEmbedding
 from repro.nn.layers.layernorm import LayerNorm
@@ -71,7 +71,7 @@ def quantized_forward(
 
     if isinstance(layer, Dense):
         weight = _q(scheme.weights, layer.weight.value)
-        y = _q(scheme.arithmetic, x @ weight)
+        y = _q(scheme.arithmetic, _flat_matmul(x, weight))
         if layer.bias is not None:
             y = _q(
                 scheme.arithmetic, y + _q(scheme.arithmetic,
@@ -118,7 +118,7 @@ def _quantized_attention(
     """MHA under quantization: Figs. 6-8 of the paper's accelerator."""
     def project(dense: Dense) -> np.ndarray:
         weight = _q(scheme.weights, dense.weight.value)
-        y = _q(scheme.arithmetic, x @ weight)
+        y = _q(scheme.arithmetic, _flat_matmul(x, weight))
         if dense.bias is not None:
             y = _q(scheme.arithmetic, y + _q(scheme.arithmetic,
                                              dense.bias.value))
@@ -141,7 +141,7 @@ def _quantized_attention(
     merged = layer._merge_heads(context)
 
     weight = _q(scheme.weights, layer.output.weight.value)
-    out = _q(scheme.arithmetic, merged @ weight)
+    out = _q(scheme.arithmetic, _flat_matmul(merged, weight))
     if layer.output.bias is not None:
         out = _q(scheme.arithmetic,
                  out + _q(scheme.arithmetic, layer.output.bias.value))

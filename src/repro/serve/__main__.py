@@ -1,0 +1,189 @@
+"""CLI for the streaming beamforming engine.
+
+Examples::
+
+    # 32 replayed frames through DAS, micro-batched 4-deep
+    PYTHONPATH=src python -m repro.serve --beamformer das --frames 32
+
+    # Simulated live probe at 5 fps through an untrained Tiny-VBF
+    PYTHONPATH=src python -m repro.serve --beamformer tiny_vbf \\
+        --untrained --source probe --fps 5 --frames 20
+
+    # Quantized datapath, lossy backpressure, 2 workers
+    PYTHONPATH=src python -m repro.serve --beamformer "tiny_vbf@20 bits" \\
+        --untrained --backpressure drop_oldest --workers 2
+
+Prints the final telemetry dict as JSON on stdout; progress log lines go
+to stderr via the ``repro.serve`` logger.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+
+from repro.api import create_beamformer, parse_spec
+from repro.serve.engine import ServeEngine
+from repro.serve.queues import BACKPRESSURE_POLICIES
+from repro.serve.sources import ProbeSource, ReplaySource
+from repro.ultrasound import (
+    phantom_contrast,
+    phantom_resolution,
+    simulation_contrast,
+    simulation_resolution,
+    stream_gain_drift,
+)
+
+PRESETS = {
+    "simulation_contrast": simulation_contrast,
+    "simulation_resolution": simulation_resolution,
+    "phantom_contrast": phantom_contrast,
+    "phantom_resolution": phantom_resolution,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=(
+            "Stream simulated plane-wave frames through a beamformer "
+            "with geometry-aware micro-batching."
+        ),
+    )
+    parser.add_argument(
+        "--beamformer",
+        default="das",
+        help="beamformer spec for repro.api.create_beamformer "
+        "(das, mvdr, tiny_vbf, 'tiny_vbf@20 bits', ...)",
+    )
+    parser.add_argument(
+        "--untrained",
+        action="store_true",
+        help="wrap a freshly initialized model instead of the weight "
+        "cache (learned specs only; skips training on first use)",
+    )
+    parser.add_argument(
+        "--source",
+        choices=("replay", "probe"),
+        default="replay",
+        help="replay: gain-perturbed copies of one preset acquisition; "
+        "probe: re-simulated drifting scene per frame",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=tuple(PRESETS),
+        default="simulation_contrast",
+        help="base acquisition preset",
+    )
+    parser.add_argument("--frames", type=int, default=16,
+                        help="stream length")
+    parser.add_argument(
+        "--fps",
+        type=float,
+        default=0.0,
+        help="source frame rate; 0 streams unpaced",
+    )
+    parser.add_argument(
+        "--jitter-ms",
+        type=float,
+        default=0.0,
+        help="Gaussian frame-interval jitter (paced sources)",
+    )
+    parser.add_argument(
+        "--drift-um",
+        type=float,
+        default=50.0,
+        help="probe source: per-frame scatterer drift step (microns)",
+    )
+    parser.add_argument("--max-batch", type=int, default=4)
+    parser.add_argument("--max-latency-ms", type=float, default=25.0)
+    parser.add_argument("--queue-capacity", type=int, default=64)
+    parser.add_argument(
+        "--backpressure",
+        choices=BACKPRESSURE_POLICIES,
+        default="block",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--scale", choices=("small", "paper"), default="small"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--log-every",
+        type=float,
+        default=5.0,
+        help="seconds between telemetry log lines (0 disables)",
+    )
+    return parser
+
+
+def make_beamformer(args: argparse.Namespace):
+    model = None
+    if args.untrained:
+        name, _ = parse_spec(args.beamformer)
+        if name not in ("das", "mvdr"):
+            from repro.models.registry import build_model
+
+            model = build_model(name, args.scale, seed=args.seed)
+    return create_beamformer(
+        args.beamformer, scale=args.scale, seed=args.seed, model=model
+    )
+
+
+def make_source(args: argparse.Namespace):
+    base = PRESETS[args.preset](scale=args.scale)
+    fps = args.fps if args.fps > 0 else None
+    jitter_s = args.jitter_ms / 1e3
+    if args.source == "probe":
+        return ProbeSource(
+            base,
+            n_frames=args.frames,
+            fps=fps,
+            jitter_s=jitter_s,
+            drift_sigma_m=args.drift_um * 1e-6,
+            seed=args.seed,
+        )
+    frames = list(
+        stream_gain_drift(base, args.frames, seed=args.seed)
+    )
+    return ReplaySource(
+        frames, fps=fps, jitter_s=jitter_s, seed=args.seed
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.INFO,
+        format="%(asctime)s %(name)s: %(message)s",
+    )
+    beamformer = make_beamformer(args)
+    source = make_source(args)
+    engine = ServeEngine(
+        beamformer,
+        max_batch=args.max_batch,
+        max_latency_ms=args.max_latency_ms,
+        queue_capacity=args.queue_capacity,
+        backpressure=args.backpressure,
+        n_workers=args.workers,
+        log_every_s=args.log_every,
+    )
+    report = engine.serve(source)
+    payload = {
+        "beamformer": beamformer.describe(),
+        "source": args.source,
+        "preset": args.preset,
+        "frames": args.frames,
+        "completed": report.completed,
+        "dropped": report.dropped,
+        "stats": report.stats,
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

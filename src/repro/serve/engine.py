@@ -1,0 +1,356 @@
+"""The streaming beamforming engine: source → scheduler → workers → sink.
+
+:class:`ServeEngine` turns any :class:`~repro.api.base.Beamformer` into
+a live pipeline:
+
+::
+
+    FrameSource ──▶ ingest queue ──▶ MicroBatcher ──▶ batch queue ──▶ worker pool ──▶ sink
+     (caller thread)  (backpressure)  (batcher thread)   (bounded)     (N threads)     (callback)
+
+* The **caller thread** iterates the source and enqueues frames.  The
+  ingest queue's backpressure policy decides what happens when the
+  pipeline falls behind: ``"block"`` (lossless) or ``"drop_oldest"``
+  (bounded latency, dropped frames are reported by sequence number).
+* The **batcher thread** owns the :class:`MicroBatcher` — it drains the
+  ingest queue, groups frames by acquisition geometry and dispatches
+  micro-batches on ``max_batch``/``max_latency_ms``.
+* **Workers** execute ``beamformer.beamform_batch`` on each micro-batch
+  (same-geometry frames: one cached ToF plan, one stacked model forward)
+  and deliver images to the sink callback and the result table.
+* Pipelining is the point: while a worker beamforms, the caller thread
+  is already waiting on (or simulating) the *next* frames, so
+  acquisition time and compute overlap instead of adding up.
+
+Shutdown is graceful by construction: when the source ends, the ingest
+queue closes, the batcher flushes every pending frame, workers drain the
+batch queue and exit on sentinels — no frame is lost (asserted by the
+tier-1 serve tests).
+
+Output parity: frames are normalized per frame and batch forwards are
+batch-invariant (see ``repro.nn.layers.dense``), so a served image is
+bit-for-bit identical to ``beamformer.beamform(frame)`` offline.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.api.base import Beamformer
+from repro.serve.clock import Clock, MonotonicClock
+from repro.serve.queues import (
+    BACKPRESSURE_POLICIES,
+    BoundedQueue,
+    QueueClosed,
+    QueueTimeout,
+)
+from repro.serve.scheduler import MicroBatch, MicroBatcher, PendingFrame
+from repro.serve.telemetry import ServeTelemetry
+
+logger = logging.getLogger("repro.serve")
+
+#: Sink callback signature: ``(seq, dataset, iq_image) -> None``.
+Sink = Callable[[int, object, np.ndarray], None]
+
+_SENTINEL = object()
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one :meth:`ServeEngine.serve` run.
+
+    Attributes:
+        images: per-frame complex IQ images indexed by submission
+            sequence; ``None`` where the frame was dropped by
+            backpressure.
+        dropped: sequence numbers evicted under ``drop_oldest``.
+        stats: the run's telemetry dict
+            (:meth:`~repro.serve.telemetry.ServeTelemetry.stats`).
+    """
+
+    images: list[np.ndarray | None]
+    dropped: list[int]
+    stats: dict
+
+    @property
+    def completed(self) -> int:
+        return sum(image is not None for image in self.images)
+
+
+class ServeEngine:
+    """Micro-batching streaming executor over one beamformer.
+
+    Args:
+        beamformer: any :class:`~repro.api.base.Beamformer`.
+        max_batch: micro-batch size cap (scheduler flush trigger).
+        max_latency_ms: batching deadline — no frame waits longer than
+            this for its batch to fill.
+        queue_capacity: ingest queue bound (backpressure kicks in here).
+        backpressure: ``"block"`` or ``"drop_oldest"``.
+        n_workers: beamforming worker threads.  NumPy releases the GIL
+            inside its kernels, so workers overlap on multicore hosts;
+            on a single core they still overlap compute with ingest
+            waits.
+        clock: time source.  The engine runs real threads, so only a
+            monotonic clock makes sense here; the injectable parameter
+            exists for telemetry determinism in tests.
+        log_every_s: period of the telemetry log line (0 disables).
+    """
+
+    def __init__(
+        self,
+        beamformer: Beamformer,
+        max_batch: int = 4,
+        max_latency_ms: float = 25.0,
+        queue_capacity: int = 64,
+        backpressure: str = "block",
+        n_workers: int = 1,
+        clock: Clock | None = None,
+        log_every_s: float = 10.0,
+    ) -> None:
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {backpressure!r}"
+            )
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.beamformer = beamformer
+        self.max_batch = max_batch
+        self.max_latency_ms = max_latency_ms
+        self.queue_capacity = queue_capacity
+        self.backpressure = backpressure
+        self.n_workers = n_workers
+        self.clock = clock or MonotonicClock()
+        self.log_every_s = log_every_s
+
+    # -- pipeline stages -------------------------------------------------
+
+    def _batcher_loop(
+        self,
+        ingest: BoundedQueue,
+        batches: BoundedQueue,
+        telemetry: ServeTelemetry,
+        errors: list[BaseException],
+    ) -> None:
+        """Drain ingest into the scheduler; dispatch due micro-batches.
+
+        Wrapped so that *any* failure (e.g. a frame whose geometry
+        cannot be keyed) still closes the ingest queue — unblocking the
+        producer — and still delivers the worker sentinels: a dead
+        batcher must degrade into a raised exception, never a deadlock.
+        """
+        try:
+            self._batch_frames(ingest, batches, telemetry)
+        except BaseException as exc:  # re-raised by serve() after join
+            errors.append(exc)
+            ingest.close()
+        finally:
+            for _ in range(self.n_workers):
+                batches.put(_SENTINEL)
+
+    def _batch_frames(
+        self,
+        ingest: BoundedQueue,
+        batches: BoundedQueue,
+        telemetry: ServeTelemetry,
+    ) -> None:
+        scheduler = MicroBatcher(
+            max_batch=self.max_batch,
+            max_latency_s=self.max_latency_ms / 1e3,
+            clock=self.clock,
+        )
+
+        def dispatch(batch: MicroBatch) -> None:
+            batches.put(batch)
+            telemetry.observe_queue_depth("batch", len(batches))
+
+        while True:
+            deadline = scheduler.next_deadline()
+            timeout = (
+                None
+                if deadline is None
+                else max(0.0, deadline - self.clock.now())
+            )
+            try:
+                scheduler.add(ingest.get(timeout=timeout))
+                # Opportunistically drain whatever else already arrived
+                # so a burst becomes one batch, not max_batch batches —
+                # but never hold more than a batch's worth of frames:
+                # backpressure must build in the *bounded* ingest queue,
+                # not in the scheduler.
+                while (
+                    len(ingest) > 0
+                    and scheduler.pending < self.max_batch
+                ):
+                    try:
+                        scheduler.add(ingest.get(timeout=0.0))
+                    except (QueueTimeout, QueueClosed):
+                        break
+            except QueueTimeout:
+                pass  # a deadline expired; ready() flushes it below
+            except QueueClosed:
+                for batch in scheduler.flush():
+                    dispatch(batch)
+                return
+            for batch in scheduler.ready():
+                dispatch(batch)
+
+    def _worker_loop(
+        self,
+        batches: BoundedQueue,
+        results: dict[int, np.ndarray],
+        results_lock: threading.Lock,
+        telemetry: ServeTelemetry,
+        sink: Sink | None,
+        errors: list[BaseException],
+        log_state: dict,
+    ) -> None:
+        """Execute micro-batches until the sentinel arrives.
+
+        A failed worker keeps *draining* its queue (discarding batches)
+        rather than exiting: with a dead consumer the batcher's blocking
+        dispatch — and behind it the ingest thread — would deadlock.
+        The recorded exception is re-raised by :meth:`serve` after
+        shutdown.
+        """
+        failed = False
+        while True:
+            batch = batches.get()
+            if batch is _SENTINEL:
+                return
+            if failed:
+                continue
+            dispatch_time = self.clock.now()
+            datasets = [frame.dataset for frame in batch.frames]
+            try:
+                images = self.beamformer.beamform_batch(datasets)
+                done_time = self.clock.now()
+                with results_lock:
+                    for frame, image in zip(batch.frames, images):
+                        results[frame.seq] = image
+                telemetry.batch_done(
+                    [frame.submitted_at for frame in batch.frames],
+                    dispatch_time,
+                    done_time,
+                )
+                if sink is not None:
+                    for frame, image in zip(batch.frames, images):
+                        sink(frame.seq, frame.dataset, image)
+            except BaseException as exc:  # propagated after join
+                with results_lock:
+                    errors.append(exc)
+                failed = True
+                continue
+            self._maybe_log(telemetry, log_state)
+
+    def _maybe_log(self, telemetry: ServeTelemetry, state: dict) -> None:
+        if self.log_every_s <= 0:
+            return
+        now = self.clock.now()
+        with state["lock"]:
+            if now - state["last"] < self.log_every_s:
+                return
+            state["last"] = now
+        logger.info(telemetry.log_line())
+
+    # -- entry point -----------------------------------------------------
+
+    def serve(
+        self, source: Iterable, sink: Sink | None = None
+    ) -> ServeReport:
+        """Run the pipeline over ``source`` until it is exhausted.
+
+        Args:
+            source: any iterable of plane-wave datasets (typically a
+                :class:`~repro.serve.sources.FrameSource`).
+            sink: optional per-image callback ``(seq, dataset, image)``,
+                invoked from worker threads as results complete.
+
+        Returns:
+            A :class:`ServeReport` with images in submission order.
+
+        Raises:
+            The first worker/sink exception, if any stage failed.
+        """
+        telemetry = ServeTelemetry(clock=self.clock)
+        ingest = BoundedQueue(self.queue_capacity, self.backpressure)
+        batches = BoundedQueue(
+            max(2, 2 * self.n_workers), "block"
+        )
+        results: dict[int, np.ndarray] = {}
+        results_lock = threading.Lock()
+        errors: list[BaseException] = []
+        dropped: list[int] = []
+        log_state = {"lock": threading.Lock(), "last": self.clock.now()}
+
+        batcher = threading.Thread(
+            target=self._batcher_loop,
+            args=(ingest, batches, telemetry, errors),
+            name="serve-batcher",
+            daemon=True,
+        )
+        workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(
+                    batches,
+                    results,
+                    results_lock,
+                    telemetry,
+                    sink,
+                    errors,
+                    log_state,
+                ),
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self.n_workers)
+        ]
+        batcher.start()
+        for worker in workers:
+            worker.start()
+
+        seq = 0
+        try:
+            for dataset in source:
+                submitted_at = telemetry.frame_submitted()
+                frame = PendingFrame(
+                    seq=seq, dataset=dataset, submitted_at=submitted_at
+                )
+                seq += 1
+                try:
+                    evicted = ingest.put(frame)
+                except QueueClosed:
+                    # The batcher failed and closed the queue; stop
+                    # ingesting and surface its exception below.
+                    break
+                if evicted is not None:
+                    dropped.append(evicted.seq)
+                    telemetry.frame_dropped()
+                telemetry.observe_queue_depth("ingest", len(ingest))
+        finally:
+            ingest.close()
+            batcher.join()
+            for worker in workers:
+                worker.join()
+
+        if errors:
+            raise errors[0]
+
+        images: list[np.ndarray | None] = [
+            results.get(index) for index in range(seq)
+        ]
+        report = ServeReport(
+            images=images,
+            dropped=sorted(dropped),
+            stats=telemetry.stats(),
+        )
+        if self.log_every_s > 0:
+            logger.info("serve finished: %s", telemetry.log_line())
+        return report

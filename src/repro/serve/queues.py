@@ -1,0 +1,136 @@
+"""Bounded FIFO queue with an explicit backpressure policy.
+
+The serving pipeline is a chain of stages connected by queues; what
+happens when a stage falls behind is a *policy decision*, not an
+accident.  :class:`BoundedQueue` makes the two supported answers
+explicit:
+
+* ``"block"`` — the producer waits for space.  Nothing is lost; ingest
+  slows to the pipeline's pace (lossless replay, offline batch jobs).
+* ``"drop_oldest"`` — the oldest queued item is evicted to make room and
+  returned to the producer for accounting.  Latency stays bounded at the
+  cost of frames (live probe streams, where a stale frame is worthless).
+
+``close()`` performs the shutdown handshake: producers can no longer
+put, consumers drain what remains and then see :class:`QueueClosed`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+BACKPRESSURE_POLICIES = ("block", "drop_oldest")
+
+
+class QueueClosed(Exception):
+    """Raised on ``put`` after close, or on ``get`` once drained."""
+
+
+class QueueTimeout(Exception):
+    """Raised when a timed ``get``/``put`` expires without progress."""
+
+
+class BoundedQueue:
+    """Thread-safe bounded FIFO (see module docstring for the policies).
+
+    Attributes:
+        capacity: maximum number of queued items.
+        policy: ``"block"`` or ``"drop_oldest"``.
+    """
+
+    def __init__(self, capacity: int, policy: str = "block") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"policy must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {policy!r}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._items: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self._dropped = 0
+        self._high_water = 0
+
+    def put(self, item: Any, timeout: float | None = None) -> Any | None:
+        """Enqueue ``item``; returns the evicted item under
+        ``drop_oldest`` (``None`` otherwise).
+
+        Raises:
+            QueueClosed: the queue was closed.
+            QueueTimeout: ``block`` policy and no space within
+                ``timeout`` seconds.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed
+            evicted = None
+            if len(self._items) >= self.capacity:
+                if self.policy == "drop_oldest":
+                    evicted = self._items.popleft()
+                    self._dropped += 1
+                else:
+                    if not self._not_full.wait_for(
+                        lambda: self._closed
+                        or len(self._items) < self.capacity,
+                        timeout=timeout,
+                    ):
+                        raise QueueTimeout
+                    if self._closed:
+                        raise QueueClosed
+            self._items.append(item)
+            self._high_water = max(self._high_water, len(self._items))
+            self._not_empty.notify()
+            return evicted
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Dequeue the oldest item.
+
+        Raises:
+            QueueClosed: the queue is closed *and* fully drained.
+            QueueTimeout: nothing arrived within ``timeout`` seconds.
+        """
+        with self._lock:
+            if not self._not_empty.wait_for(
+                lambda: self._closed or self._items, timeout=timeout
+            ):
+                raise QueueTimeout
+            if not self._items:
+                raise QueueClosed
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Refuse further puts; consumers drain the remainder."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def dropped(self) -> int:
+        """Items evicted so far under ``drop_oldest``."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def high_water(self) -> int:
+        """Deepest the queue has been since construction."""
+        with self._lock:
+            return self._high_water

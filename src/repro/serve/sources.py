@@ -1,0 +1,157 @@
+"""Frame sources: where serving traffic comes from.
+
+A :class:`FrameSource` is anything that yields
+:class:`~repro.ultrasound.datasets.PlaneWaveDataset` frames when
+iterated.  Two concrete sources cover the serving scenarios:
+
+* :class:`ReplaySource` — replays a recorded list of frames (optionally
+  several times, optionally paced at a frame rate).  Deterministic;
+  the bench/test workhorse.
+* :class:`ProbeSource` — a simulated live probe: each frame advances a
+  drifting scatterer scene and re-runs the plane-wave forward model
+  (:func:`repro.ultrasound.streaming.stream_scene_drift`), paced at a
+  configurable frame rate with optional timing jitter.
+
+Pacing goes through the injected :class:`~repro.serve.clock.Clock`, so a
+:class:`~repro.serve.clock.FakeClock` turns both sources into
+no-sleep deterministic iterators for tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Sequence
+
+from repro.serve.clock import Clock, MonotonicClock
+from repro.ultrasound.datasets import PlaneWaveDataset
+from repro.ultrasound.streaming import stream_scene_drift
+from repro.utils.rng import make_rng
+
+
+class FrameSource(abc.ABC):
+    """Iterable stream of plane-wave frames."""
+
+    @abc.abstractmethod
+    def frames(self) -> Iterator[PlaneWaveDataset]:
+        """Yield frames until the stream ends."""
+
+    def __iter__(self) -> Iterator[PlaneWaveDataset]:
+        return self.frames()
+
+
+class _PacedSource(FrameSource):
+    """Shared frame-interval pacing: sleep ``1/fps`` (+/- jitter) before
+    each yield, through the injected clock."""
+
+    def __init__(
+        self,
+        fps: float | None,
+        jitter_s: float,
+        seed: int,
+        clock: Clock | None,
+    ) -> None:
+        if fps is not None and fps <= 0:
+            raise ValueError(f"fps must be > 0 (or None), got {fps}")
+        if jitter_s < 0:
+            raise ValueError(f"jitter_s must be >= 0, got {jitter_s}")
+        self.fps = fps
+        self.jitter_s = jitter_s
+        self.clock = clock or MonotonicClock()
+        self._pacing_rng = make_rng(seed)
+
+    def _pace(self) -> None:
+        if self.fps is None:
+            return
+        interval = 1.0 / self.fps
+        if self.jitter_s:
+            interval += float(
+                self._pacing_rng.normal(0.0, self.jitter_s)
+            )
+        self.clock.sleep(max(0.0, interval))
+
+
+class ReplaySource(_PacedSource):
+    """Replay recorded frames, optionally repeated and paced.
+
+    Args:
+        frames: the frames to replay, in order.
+        repeat: how many times to replay the list (>= 1).
+        fps: frame rate; ``None`` replays as fast as consumed.
+        jitter_s: Gaussian jitter on the frame interval (paced only).
+        seed: pacing-jitter seed.
+        clock: time source for pacing.
+    """
+
+    def __init__(
+        self,
+        frames: Sequence[PlaneWaveDataset],
+        repeat: int = 1,
+        fps: float | None = None,
+        jitter_s: float = 0.0,
+        seed: int = 0,
+        clock: Clock | None = None,
+    ) -> None:
+        super().__init__(fps, jitter_s, seed, clock)
+        frames = list(frames)
+        if not frames:
+            raise ValueError("ReplaySource needs at least one frame")
+        if repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {repeat}")
+        self._frames = frames
+        self.repeat = repeat
+
+    def __len__(self) -> int:
+        return len(self._frames) * self.repeat
+
+    def frames(self) -> Iterator[PlaneWaveDataset]:
+        for _ in range(self.repeat):
+            for frame in self._frames:
+                self._pace()
+                yield frame
+
+
+class ProbeSource(_PacedSource):
+    """Simulated live probe: drifting scene, fresh physics per frame.
+
+    Args:
+        base: dataset defining the acquisition geometry and start scene.
+        n_frames: stream length.
+        fps: acquisition frame rate; ``None`` = unpaced.
+        jitter_s: Gaussian timing jitter on the frame interval.
+        drift_sigma_m: per-frame scatterer random-walk step
+            (see :func:`repro.ultrasound.streaming.drifted_phantom`).
+        seed: drives both scene drift and pacing jitter.
+        clock: time source for pacing.
+    """
+
+    def __init__(
+        self,
+        base: PlaneWaveDataset,
+        n_frames: int,
+        fps: float | None = None,
+        jitter_s: float = 0.0,
+        drift_sigma_m: float = 50e-6,
+        seed: int = 0,
+        clock: Clock | None = None,
+    ) -> None:
+        super().__init__(fps, jitter_s, seed, clock)
+        if n_frames < 1:
+            raise ValueError(f"n_frames must be >= 1, got {n_frames}")
+        self.base = base
+        self.n_frames = n_frames
+        self.drift_sigma_m = drift_sigma_m
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return self.n_frames
+
+    def frames(self) -> Iterator[PlaneWaveDataset]:
+        stream = stream_scene_drift(
+            self.base,
+            self.n_frames,
+            drift_sigma_m=self.drift_sigma_m,
+            seed=self.seed,
+        )
+        for frame in stream:
+            self._pace()
+            yield frame

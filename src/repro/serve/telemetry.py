@@ -1,0 +1,182 @@
+"""Serving observability: per-stage latency, throughput, queue depth.
+
+One :class:`ServeTelemetry` instance rides along a serving run.  Every
+frame contributes to three stage histograms —
+
+* ``queue_wait`` — submit → micro-batch dispatch,
+* ``execute`` — batch dispatch → beamformed,
+* ``total`` — submit → beamformed,
+
+plus batch-size and queue-depth gauges and the ToF-plan-cache hit rate
+over the run.  The hit rate is a delta against the process-wide cache
+counters, so earlier runs don't pollute it — but it attributes *all*
+cache traffic during the run to this run: concurrent serving runs (or a
+mid-run ``clear_tof_plan_cache``) will skew the reported rate.  Run one
+engine at a time when the hit rate matters.  ``stats()`` returns the
+whole picture
+as one dict (the shape serialized into ``BENCH_serve.json``);
+``log_line()`` compresses it into the periodic one-liner the engine
+logs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.beamform.tof import tof_plan_cache_stats
+from repro.serve.clock import Clock, MonotonicClock
+
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class LatencyStats:
+    """Streaming latency accumulator with percentile snapshots."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def snapshot(self) -> dict:
+        """``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}``."""
+        if not self._samples:
+            return {"count": 0}
+        values = np.asarray(self._samples) * 1e3
+        p50, p95, p99 = np.percentile(values, PERCENTILES)
+        return {
+            "count": int(values.size),
+            "mean_ms": float(values.mean()),
+            "p50_ms": float(p50),
+            "p95_ms": float(p95),
+            "p99_ms": float(p99),
+            "max_ms": float(values.max()),
+        }
+
+
+class ServeTelemetry:
+    """Thread-safe counters and histograms for one serving run."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock or MonotonicClock()
+        self._lock = threading.Lock()
+        self._stages = {
+            "queue_wait": LatencyStats(),
+            "execute": LatencyStats(),
+            "total": LatencyStats(),
+        }
+        self._batch_sizes: list[int] = []
+        self._queue_high_water: dict[str, int] = {}
+        self._frames_in = 0
+        self._frames_done = 0
+        self._frames_dropped = 0
+        self._first_in: float | None = None
+        self._last_done: float | None = None
+        self._cache_start = tof_plan_cache_stats()
+
+    # -- recording -------------------------------------------------------
+
+    def frame_submitted(self) -> float:
+        """Count one ingested frame; returns its submit timestamp."""
+        now = self.clock.now()
+        with self._lock:
+            self._frames_in += 1
+            if self._first_in is None:
+                self._first_in = now
+        return now
+
+    def frame_dropped(self, count: int = 1) -> None:
+        with self._lock:
+            self._frames_dropped += count
+
+    def batch_done(
+        self,
+        submit_times: list[float],
+        dispatch_time: float,
+        done_time: float,
+    ) -> None:
+        """Record one executed micro-batch's per-frame stage latencies."""
+        with self._lock:
+            self._batch_sizes.append(len(submit_times))
+            for submitted in submit_times:
+                self._stages["queue_wait"].record(
+                    dispatch_time - submitted
+                )
+                self._stages["execute"].record(done_time - dispatch_time)
+                self._stages["total"].record(done_time - submitted)
+            self._frames_done += len(submit_times)
+            self._last_done = done_time
+
+    def observe_queue_depth(self, name: str, depth: int) -> None:
+        with self._lock:
+            previous = self._queue_high_water.get(name, 0)
+            self._queue_high_water[name] = max(previous, depth)
+
+    # -- reporting -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregate view of the run so far (JSON-serializable)."""
+        cache_now = tof_plan_cache_stats()
+        with self._lock:
+            hits = cache_now["hits"] - self._cache_start["hits"]
+            misses = cache_now["misses"] - self._cache_start["misses"]
+            lookups = hits + misses
+            elapsed = None
+            throughput = None
+            if self._first_in is not None and self._last_done is not None:
+                elapsed = self._last_done - self._first_in
+                if elapsed > 0:
+                    throughput = self._frames_done / elapsed
+            sizes = np.asarray(self._batch_sizes) if self._batch_sizes \
+                else np.zeros(0)
+            return {
+                "frames_in": self._frames_in,
+                "frames_done": self._frames_done,
+                "frames_dropped": self._frames_dropped,
+                "elapsed_s": elapsed,
+                "throughput_frames_per_s": throughput,
+                "batches": int(sizes.size),
+                "mean_batch_size": (
+                    float(sizes.mean()) if sizes.size else None
+                ),
+                "max_batch_size": (
+                    int(sizes.max()) if sizes.size else None
+                ),
+                "stages": {
+                    name: stats.snapshot()
+                    for name, stats in self._stages.items()
+                },
+                "queue_high_water": dict(self._queue_high_water),
+                "plan_cache": {
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": (hits / lookups) if lookups else None,
+                },
+            }
+
+    def log_line(self) -> str:
+        """One-line progress summary for the periodic serve log."""
+        stats = self.stats()
+        total = stats["stages"]["total"]
+        throughput = stats["throughput_frames_per_s"]
+        hit_rate = stats["plan_cache"]["hit_rate"]
+        rate = (
+            f"{throughput:.2f} frames/s" if throughput else "warming up"
+        )
+        hits = f"{hit_rate:.0%}" if hit_rate is not None else "n/a"
+        return (
+            f"served {stats['frames_done']}/{stats['frames_in']} frames "
+            f"({stats['frames_dropped']} dropped) | {rate} | "
+            f"latency p50/p95/p99 "
+            f"{total.get('p50_ms', 0.0):.1f}/"
+            f"{total.get('p95_ms', 0.0):.1f}/"
+            f"{total.get('p99_ms', 0.0):.1f} ms | "
+            f"mean batch {stats['mean_batch_size'] or 0:.1f} | "
+            f"plan-cache hit rate {hits}"
+        )

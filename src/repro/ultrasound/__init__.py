@@ -41,6 +41,11 @@ from repro.ultrasound.datasets import (
     multi_angle_set,
     training_frames,
 )
+from repro.ultrasound.streaming import (
+    drifted_phantom,
+    stream_gain_drift,
+    stream_scene_drift,
+)
 
 __all__ = [
     "LinearProbe",
@@ -66,4 +71,7 @@ __all__ = [
     "phantom_contrast",
     "multi_angle_set",
     "training_frames",
+    "drifted_phantom",
+    "stream_gain_drift",
+    "stream_scene_drift",
 ]

@@ -157,9 +157,14 @@ def _n_speckle(scale: str) -> int:
     return 30000 if scale == "paper" else 6000
 
 
-def _acquisition(
+def acquisition_for(
     probe: LinearProbe, medium: Medium, grid: ImagingGrid
 ) -> PlaneWaveAcquisition:
+    """The acquisition every preset (and streamed frame) records with:
+    depth coverage is the grid's deepest row plus a 3 mm margin.  Shared
+    with :mod:`repro.ultrasound.streaming` so re-simulated frames always
+    reproduce the base dataset's record length (and thus its ToF plan).
+    """
     return PlaneWaveAcquisition(
         probe=probe,
         medium=medium,
@@ -256,7 +261,7 @@ def _contrast_dataset(
         n_scatterers=_n_speckle(scale),
         seed=seed,
     )
-    acquisition = _acquisition(probe, medium, grid)
+    acquisition = acquisition_for(probe, medium, grid)
     rf = simulate_rf(acquisition, phantom, angle_rad=0.0)
     if in_vitro:
         rf = in_vitro_impairments(rf, seed=seed + 1)
@@ -301,7 +306,7 @@ def _resolution_dataset(
     points = resolution_point_layout(row_depths_m, lateral_offsets)
     phantom = point_phantom(points, amplitude=1.0)
 
-    acquisition = _acquisition(probe, medium, grid)
+    acquisition = acquisition_for(probe, medium, grid)
     rf = simulate_rf(acquisition, phantom, angle_rad=0.0)
     if in_vitro:
         rf = in_vitro_impairments(rf, seed=seed + 1, snr_db=35.0)
@@ -351,7 +356,7 @@ def training_frames(
     probe = _probe_for(scale)
     grid = _grid_for(scale)
     medium = _IN_SILICO_MEDIUM
-    acquisition = _acquisition(probe, medium, grid)
+    acquisition = acquisition_for(probe, medium, grid)
     x_span, z_span = _speckle_region(grid)
 
     frames = []
@@ -494,6 +499,6 @@ def multi_angle_set(
     angles = np.deg2rad(
         np.linspace(-max_angle_deg, max_angle_deg, n_angles)
     )
-    acquisition = _acquisition(base.probe, base.medium, base.grid)
+    acquisition = acquisition_for(base.probe, base.medium, base.grid)
     rf_stack = simulate_multi_angle_rf(acquisition, base.phantom, angles)
     return MultiAngleDataset(base=base, rf_stack=rf_stack, angles_rad=angles)

@@ -128,3 +128,67 @@ class TestPlanCache:
     def test_rejects_bad_cache_size(self):
         with pytest.raises(ValueError):
             set_tof_plan_cache_size(0)
+
+
+class TestCacheThreadSafety:
+    """The serve worker pool hits the plan cache concurrently; the LRU
+    OrderedDict and its counters must survive that (satellite of the
+    repro.serve PR)."""
+
+    def test_concurrent_lookups_stay_consistent(self, probe, grid):
+        import threading
+
+        set_tof_plan_cache_size(4)
+        n_threads, n_rounds, n_geometries = 8, 30, 6
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def hammer(thread_index):
+            try:
+                barrier.wait()
+                for round_index in range(n_rounds):
+                    n = 100 + (thread_index + round_index) % n_geometries
+                    plan = get_tof_plan(probe, grid, n)
+                    assert plan.n_samples == n
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = tof_plan_cache_stats()
+        # Every lookup is accounted exactly once (no torn counters) and
+        # eviction kept the cache within bounds.
+        assert stats["hits"] + stats["misses"] == n_threads * n_rounds
+        assert stats["size"] <= 4
+
+    def test_concurrent_same_geometry_returns_identical_tables(
+        self, probe, grid
+    ):
+        import threading
+
+        plans = []
+        barrier = threading.Barrier(4)
+
+        def fetch():
+            barrier.wait()
+            plans.append(get_tof_plan(probe, grid, 256))
+
+        threads = [threading.Thread(target=fetch) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        reference = plans[0]
+        for plan in plans[1:]:
+            # Duplicate builds during a simultaneous miss are benign,
+            # but every caller must see identical delay tables.
+            assert np.array_equal(plan.idx0, reference.idx0)
+            assert np.array_equal(plan.frac, reference.frac)
+            assert np.array_equal(plan.valid, reference.valid)

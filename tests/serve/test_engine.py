@@ -1,0 +1,241 @@
+"""End-to-end ServeEngine behaviour: parity, conservation, backpressure.
+
+The engine runs real threads, but no test here sleeps or depends on
+timing: assertions are interleaving-independent invariants (bit-for-bit
+parity with the offline API, frame conservation through shutdown, the
+dropped/completed partition under lossy backpressure).
+"""
+
+import threading
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.api import Beamformer, create_beamformer
+from repro.models.registry import build_model
+from repro.serve import ReplaySource, ServeEngine
+from repro.ultrasound import stream_gain_drift
+
+N_FRAMES = 10
+
+
+@pytest.fixture(scope="module")
+def frames(sim_contrast_dataset):
+    return list(stream_gain_drift(sim_contrast_dataset, N_FRAMES, seed=11))
+
+
+@pytest.fixture(scope="module")
+def mixed_frames(sim_contrast_dataset):
+    # A steered copy is a distinct acquisition geometry (distinct plan
+    # key); interleaving the two exercises geometry grouping end to end.
+    steered = replace(sim_contrast_dataset, angle_rad=np.deg2rad(5.0))
+    straight = stream_gain_drift(sim_contrast_dataset, 4, seed=12)
+    angled = stream_gain_drift(steered, 4, seed=13)
+    interleaved = []
+    for a, b in zip(straight, angled):
+        interleaved += [a, b]
+    return interleaved
+
+
+class GatedBeamformer(Beamformer):
+    """DAS wrapper whose workers block until ``release()`` — lets tests
+    force the pipeline to back up without sleeping."""
+
+    name = "gated_das"
+
+    def __init__(self) -> None:
+        self.inner = create_beamformer("das")
+        self.gate = threading.Event()
+
+    def release(self) -> None:
+        self.gate.set()
+
+    def beamform(self, dataset):
+        self.gate.wait()
+        return self.inner.beamform(dataset)
+
+    def beamform_batch(self, datasets):
+        self.gate.wait()
+        return self.inner.beamform_batch(datasets)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "backend": "test"}
+
+
+class ReleasingSource:
+    """Yields recorded frames, then opens the gate — guaranteeing every
+    frame was submitted (and backpressure fully applied) before any
+    compute happens."""
+
+    def __init__(self, frames, beamformer: GatedBeamformer) -> None:
+        self.frames = frames
+        self.beamformer = beamformer
+
+    def __iter__(self):
+        yield from self.frames
+        self.beamformer.release()
+
+
+class TestLosslessServing:
+    def test_no_lost_frames_and_bitwise_parity_das(self, frames):
+        beamformer = create_beamformer("das")
+        engine = ServeEngine(
+            beamformer, max_batch=4, queue_capacity=4, log_every_s=0
+        )
+        report = engine.serve(ReplaySource(frames))
+        assert report.completed == N_FRAMES
+        assert report.dropped == []
+        for frame, image in zip(frames, report.images):
+            assert np.array_equal(image, beamformer.beamform(frame))
+
+    def test_bitwise_parity_learned_microbatched(self, frames):
+        model = build_model("tiny_vbf", "small", seed=0)
+        beamformer = create_beamformer("tiny_vbf", model=model)
+        engine = ServeEngine(beamformer, max_batch=4, log_every_s=0)
+        report = engine.serve(ReplaySource(frames[:6]))
+        assert report.completed == 6
+        # Micro-batched stacked forwards must reproduce the offline
+        # single-frame path bit for bit (batch-invariant kernels).
+        for frame, image in zip(frames, report.images):
+            assert np.array_equal(image, beamformer.beamform(frame))
+
+    def test_multiple_workers_preserve_order_and_parity(self, frames):
+        beamformer = create_beamformer("das")
+        engine = ServeEngine(
+            beamformer, max_batch=2, n_workers=3, log_every_s=0
+        )
+        report = engine.serve(ReplaySource(frames))
+        assert report.completed == N_FRAMES
+        for frame, image in zip(frames, report.images):
+            assert np.array_equal(image, beamformer.beamform(frame))
+
+    def test_mixed_geometries_served_correctly(self, mixed_frames):
+        beamformer = create_beamformer("das")
+        engine = ServeEngine(beamformer, max_batch=4, log_every_s=0)
+        report = engine.serve(ReplaySource(mixed_frames))
+        assert report.completed == len(mixed_frames)
+        for frame, image in zip(mixed_frames, report.images):
+            assert np.array_equal(image, beamformer.beamform(frame))
+
+    def test_tight_queue_block_policy_loses_nothing(self, frames):
+        # Capacity 1 forces the ingest thread to block on every frame;
+        # conservation through shutdown must still hold.
+        engine = ServeEngine(
+            create_beamformer("das"),
+            max_batch=2,
+            queue_capacity=1,
+            backpressure="block",
+            log_every_s=0,
+        )
+        report = engine.serve(ReplaySource(frames))
+        assert report.completed == N_FRAMES
+        assert report.dropped == []
+
+    def test_sink_sees_every_frame_once(self, frames):
+        beamformer = create_beamformer("das")
+        engine = ServeEngine(beamformer, max_batch=3, log_every_s=0)
+        seen: dict[int, np.ndarray] = {}
+        lock = threading.Lock()
+
+        def sink(seq, dataset, image):
+            with lock:
+                assert seq not in seen
+                seen[seq] = image
+
+        report = engine.serve(ReplaySource(frames), sink=sink)
+        assert sorted(seen) == list(range(N_FRAMES))
+        for seq, image in seen.items():
+            assert np.array_equal(image, report.images[seq])
+
+
+class TestBackpressureDropOldest:
+    def test_drops_partition_and_survivors_are_correct(self, frames):
+        beamformer = GatedBeamformer()
+        engine = ServeEngine(
+            beamformer,
+            max_batch=2,
+            queue_capacity=2,
+            backpressure="drop_oldest",
+            log_every_s=0,
+        )
+        stream = frames * 3  # 30 frames against ~10 slots of pipeline
+        report = engine.serve(ReleasingSource(stream, beamformer))
+        assert len(report.images) == len(stream)
+        # Conservation: every submitted frame is exactly one of
+        # completed / dropped.
+        assert report.completed + len(report.dropped) == len(stream)
+        for seq, image in enumerate(report.images):
+            if seq in set(report.dropped):
+                assert image is None
+            else:
+                assert np.array_equal(
+                    image, beamformer.inner.beamform(stream[seq])
+                )
+        # The pipeline cannot hold 30 in-flight frames at capacity 2:
+        # lossy backpressure must actually have dropped something.
+        assert report.dropped
+        assert report.stats["frames_dropped"] == len(report.dropped)
+
+
+class TestTelemetryReport:
+    def test_stats_reflect_run(self, frames):
+        engine = ServeEngine(
+            create_beamformer("das"), max_batch=5, log_every_s=0
+        )
+        report = engine.serve(ReplaySource(frames))
+        stats = report.stats
+        assert stats["frames_in"] == N_FRAMES
+        assert stats["frames_done"] == N_FRAMES
+        assert stats["throughput_frames_per_s"] > 0
+        assert stats["stages"]["total"]["count"] == N_FRAMES
+        assert 1 <= stats["max_batch_size"] <= 5
+        # Same geometry throughout: at most one plan build.
+        assert stats["plan_cache"]["misses"] <= 1
+
+    def test_batches_respect_max_batch(self, frames):
+        engine = ServeEngine(
+            create_beamformer("das"), max_batch=3, log_every_s=0
+        )
+        report = engine.serve(ReplaySource(frames))
+        assert report.stats["max_batch_size"] <= 3
+
+
+class TestFailure:
+    def test_worker_error_propagates_without_hanging(self, frames):
+        class ExplodingBeamformer(Beamformer):
+            name = "exploding"
+
+            def beamform(self, dataset):
+                raise RuntimeError("boom")
+
+            def describe(self):
+                return {"name": self.name, "backend": "test"}
+
+        engine = ServeEngine(
+            ExplodingBeamformer(),
+            max_batch=2,
+            queue_capacity=2,
+            log_every_s=0,
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.serve(ReplaySource(frames))
+
+    def test_batcher_error_propagates_without_hanging(self):
+        # Objects without probe/grid/... blow up inside the batcher
+        # thread (dataset_plan_key); the engine must surface that as an
+        # exception, not a deadlock of blocked producer and workers.
+        engine = ServeEngine(
+            create_beamformer("das"),
+            max_batch=2,
+            queue_capacity=2,
+            log_every_s=0,
+        )
+        with pytest.raises(AttributeError):
+            engine.serve([object()] * 10)
+
+    def test_rejects_bad_config(self, frames):
+        with pytest.raises(ValueError):
+            ServeEngine(create_beamformer("das"), backpressure="spill")
+        with pytest.raises(ValueError):
+            ServeEngine(create_beamformer("das"), n_workers=0)

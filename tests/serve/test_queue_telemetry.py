@@ -1,0 +1,149 @@
+"""BoundedQueue backpressure semantics and telemetry aggregation.
+
+Both are exercised single-threaded and with a fake clock — the
+policies/percentiles are pure logic; thread interleaving is covered by
+the engine tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BoundedQueue,
+    FakeClock,
+    LatencyStats,
+    QueueClosed,
+    QueueTimeout,
+    ServeTelemetry,
+)
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        queue = BoundedQueue(4)
+        for item in "abc":
+            queue.put(item)
+        assert [queue.get() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_block_policy_times_out_when_full(self):
+        queue = BoundedQueue(2, "block")
+        queue.put(1)
+        queue.put(2)
+        with pytest.raises(QueueTimeout):
+            queue.put(3, timeout=0.0)
+
+    def test_drop_oldest_evicts_and_returns_head(self):
+        queue = BoundedQueue(2, "drop_oldest")
+        assert queue.put("a") is None
+        assert queue.put("b") is None
+        assert queue.put("c") == "a"
+        assert queue.dropped == 1
+        assert [queue.get(), queue.get()] == ["b", "c"]
+
+    def test_get_timeout_on_empty(self):
+        with pytest.raises(QueueTimeout):
+            BoundedQueue(1).get(timeout=0.0)
+
+    def test_close_rejects_puts_but_drains_gets(self):
+        queue = BoundedQueue(4)
+        queue.put("tail")
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("late")
+        assert queue.get() == "tail"
+        with pytest.raises(QueueClosed):
+            queue.get()
+
+    def test_high_water_tracks_deepest_fill(self):
+        queue = BoundedQueue(4)
+        queue.put(1)
+        queue.put(2)
+        queue.get()
+        queue.put(3)
+        assert queue.high_water == 2
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+        with pytest.raises(ValueError):
+            BoundedQueue(1, policy="spill")
+
+
+class TestLatencyStats:
+    def test_empty_snapshot(self):
+        assert LatencyStats().snapshot() == {"count": 0}
+
+    def test_percentiles_in_ms(self):
+        stats = LatencyStats()
+        for value_s in np.linspace(0.001, 0.100, 100):
+            stats.record(value_s)
+        snap = stats.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50_ms"] == pytest.approx(50.5, abs=1.0)
+        assert snap["p95_ms"] == pytest.approx(95.0, abs=1.5)
+        assert snap["p99_ms"] == pytest.approx(99.0, abs=1.5)
+        assert snap["max_ms"] == pytest.approx(100.0)
+        assert snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"]
+
+
+class TestServeTelemetry:
+    def test_stage_latencies_and_throughput(self):
+        clock = FakeClock()
+        telemetry = ServeTelemetry(clock=clock)
+        t0 = telemetry.frame_submitted()
+        clock.advance(0.010)
+        t1 = telemetry.frame_submitted()
+        clock.advance(0.005)
+        dispatch = clock.now()
+        clock.advance(0.020)
+        telemetry.batch_done([t0, t1], dispatch, clock.now())
+
+        stats = telemetry.stats()
+        assert stats["frames_in"] == 2
+        assert stats["frames_done"] == 2
+        assert stats["batches"] == 1
+        assert stats["mean_batch_size"] == 2.0
+        # Frame 0 waited 15 ms, frame 1 waited 5 ms for dispatch.
+        assert stats["stages"]["queue_wait"]["max_ms"] == pytest.approx(15.0)
+        assert stats["stages"]["execute"]["p50_ms"] == pytest.approx(20.0)
+        assert stats["stages"]["total"]["max_ms"] == pytest.approx(35.0)
+        # 2 frames over the 35 ms submit→done window.
+        assert stats["throughput_frames_per_s"] == pytest.approx(
+            2 / 0.035
+        )
+
+    def test_drops_and_queue_depth(self):
+        telemetry = ServeTelemetry(clock=FakeClock())
+        telemetry.frame_submitted()
+        telemetry.frame_dropped()
+        telemetry.observe_queue_depth("ingest", 3)
+        telemetry.observe_queue_depth("ingest", 1)
+        stats = telemetry.stats()
+        assert stats["frames_dropped"] == 1
+        assert stats["queue_high_water"] == {"ingest": 3}
+
+    def test_plan_cache_delta_ignores_prior_traffic(
+        self, sim_contrast_dataset
+    ):
+        from repro.api import dataset_tof_plan
+
+        dataset_tof_plan(sim_contrast_dataset)  # traffic before the run
+        telemetry = ServeTelemetry(clock=FakeClock())
+        dataset_tof_plan(sim_contrast_dataset)
+        dataset_tof_plan(sim_contrast_dataset)
+        cache = telemetry.stats()["plan_cache"]
+        assert cache["hits"] + cache["misses"] == 2
+        assert cache["hit_rate"] == pytest.approx(
+            cache["hits"] / 2
+        )
+
+    def test_log_line_is_one_line(self):
+        clock = FakeClock()
+        telemetry = ServeTelemetry(clock=clock)
+        t0 = telemetry.frame_submitted()
+        clock.advance(0.010)
+        telemetry.batch_done([t0], t0 + 0.005, clock.now())
+        line = telemetry.log_line()
+        assert "\n" not in line
+        assert "frames/s" in line
+        assert "p50/p95/p99" in line

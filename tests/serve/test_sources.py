@@ -1,0 +1,143 @@
+"""Frame sources: replay semantics, probe-stream physics, fake-clock
+pacing (no real sleeps anywhere)."""
+
+import numpy as np
+import pytest
+
+from repro.api import dataset_plan_key
+from repro.serve import FakeClock, ProbeSource, ReplaySource
+from repro.ultrasound import stream_gain_drift
+from repro.ultrasound.streaming import drifted_phantom, stream_scene_drift
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def replay_frames(sim_contrast_dataset):
+    return list(stream_gain_drift(sim_contrast_dataset, 4, seed=9))
+
+
+class TestReplaySource:
+    def test_yields_frames_in_order(self, replay_frames):
+        assert list(ReplaySource(replay_frames)) == replay_frames
+
+    def test_repeat(self, replay_frames):
+        source = ReplaySource(replay_frames, repeat=3)
+        assert len(source) == 12
+        assert list(source) == replay_frames * 3
+
+    def test_unpaced_never_sleeps(self, replay_frames):
+        clock = FakeClock()
+        list(ReplaySource(replay_frames, clock=clock))
+        assert clock.sleeps == []
+
+    def test_paced_sleeps_one_interval_per_frame(self, replay_frames):
+        clock = FakeClock()
+        list(ReplaySource(replay_frames, fps=20.0, clock=clock))
+        assert clock.sleeps == pytest.approx([0.05] * 4)
+
+    def test_jitter_perturbs_but_never_negative(self, replay_frames):
+        clock = FakeClock()
+        list(
+            ReplaySource(
+                replay_frames,
+                repeat=5,
+                fps=100.0,
+                jitter_s=0.05,
+                seed=3,
+                clock=clock,
+            )
+        )
+        sleeps = np.asarray(clock.sleeps)
+        assert sleeps.min() >= 0.0
+        assert sleeps.std() > 0.0  # jitter actually applied
+
+    def test_validation(self, replay_frames):
+        with pytest.raises(ValueError):
+            ReplaySource([])
+        with pytest.raises(ValueError):
+            ReplaySource(replay_frames, repeat=0)
+        with pytest.raises(ValueError):
+            ReplaySource(replay_frames, fps=-1.0)
+        with pytest.raises(ValueError):
+            ReplaySource(replay_frames, fps=10.0, jitter_s=-0.1)
+
+
+class TestStreamingAdapters:
+    def test_gain_drift_keeps_geometry_and_changes_samples(
+        self, sim_contrast_dataset
+    ):
+        base_key = dataset_plan_key(sim_contrast_dataset)
+        for frame in stream_gain_drift(sim_contrast_dataset, 3, seed=1):
+            assert dataset_plan_key(frame) == base_key
+            assert frame.rf.shape == sim_contrast_dataset.rf.shape
+            assert not np.array_equal(frame.rf, sim_contrast_dataset.rf)
+
+    def test_gain_drift_deterministic_in_seed(self, sim_contrast_dataset):
+        first = [
+            f.rf for f in stream_gain_drift(sim_contrast_dataset, 2, seed=5)
+        ]
+        second = [
+            f.rf for f in stream_gain_drift(sim_contrast_dataset, 2, seed=5)
+        ]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_drifted_phantom_steps_positions_only(
+        self, sim_contrast_dataset
+    ):
+        phantom = sim_contrast_dataset.phantom
+        stepped = drifted_phantom(phantom, make_rng(0), 50e-6)
+        displacement = stepped.positions_m - phantom.positions_m
+        assert np.abs(displacement).max() < 1e-3  # microns, not mm
+        assert displacement.std() > 0.0
+        assert stepped.amplitudes is phantom.amplitudes
+
+    def test_zero_drift_is_identity(self, sim_contrast_dataset):
+        phantom = sim_contrast_dataset.phantom
+        assert drifted_phantom(phantom, make_rng(0), 0.0) is phantom
+
+    def test_scene_drift_resimulates_on_same_geometry(
+        self, sim_contrast_dataset
+    ):
+        base_key = dataset_plan_key(sim_contrast_dataset)
+        frames = list(
+            stream_scene_drift(sim_contrast_dataset, 2, seed=4)
+        )
+        assert len(frames) == 2
+        for frame in frames:
+            assert dataset_plan_key(frame) == base_key
+            assert not np.array_equal(frame.rf, sim_contrast_dataset.rf)
+        # The scene keeps moving: consecutive frames differ too.
+        assert not np.array_equal(frames[0].rf, frames[1].rf)
+
+
+class TestProbeSource:
+    def test_stream_is_deterministic_in_seed(self, sim_contrast_dataset):
+        first = [
+            frame.rf
+            for frame in ProbeSource(
+                sim_contrast_dataset, n_frames=2, seed=7, clock=FakeClock()
+            )
+        ]
+        second = [
+            frame.rf
+            for frame in ProbeSource(
+                sim_contrast_dataset, n_frames=2, seed=7, clock=FakeClock()
+            )
+        ]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_paced_probe_sleeps_through_fake_clock(
+        self, sim_contrast_dataset
+    ):
+        clock = FakeClock()
+        source = ProbeSource(
+            sim_contrast_dataset, n_frames=3, fps=10.0, clock=clock
+        )
+        assert len(list(source)) == 3
+        assert clock.sleeps == pytest.approx([0.1, 0.1, 0.1])
+
+    def test_validation(self, sim_contrast_dataset):
+        with pytest.raises(ValueError):
+            ProbeSource(sim_contrast_dataset, n_frames=0)
