@@ -33,9 +33,12 @@ from repro.ultrasound import simulation_contrast
 OUT_PATH = Path(__file__).resolve().parent / "BENCH_throughput.json"
 
 
-def make_frames(n_frames: int) -> list:
-    """Same-geometry frames: one simulation, per-frame rf perturbations."""
-    base = simulation_contrast()
+def make_frames(base, n_frames: int) -> list:
+    """Same-geometry frames: one simulation, per-frame rf perturbations.
+
+    Shared by the backend bench (``bench_backend.py``) so every
+    throughput-style measurement perturbs frames the same way.
+    """
     rng = np.random.default_rng(0)
     frames = [base]
     for _ in range(n_frames - 1):
@@ -68,7 +71,7 @@ def best_of(bench, beamformer, frames, repeats: int = 3) -> float:
 
 
 def main(n_frames: int = 16) -> dict:
-    frames = make_frames(n_frames)
+    frames = make_frames(simulation_contrast(), n_frames)
     beamformer = create_beamformer("das")
 
     # Warm-up pass so first-touch costs (imports, BLAS init) are paid

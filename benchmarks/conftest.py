@@ -4,6 +4,12 @@ Datasets are simulated once per session; trained models come from the
 weight cache (`artifacts/weights/`, trained on first use).  Every bench
 writes its paper-vs-measured table to ``artifacts/results/<name>.txt``
 so EXPERIMENTS.md can reference frozen outputs.
+
+Determinism: no fixture here may construct its own unseeded
+:class:`numpy.random.Generator`.  Random data comes from the shared
+per-test ``rng`` fixture (root ``conftest.py``, node-id seeded — stable
+across reruns and orderings); frame perturbation for the throughput
+scripts lives in ``bench_throughput.make_frames`` (explicitly seeded).
 """
 
 from pathlib import Path

@@ -1,0 +1,36 @@
+"""Repo-level pytest configuration.
+
+Two things live here because they must be shared by *both* test trees
+(``tests/`` and ``benchmarks/``):
+
+* the ``--update-golden`` flag consumed by ``tests/golden`` (must be
+  registered in an initial conftest, which only the rootdir one is
+  guaranteed to be),
+* the shared ``rng`` fixture — the single way test code obtains a
+  :class:`numpy.random.Generator`.  It is seeded from the requesting
+  test's node id, so every test gets an independent stream that is
+  byte-stable across reruns and under ``pytest -p no:randomly`` /
+  randomized orderings alike.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the frozen byte-level fixtures under "
+        "tests/golden/data/ instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def rng(request) -> np.random.Generator:
+    """Deterministic per-test RNG (seeded from the test's node id)."""
+    seed = zlib.crc32(request.node.nodeid.encode())
+    return np.random.default_rng(seed)

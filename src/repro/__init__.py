@@ -6,6 +6,8 @@ imaging, built with every substrate it depends on:
 * :mod:`repro.api` — the unified :class:`Beamformer` interface and
   ``create_beamformer`` factory over every datapath (classical, learned,
   FPGA-quantized) with plan-cached ToF geometry,
+* :mod:`repro.backend` — pluggable compute backends for the hot paths
+  (``numpy`` reference, ``numpy-fast`` float32) behind one registry,
 * :mod:`repro.serve` — streaming engine: frame sources, geometry-aware
   micro-batching scheduler, worker pool with backpressure, telemetry,
 * :mod:`repro.ultrasound` — plane-wave acquisition simulator and
@@ -29,6 +31,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "api",
+    "backend",
     "serve",
     "ultrasound",
     "beamform",

@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.api.base import (
     Beamformer,
     dataset_tofc,
@@ -38,6 +39,13 @@ from repro.models.registry import MODEL_KINDS, model_input
 from repro.nn import Model
 from repro.quant.schemes import SCHEMES, QuantizationScheme
 from repro.utils.validation import require_in
+
+
+def _backend_label(backend: "str | ArrayBackend | None") -> str:
+    """Human-readable backend identity for :meth:`Beamformer.describe`."""
+    if backend is None:
+        return "default"
+    return backend.name if isinstance(backend, ArrayBackend) else backend
 
 
 def _resolve_model(
@@ -62,8 +70,13 @@ class DasBeamformer(Beamformer):
 
     name = "das"
 
-    def __init__(self, f_number: float = 1.75) -> None:
+    def __init__(
+        self,
+        f_number: float = 1.75,
+        backend: "str | ArrayBackend | None" = None,
+    ) -> None:
         self.f_number = f_number
+        self.backend = resolve_backend(backend)
         self._apod_key: tuple | None = None
         self._apod: np.ndarray | None = None
 
@@ -82,10 +95,14 @@ class DasBeamformer(Beamformer):
         return self._apod
 
     def beamform(self, dataset) -> np.ndarray:
-        return das_beamform(dataset_tofc(dataset), self._apodization(dataset))
+        with self.backend_scope():
+            return das_beamform(
+                dataset_tofc(dataset), self._apodization(dataset)
+            )
 
     def describe(self) -> dict:
         return {"name": self.name, "backend": "classical",
+                "compute_backend": _backend_label(self.backend),
                 "f_number": self.f_number}
 
 
@@ -94,17 +111,24 @@ class MvdrBeamformer(Beamformer):
 
     name = "mvdr"
 
-    def __init__(self, config: MvdrConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: MvdrConfig | None = None,
+        backend: "str | ArrayBackend | None" = None,
+    ) -> None:
         self.config = config
+        self.backend = resolve_backend(backend)
 
     def beamform(self, dataset) -> np.ndarray:
-        return mvdr_beamform(dataset_tofc(dataset), self.config)
+        with self.backend_scope():
+            return mvdr_beamform(dataset_tofc(dataset), self.config)
 
     def describe(self) -> dict:
         config = self.config or MvdrConfig()
         return {
             "name": self.name,
             "backend": "classical",
+            "compute_backend": _backend_label(self.backend),
             "subaperture": config.subaperture,
             "diagonal_loading": config.diagonal_loading,
             "axial_smoothing": config.axial_smoothing,
@@ -125,20 +149,23 @@ class LearnedBeamformer(Beamformer):
         model: Model | None = None,
         scale: str = "small",
         seed: int = 0,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
         require_in("kind", kind, MODEL_KINDS)
         self.kind = kind
         self.name = kind
         self.scale = scale
         self.seed = seed
+        self.backend = resolve_backend(backend)
         self.model = _resolve_model(kind, model, scale, seed)
 
     def _forward(self, x: np.ndarray) -> np.ndarray:
         return self.model.forward(x, training=False)
 
     def beamform(self, dataset) -> np.ndarray:
-        x = model_input(self.kind, normalized_tofc(dataset))
-        return stacked_to_complex(self._forward(x)[0])
+        with self.backend_scope():
+            x = model_input(self.kind, normalized_tofc(dataset))
+            return stacked_to_complex(self._forward(x)[0])
 
     def beamform_batch(self, datasets: Sequence) -> list[np.ndarray]:
         """Stack same-geometry frames through one model forward pass.
@@ -152,22 +179,24 @@ class LearnedBeamformer(Beamformer):
         """
         datasets = list(datasets)
         images: list[np.ndarray | None] = [None] * len(datasets)
-        for group in group_indices_by_geometry(datasets):
-            if len(group) == 1:
-                images[group[0]] = self.beamform(datasets[group[0]])
-                continue
-            stacked = np.stack(
-                [normalized_tofc(datasets[index]) for index in group]
-            )
-            iq = self._forward(model_input(self.kind, stacked))
-            for index, frame in zip(group, iq):
-                images[index] = stacked_to_complex(frame)
+        with self.backend_scope():
+            for group in group_indices_by_geometry(datasets):
+                if len(group) == 1:
+                    images[group[0]] = self.beamform(datasets[group[0]])
+                    continue
+                stacked = np.stack(
+                    [normalized_tofc(datasets[index]) for index in group]
+                )
+                iq = self._forward(model_input(self.kind, stacked))
+                for index, frame in zip(group, iq):
+                    images[index] = stacked_to_complex(frame)
         return images
 
     def describe(self) -> dict:
         return {
             "name": self.name,
             "backend": "learned",
+            "compute_backend": _backend_label(self.backend),
             "kind": self.kind,
             "scale": self.scale,
             "seed": self.seed,
@@ -189,13 +218,17 @@ class QuantizedBeamformer(LearnedBeamformer):
         model: Model | None = None,
         scale: str = "small",
         seed: int = 0,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
         from repro.fpga.accelerator import TinyVbfAccelerator
 
         if isinstance(scheme, str):
             require_in("scheme", scheme, tuple(SCHEMES))
             scheme = SCHEMES[scheme]
-        super().__init__("tiny_vbf", model=model, scale=scale, seed=seed)
+        super().__init__(
+            "tiny_vbf", model=model, scale=scale, seed=seed,
+            backend=backend,
+        )
         self.scheme = scheme
         self.name = f"tiny_vbf@{scheme.name}"
         self.accelerator = TinyVbfAccelerator(self.model, scheme)

@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import ArrayBackend, use_backend
 from repro.beamform.tof import TofPlan, get_tof_plan, plan_cache_key
 
 
@@ -94,6 +95,22 @@ class Beamformer(abc.ABC):
 
     #: Short machine-readable identity, e.g. ``"das"`` or ``"tiny_vbf"``.
     name: str = "beamformer"
+
+    #: Compute backend bound to this instance (a registered name, an
+    #: :class:`~repro.backend.ArrayBackend`, or ``None`` to inherit the
+    #: ambient backend — see :mod:`repro.backend` for the precedence).
+    backend: "str | ArrayBackend | None" = None
+
+    def backend_scope(self) -> use_backend:
+        """Context manager activating this instance's bound backend.
+
+        A ``None`` binding yields a no-op scope, so adapters wrap their
+        hot paths unconditionally::
+
+            with self.backend_scope():
+                ...kernels dispatch through the bound backend...
+        """
+        return use_backend(self.backend)
 
     @abc.abstractmethod
     def beamform(self, dataset) -> np.ndarray:

@@ -91,7 +91,10 @@ def create_beamformer(
         model: optional pre-trained :class:`~repro.nn.Model` to wrap
             instead of loading from the weight cache.
         **kwargs: forwarded to the factory (e.g. ``f_number`` for DAS,
-            ``config`` for MVDR).
+            ``config`` for MVDR, and ``backend=`` — a registered
+            :mod:`repro.backend` name such as ``"numpy-fast"`` — for
+            every built-in adapter; the bound backend is active for
+            all of that beamformer's hot-path kernels).
 
     Returns:
         A ready-to-use :class:`Beamformer`.

@@ -1,0 +1,55 @@
+"""repro.backend — pluggable compute backends for the hot paths.
+
+The paper's whole premise is one model running on different substrates
+(float reference vs. FPGA fixed point); this package is the software
+seam for the same idea: every hot kernel (DAS gather/interpolation,
+Dense/Conv2D GEMMs, attention, quantized-execution matmuls, MVDR
+reductions) dispatches through an :class:`ArrayBackend`, selected per
+call site, per thread, or process-wide::
+
+    from repro.backend import use_backend
+
+    with use_backend("numpy-fast"):
+        image = beamformer.beamform(frame)        # float32 kernels
+
+    create_beamformer("das", backend="numpy-fast")  # bound per instance
+    REPRO_BACKEND=numpy-fast python -m repro.serve  # process default
+
+Built-ins: ``numpy`` (reference, bit-for-bit the pre-dispatch numerics)
+and ``numpy-fast`` (float32 accumulation, fused/cached gathers, scratch
+reuse).  New backends register with :func:`register_backend` and are
+certified by the conformance suite in ``tests/backend`` automatically —
+see DESIGN.md §4 for the dispatch rules and the how-to.
+"""
+
+from repro.backend.base import (
+    ArrayBackend,
+    available_backends,
+    backend_names_and_tolerances,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_backend,
+    unregister_backend,
+    use_backend,
+)
+from repro.backend.fast import NumpyFastBackend
+from repro.backend.reference import NumpyBackend, flat_matmul
+
+register_backend(NumpyBackend())
+register_backend(NumpyFastBackend())
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "NumpyFastBackend",
+    "available_backends",
+    "backend_names_and_tolerances",
+    "flat_matmul",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_backend",
+    "unregister_backend",
+    "use_backend",
+]

@@ -1,0 +1,268 @@
+"""The ``numpy-fast`` backend: float32 accumulation + cached gather paths.
+
+Same kernels as the reference, traded for speed:
+
+* **float32 / complex64 accumulation** everywhere — GEMMs hit SGEMM
+  (2x the FLOPs of DGEMM on typical BLAS builds) and every
+  memory-bound pass moves half the bytes,
+* **fused gather + interpolation** for ToF-plan application: the
+  (pixel, element) gather indices are flattened once per plan and
+  cached (weakly, keyed by the plan object), then each frame is two
+  ``take`` calls and three in-place vector ops — no broadcasting
+  temporaries,
+* **cached im2col indices** for Conv2D: the patch-gather index table is
+  computed once per (H, W, C, kernel) and reused, turning im2col into a
+  single ``take``,
+* **preallocated scratch buffers** (thread-local, so concurrent serve
+  workers never share) for the interpolation temporary and the padded
+  conv input.
+
+Accuracy contract: outputs match the reference within ``rtol``/``atol``
+below on unit-scale data (certified per kernel and end-to-end by
+``tests/backend``).  Training under this backend produces
+mixed-precision gradients; the reference backend remains the default
+for bit-reproducible work.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+from repro.backend.reference import flat_matmul
+
+_SCRATCH_POOL_CAP = 32
+
+
+class NumpyFastBackend(ArrayBackend):
+    """float32 kernels with cached gather tables and scratch reuse."""
+
+    name = "numpy-fast"
+    #: Documented conformance tolerances vs the reference on unit-scale
+    #: data.  float32 unit roundoff is ~1.2e-7; the deepest certified
+    #: path (mini Tiny-VBF forward, ~10 chained GEMMs + softmax)
+    #: amplifies it by roughly three orders of magnitude.
+    rtol = 1e-3
+    atol = 1e-4
+
+    def __init__(self) -> None:
+        self._tls = threading.local()
+        self._plan_tables: (
+            "weakref.WeakKeyDictionary[object, tuple]"
+        ) = weakref.WeakKeyDictionary()
+        self._plan_lock = threading.Lock()
+        self._im2col_indices: dict[tuple, np.ndarray] = {}
+        self._im2col_lock = threading.Lock()
+
+    # -- dtype policy ----------------------------------------------------
+
+    def asarray(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float32)
+
+    def _compute_cast(self, x: np.ndarray) -> np.ndarray:
+        """Real -> float32, complex -> complex64, contiguous."""
+        dtype = (
+            np.complex64 if np.iscomplexobj(x) else np.float32
+        )
+        return np.ascontiguousarray(x, dtype=dtype)
+
+    def _scratch(self, shape: tuple, dtype) -> np.ndarray:
+        """A reusable per-thread buffer (never escapes a kernel call)."""
+        pool = getattr(self._tls, "pool", None)
+        if pool is None:
+            pool = self._tls.pool = {}
+        key = (shape, np.dtype(dtype).str)
+        buffer = pool.get(key)
+        if buffer is None:
+            if len(pool) >= _SCRATCH_POOL_CAP:
+                pool.clear()
+            buffer = pool[key] = np.empty(shape, dtype)
+        return buffer
+
+    # -- GEMM-shaped kernels --------------------------------------------
+
+    def matmul(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        # _compute_cast, not a blind float32 cast: the reference matmul
+        # preserves complex inputs, so this one must too (complex64).
+        return flat_matmul(
+            self._compute_cast(x), self._compute_cast(weight)
+        )
+
+    def affine(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+    ) -> np.ndarray:
+        y = self.matmul(x, weight)
+        if bias is not None:
+            y += self._compute_cast(bias)
+        return y
+
+    def im2col(
+        self,
+        x: np.ndarray,
+        kernel_size: tuple[int, int],
+        in_channels: int,
+    ) -> np.ndarray:
+        kh, kw = kernel_size
+        pad_h, pad_w = kh // 2, kw // 2
+        batch, height, width = x.shape[:3]
+        padded_shape = (
+            batch,
+            height + 2 * pad_h,
+            width + 2 * pad_w,
+            in_channels,
+        )
+        indices = self._im2col_index_table(
+            padded_shape[1:], (height, width), kernel_size, in_channels
+        )
+        padded = self._scratch(padded_shape, np.float32)
+        padded.fill(0.0)
+        padded[:, pad_h : pad_h + height, pad_w : pad_w + width, :] = x
+        return padded.reshape(batch, -1).take(indices, axis=1).reshape(
+            batch, height, width, kh * kw * in_channels
+        )
+
+    def _im2col_index_table(
+        self,
+        padded_hwc: tuple[int, int, int],
+        out_hw: tuple[int, int],
+        kernel_size: tuple[int, int],
+        in_channels: int,
+    ) -> np.ndarray:
+        key = (padded_hwc, kernel_size)
+        with self._im2col_lock:
+            indices = self._im2col_indices.get(key)
+        if indices is not None:
+            return indices
+        # Run the reference patch extraction over a linear-index volume:
+        # whatever positions it would gather, we gather by flat index —
+        # ordering consistency with the weight layout by construction.
+        # int32 suffices (a padded frame has < 2^31 entries) and halves
+        # the table, mirroring the plan gather tables.
+        kh, kw = kernel_size
+        height, width = out_hw
+        linear = np.arange(
+            int(np.prod(padded_hwc)), dtype=np.int32
+        ).reshape(1, *padded_hwc)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            linear, (kh, kw), axis=(1, 2)
+        )
+        indices = np.ascontiguousarray(
+            windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+                height * width * kh * kw * in_channels
+            )
+        )
+        with self._im2col_lock:
+            if len(self._im2col_indices) >= _SCRATCH_POOL_CAP:
+                # Same bound as the scratch pool: a table is ~100 MB at
+                # small scale, so the cache must not grow with every
+                # geometry a long-lived process ever sees.
+                self._im2col_indices.clear()
+            self._im2col_indices[key] = indices
+        return indices
+
+    def attention_scores(
+        self, q: np.ndarray, k: np.ndarray, scale: float
+    ) -> np.ndarray:
+        scores = np.einsum(
+            "bhtk,bhsk->bhts",
+            np.asarray(q, dtype=np.float32),
+            np.asarray(k, dtype=np.float32),
+            optimize=True,
+        )
+        scores *= np.float32(scale)
+        return scores
+
+    def attention_context(
+        self, attention: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        return np.einsum(
+            "bhts,bhsk->bhtk",
+            np.asarray(attention, dtype=np.float32),
+            np.asarray(v, dtype=np.float32),
+            optimize=True,
+        )
+
+    # -- beamforming kernels --------------------------------------------
+
+    def _plan_gather_tables(self, plan) -> tuple:
+        """Flattened gather indices + float32 tables, cached per plan."""
+        with self._plan_lock:
+            tables = self._plan_tables.get(plan)
+        if tables is not None:
+            return tables
+        n_elements = plan.probe.n_elements
+        flat_lower = (
+            plan.idx0.astype(np.int64) * n_elements
+            + np.arange(n_elements, dtype=np.int64)
+        ).ravel()
+        # Row below in the (n_samples, E) record = +E in flat order.
+        tables = (
+            np.ascontiguousarray(flat_lower.astype(np.int32)),
+            np.ascontiguousarray(
+                (flat_lower + n_elements).astype(np.int32)
+            ),
+            np.ascontiguousarray(
+                plan.frac.astype(np.float32).ravel()
+            ),
+            np.ascontiguousarray(plan.valid.ravel()),
+        )
+        with self._plan_lock:
+            self._plan_tables[plan] = tables
+        return tables
+
+    def apply_plan(self, plan, rf: np.ndarray) -> np.ndarray:
+        flat_lower, flat_upper, frac, valid = self._plan_gather_tables(
+            plan
+        )
+        flat_rf = self._compute_cast(rf).reshape(-1)
+        samples = flat_rf.take(flat_lower)  # fresh: becomes the output
+        upper = self._scratch(samples.shape, samples.dtype)
+        np.take(flat_rf, flat_upper, out=upper)
+        # samples += frac * (upper - samples), fused in place.
+        np.subtract(upper, samples, out=upper)
+        np.multiply(upper, frac, out=upper)
+        np.add(samples, upper, out=samples)
+        np.multiply(samples, valid, out=samples)
+        return samples.reshape(
+            plan.grid.nz, plan.grid.nx, plan.probe.n_elements
+        )
+
+    def das_sum(
+        self, tofc: np.ndarray, apodization: np.ndarray | None
+    ) -> np.ndarray:
+        tofc = self._compute_cast(tofc)
+        if apodization is None:
+            return tofc.mean(axis=-1)
+        return np.einsum(
+            "zxe,zxe->zx",
+            tofc,
+            np.asarray(apodization, dtype=np.float32),
+            optimize=True,
+        )
+
+    def prepare_mvdr_windows(self, windows: np.ndarray) -> np.ndarray:
+        # Materialize the strided sliding-window view as a contiguous
+        # compute-dtype array once per column; the two kernels below
+        # then see their _compute_cast calls turn into no-ops.
+        return self._compute_cast(windows)
+
+    def mvdr_covariance(self, windows: np.ndarray) -> np.ndarray:
+        windows = self._compute_cast(windows)
+        return np.einsum(
+            "zws,zwt->zst", windows, windows.conj(), optimize=True
+        ) / windows.shape[1]
+
+    def mvdr_output(
+        self, weights: np.ndarray, windows: np.ndarray
+    ) -> np.ndarray:
+        windows = self._compute_cast(windows)
+        weights = self._compute_cast(weights)
+        return np.einsum(
+            "zs,zws->z", weights.conj(), windows, optimize=True
+        ) / windows.shape[1]

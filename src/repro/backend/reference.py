@@ -1,0 +1,123 @@
+"""The ``numpy`` reference backend: float64, bit-for-bit the pre-dispatch
+numerics.
+
+Every method here is the *exact* sequence of NumPy operations the hot
+paths performed before the backend layer existed — same casts, same
+temporaries, same reduction order — so routing through this backend is
+observationally a refactor.  The golden fixtures (``tests/golden``)
+pin that property byte-for-byte; treat any change to these bodies as a
+golden-breaking change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+
+def flat_matmul(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``x @ weight`` with all leading axes flattened into one GEMM.
+
+    For rank > 2 inputs, ``x @ weight`` dispatches a *stacked* matmul —
+    one small GEMM per leading-axis slice — whose throughput collapses
+    on batched frames (and on non-contiguous views such as decoder skip
+    concatenations).  Collapsing the leading axes first runs a single
+    large GEMM over identical per-element reductions, so the result is
+    unchanged while batch execution scales linearly.
+    """
+    if x.ndim <= 2:
+        return x @ weight
+    lead = x.shape[:-1]
+    flat = np.ascontiguousarray(x).reshape(-1, x.shape[-1])
+    return (flat @ weight).reshape(*lead, weight.shape[-1])
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference backend: today's numerics, verbatim."""
+
+    name = "numpy"
+    rtol = 0.0
+    atol = 0.0
+
+    def asarray(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=float)
+
+    def matmul(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        return flat_matmul(x, weight)
+
+    def affine(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+    ) -> np.ndarray:
+        y = flat_matmul(x, weight)
+        if bias is not None:
+            y = y + bias
+        return y
+
+    def im2col(
+        self,
+        x: np.ndarray,
+        kernel_size: tuple[int, int],
+        in_channels: int,
+    ) -> np.ndarray:
+        kh, kw = kernel_size
+        pad_h, pad_w = kh // 2, kw // 2
+        padded = np.pad(
+            x,
+            ((0, 0), (pad_h, pad_h), (pad_w, pad_w), (0, 0)),
+            mode="constant",
+        )
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, (kh, kw), axis=(1, 2)
+        )  # (B, H, W, C, kh, kw)
+        batch, height, width = x.shape[:3]
+        # Order as (kh, kw, C) to match the weight layout.
+        return windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+            batch, height, width, kh * kw * in_channels
+        )
+
+    def attention_scores(
+        self, q: np.ndarray, k: np.ndarray, scale: float
+    ) -> np.ndarray:
+        return (
+            np.einsum("bhtk,bhsk->bhts", q, k, optimize=True) * scale
+        )
+
+    def attention_context(
+        self, attention: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        return np.einsum("bhts,bhsk->bhtk", attention, v, optimize=True)
+
+    def apply_plan(self, plan, rf: np.ndarray) -> np.ndarray:
+        element_idx = np.broadcast_to(
+            np.arange(plan.probe.n_elements), plan.idx0.shape
+        )
+        lower = rf[plan.idx0, element_idx]
+        upper = rf[plan.idx0 + 1, element_idx]
+        samples = lower + plan.frac * (upper - lower)
+        samples = np.where(plan.valid, samples, 0)
+        return samples.reshape(
+            plan.grid.nz, plan.grid.nx, plan.probe.n_elements
+        )
+
+    def das_sum(
+        self, tofc: np.ndarray, apodization: np.ndarray | None
+    ) -> np.ndarray:
+        if apodization is None:
+            return tofc.mean(axis=-1)
+        return (tofc * apodization).sum(axis=-1)
+
+    def mvdr_covariance(self, windows: np.ndarray) -> np.ndarray:
+        return np.einsum(
+            "zws,zwt->zst", windows, windows.conj()
+        ) / windows.shape[1]
+
+    def mvdr_output(
+        self, weights: np.ndarray, windows: np.ndarray
+    ) -> np.ndarray:
+        return np.einsum(
+            "zs,zws->z", weights.conj(), windows
+        ) / windows.shape[1]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
+
 
 def das_beamform(
     tofc: np.ndarray,
@@ -33,11 +35,11 @@ def das_beamform(
             f"tofc must be (nz, nx, n_elements), got {tofc.shape}"
         )
     if apodization is None:
-        return tofc.mean(axis=-1)
+        return get_backend().das_sum(tofc, None)
     apodization = np.asarray(apodization, dtype=float)
     if apodization.shape != tofc.shape:
         raise ValueError(
             "apodization shape must match tofc, got "
             f"{apodization.shape} vs {tofc.shape}"
         )
-    return (tofc * apodization).sum(axis=-1)
+    return get_backend().das_sum(tofc, apodization)

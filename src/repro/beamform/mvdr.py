@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import get_backend
+
 
 @dataclass(frozen=True)
 class MvdrConfig:
@@ -113,15 +115,14 @@ def mvdr_beamform(
     identity = np.eye(sub)
     steering = np.ones((nz, sub, 1), dtype=complex)
 
+    backend = get_backend()
     out = np.zeros((nz, nx), dtype=complex)
     for col in range(nx):
         column = tofc[:, col, :]  # (nz, E)
-        windows = np.lib.stride_tricks.sliding_window_view(
-            column, sub, axis=1
+        windows = backend.prepare_mvdr_windows(
+            np.lib.stride_tricks.sliding_window_view(column, sub, axis=1)
         )  # (nz, n_windows, sub)
-        cov = np.einsum(
-            "zws,zwt->zst", windows, windows.conj()
-        ) / windows.shape[1]
+        cov = backend.mvdr_covariance(windows)
         cov = _smooth_axially(cov, config.axial_smoothing)
         trace = np.einsum("zss->z", cov).real
         loading = config.diagonal_loading * np.maximum(trace, 1e-30) / sub
@@ -130,9 +131,7 @@ def mvdr_beamform(
         solved = np.linalg.solve(cov, steering)[..., 0]  # R^-1 a: (nz, sub)
         weights = solved / solved.sum(axis=1, keepdims=True)
         # Distortionless output, averaged across subaperture windows.
-        out[:, col] = np.einsum(
-            "zs,zws->z", weights.conj(), windows
-        ) / windows.shape[1]
+        out[:, col] = backend.mvdr_output(weights, windows)
     return out
 
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.signal import hilbert
 
+from repro.backend import get_backend
 from repro.beamform.geometry import ImagingGrid
 from repro.ultrasound.probe import LinearProbe
 from repro.ultrasound.wavefield import plane_wave_tx_delay, rx_delay
@@ -141,7 +142,10 @@ class TofPlan:
 
         Returns:
             ``(nz, nx, n_elements)`` ToFC cube, numerically identical to
-            :func:`tof_correct` on the same inputs.
+            :func:`tof_correct` on the same inputs.  The gather/
+            interpolation kernel dispatches through the active
+            :mod:`repro.backend` (the ``numpy`` reference is bit-for-bit
+            the historical implementation).
         """
         rf = np.asarray(rf)
         if rf.ndim != 2 or rf.shape[1] != self.probe.n_elements:
@@ -154,16 +158,7 @@ class TofPlan:
                 f"plan was built for {self.n_samples} samples, "
                 f"got {rf.shape[0]} — rebuild via get_tof_plan"
             )
-        element_idx = np.broadcast_to(
-            np.arange(self.probe.n_elements), self.idx0.shape
-        )
-        lower = rf[self.idx0, element_idx]
-        upper = rf[self.idx0 + 1, element_idx]
-        samples = lower + self.frac * (upper - lower)
-        samples = np.where(self.valid, samples, 0)
-        return samples.reshape(
-            self.grid.nz, self.grid.nx, self.probe.n_elements
-        )
+        return get_backend().apply_plan(self, rf)
 
     def apply_analytic(self, rf: np.ndarray) -> np.ndarray:
         """ToF-correct the analytic signal of ``rf`` (complex cube)."""

@@ -43,6 +43,7 @@ from repro.nn import (
     Sequential,
     Unpatchify,
 )
+from repro.backend import get_backend
 from repro.nn.flops import count_flops, gops_per_frame, register_flops
 from repro.nn.layers.base import Layer, Parameter
 from repro.utils.rng import make_rng
@@ -274,7 +275,7 @@ class TinyVbfNetwork(Layer):
         )
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = get_backend().asarray(x)
         expected = self.config.frame_shape
         if x.ndim != 4 or x.shape[1:] != expected:
             raise ValueError(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn.layers.base import Layer
 
 
@@ -19,7 +20,7 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = get_backend().asarray(x)
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
@@ -36,7 +37,7 @@ class Tanh(Layer):
         self._y: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._y = np.tanh(np.asarray(x, dtype=float))
+        self._y = np.tanh(get_backend().asarray(x))
         return self._y
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -46,8 +47,9 @@ class Tanh(Layer):
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax along ``axis``."""
-    x = np.asarray(x, dtype=float)
+    """Numerically stable softmax along ``axis`` (in the active
+    backend's compute dtype)."""
+    x = get_backend().asarray(x)
     shifted = x - x.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=axis, keepdims=True)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn.layers.activations import softmax, softmax_backward
 from repro.nn.layers.base import Layer, Parameter
 from repro.nn.layers.dense import Dense
@@ -64,7 +65,8 @@ class MultiHeadAttention(Layer):
         return x.transpose(0, 2, 1, 3).reshape(batch, tokens, self.d_model)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        backend = get_backend()
+        x = backend.asarray(x)
         if x.ndim != 3 or x.shape[-1] != self.d_model:
             raise ValueError(
                 f"{self.name}: expected (batch, tokens, {self.d_model}), "
@@ -75,11 +77,9 @@ class MultiHeadAttention(Layer):
         v = self._split_heads(self.value.forward(x, training))
 
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = np.einsum("bhtk,bhsk->bhts", q, k, optimize=True) * scale
+        scores = backend.attention_scores(q, k, scale)
         attention = softmax(scores, axis=-1)
-        context = np.einsum(
-            "bhts,bhsk->bhtk", attention, v, optimize=True
-        )
+        context = backend.attention_context(attention, v)
         merged = self._merge_heads(context)
         out = self.output.forward(merged, training)
         self._cache = {

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn.init import glorot_uniform
 from repro.nn.layers.base import Layer, Parameter
 from repro.nn.layers.dense import _flat_matmul
@@ -62,25 +63,13 @@ class Conv2D(Layer):
 
     def _im2col(self, x: np.ndarray) -> np.ndarray:
         """(B, H, W, C) -> (B, H, W, kh*kw*C) patch matrix."""
-        kh, kw = self.kernel_size
-        pad_h, pad_w = kh // 2, kw // 2
-        padded = np.pad(
-            x,
-            ((0, 0), (pad_h, pad_h), (pad_w, pad_w), (0, 0)),
-            mode="constant",
+        return get_backend().im2col(
+            x, self.kernel_size, self.in_channels
         )
-        windows = np.lib.stride_tricks.sliding_window_view(
-            padded, (kh, kw), axis=(1, 2)
-        )  # (B, H, W, C, kh, kw)
-        batch, height, width = x.shape[:3]
-        # Order as (kh, kw, C) to match the weight layout.
-        cols = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
-            batch, height, width, kh * kw * self.in_channels
-        )
-        return cols
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        backend = get_backend()
+        x = backend.asarray(x)
         if x.ndim != 4 or x.shape[-1] != self.in_channels:
             raise ValueError(
                 f"{self.name}: expected (batch, h, w, {self.in_channels}), "
@@ -89,10 +78,11 @@ class Conv2D(Layer):
         cols = self._im2col(x)
         self._cols = cols
         self._x_shape = x.shape
-        y = _flat_matmul(cols, self.weight.value)
-        if self.bias is not None:
-            y = y + self.bias.value
-        return y
+        return backend.affine(
+            cols,
+            self.weight.value,
+            self.bias.value if self.bias is not None else None,
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cols is None or self._x_shape is None:

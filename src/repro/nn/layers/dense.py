@@ -4,25 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
+from repro.backend.reference import flat_matmul as _flat_matmul
 from repro.nn.init import glorot_uniform
 from repro.nn.layers.base import Layer, Parameter
 
-
-def _flat_matmul(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
-    """``x @ weight`` with all leading axes flattened into one GEMM.
-
-    For rank > 2 inputs, ``x @ weight`` dispatches a *stacked* matmul —
-    one small GEMM per leading-axis slice — whose throughput collapses on
-    batched frames (and on non-contiguous views such as decoder skip
-    concatenations).  Collapsing the leading axes first runs a single
-    large GEMM over identical per-element reductions, so the result is
-    unchanged while batch execution scales linearly.
-    """
-    if x.ndim <= 2:
-        return x @ weight
-    lead = x.shape[:-1]
-    flat = np.ascontiguousarray(x).reshape(-1, x.shape[-1])
-    return (flat @ weight).reshape(*lead, weight.shape[-1])
+# _flat_matmul (the flattened-GEMM kernel) now lives in
+# repro.backend.reference; the alias above keeps the historical import
+# path for callers that need the reference kernel unconditionally
+# (e.g. gradient code, which stays float64 under every backend).
 
 
 class Dense(Layer):
@@ -64,17 +54,19 @@ class Dense(Layer):
         self._x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        backend = get_backend()
+        x = backend.asarray(x)
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"{self.name}: expected last axis {self.in_features}, "
                 f"got input shape {x.shape}"
             )
         self._x = x
-        y = _flat_matmul(x, self.weight.value)
-        if self.bias is not None:
-            y = y + self.bias.value
-        return y
+        return backend.affine(
+            x,
+            self.weight.value,
+            self.bias.value if self.bias is not None else None,
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x is None:

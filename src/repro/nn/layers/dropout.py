@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn.layers.base import Layer
 from repro.utils.rng import make_rng
 
@@ -27,7 +28,7 @@ class Dropout(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = get_backend().asarray(x)
         if not training or self.rate == 0.0:
             self._mask = None
             return x

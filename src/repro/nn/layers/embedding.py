@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn.layers.base import Layer, Parameter
 from repro.utils.rng import make_rng
 
@@ -37,14 +38,15 @@ class LearnedPositionalEmbedding(Layer):
         self._batch: int | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        backend = get_backend()
+        x = backend.asarray(x)
         if x.ndim != 3 or x.shape[1:] != (self.n_tokens, self.dim):
             raise ValueError(
                 f"{self.name}: expected (batch, {self.n_tokens}, "
                 f"{self.dim}), got {x.shape}"
             )
         self._batch = x.shape[0]
-        return x + self.embedding.value
+        return x + backend.asarray(self.embedding.value)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._batch is None:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn.layers.base import Layer, Parameter
 
 
@@ -33,7 +34,8 @@ class LayerNorm(Layer):
         self._inv_std: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        backend = get_backend()
+        x = backend.asarray(x)
         if x.shape[-1] != self.dim:
             raise ValueError(
                 f"{self.name}: expected last axis {self.dim}, got {x.shape}"
@@ -44,7 +46,10 @@ class LayerNorm(Layer):
         normalized = (x - mean) * inv_std
         self._normalized = normalized
         self._inv_std = inv_std
-        return self.gamma.value * normalized + self.beta.value
+        return (
+            backend.asarray(self.gamma.value) * normalized
+            + backend.asarray(self.beta.value)
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._normalized is None or self._inv_std is None:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn.layers.base import Layer
 
 
@@ -37,7 +38,7 @@ class Patchify(Layer):
         return (nz // pz) * (nx // px)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = get_backend().asarray(x)
         if x.ndim != 4:
             raise ValueError(f"expected (B, H, W, C), got {x.shape}")
         batch, height, width, channels = x.shape
@@ -93,7 +94,7 @@ class Unpatchify(Layer):
         self._patchify = Patchify(patch_size)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = get_backend().asarray(x)
         nz, nx = self.image_shape
         pz, px = self.patch_size
         n_patches = (nz // pz) * (nx // px)

@@ -23,12 +23,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.models.tiny_vbf import TinyVbfNetwork
 from repro.nn.layers.activations import ReLU, Softmax, Tanh, softmax
 from repro.nn.layers.attention import MultiHeadAttention
 from repro.nn.layers.base import Layer
 from repro.nn.layers.container import Residual, Sequential
-from repro.nn.layers.dense import Dense, _flat_matmul
+from repro.nn.layers.dense import Dense
 from repro.nn.layers.dropout import Dropout
 from repro.nn.layers.embedding import LearnedPositionalEmbedding
 from repro.nn.layers.layernorm import LayerNorm
@@ -71,7 +72,7 @@ def quantized_forward(
 
     if isinstance(layer, Dense):
         weight = _q(scheme.weights, layer.weight.value)
-        y = _q(scheme.arithmetic, _flat_matmul(x, weight))
+        y = _q(scheme.arithmetic, get_backend().matmul(x, weight))
         if layer.bias is not None:
             y = _q(
                 scheme.arithmetic, y + _q(scheme.arithmetic,
@@ -116,9 +117,11 @@ def _quantized_attention(
     layer: MultiHeadAttention, x: np.ndarray, scheme: QuantizationScheme
 ) -> np.ndarray:
     """MHA under quantization: Figs. 6-8 of the paper's accelerator."""
+    backend = get_backend()
+
     def project(dense: Dense) -> np.ndarray:
         weight = _q(scheme.weights, dense.weight.value)
-        y = _q(scheme.arithmetic, _flat_matmul(x, weight))
+        y = _q(scheme.arithmetic, backend.matmul(x, weight))
         if dense.bias is not None:
             y = _q(scheme.arithmetic, y + _q(scheme.arithmetic,
                                              dense.bias.value))
@@ -130,18 +133,16 @@ def _quantized_attention(
 
     scale = 1.0 / np.sqrt(layer.head_dim)
     scores = _q(
-        scheme.arithmetic,
-        np.einsum("bhtk,bhsk->bhts", q, k, optimize=True) * scale,
+        scheme.arithmetic, backend.attention_scores(q, k, scale)
     )
     attention = _q(scheme.softmax, softmax(scores, axis=-1))
     context = _q(
-        scheme.arithmetic,
-        np.einsum("bhts,bhsk->bhtk", attention, v, optimize=True),
+        scheme.arithmetic, backend.attention_context(attention, v)
     )
     merged = layer._merge_heads(context)
 
     weight = _q(scheme.weights, layer.output.weight.value)
-    out = _q(scheme.arithmetic, _flat_matmul(merged, weight))
+    out = _q(scheme.arithmetic, backend.matmul(merged, weight))
     if layer.output.bias is not None:
         out = _q(scheme.arithmetic,
                  out + _q(scheme.arithmetic, layer.output.bias.value))

@@ -13,6 +13,10 @@ Examples::
     PYTHONPATH=src python -m repro.serve --beamformer "tiny_vbf@20 bits" \\
         --untrained --backpressure drop_oldest --workers 2
 
+    # DAS on the float32 fast backend (see repro.backend)
+    PYTHONPATH=src python -m repro.serve --beamformer das \\
+        --backend numpy-fast --frames 32
+
 Prints the final telemetry dict as JSON on stdout; progress log lines go
 to stderr via the ``repro.serve`` logger.
 """
@@ -25,6 +29,7 @@ import logging
 import sys
 
 from repro.api import create_beamformer, parse_spec
+from repro.backend import available_backends
 from repro.serve.engine import ServeEngine
 from repro.serve.queues import BACKPRESSURE_POLICIES
 from repro.serve.sources import ProbeSource, ReplaySource
@@ -107,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="compute backend bound to the beamformer (default: the "
+        "process default — REPRO_BACKEND or 'numpy')",
+    )
+    parser.add_argument(
         "--scale", choices=("small", "paper"), default="small"
     )
     parser.add_argument("--seed", type=int, default=0)
@@ -128,7 +140,11 @@ def make_beamformer(args: argparse.Namespace):
 
             model = build_model(name, args.scale, seed=args.seed)
     return create_beamformer(
-        args.beamformer, scale=args.scale, seed=args.seed, model=model
+        args.beamformer,
+        scale=args.scale,
+        seed=args.seed,
+        model=model,
+        backend=args.backend,
     )
 
 

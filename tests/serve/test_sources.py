@@ -1,5 +1,11 @@
 """Frame sources: replay semantics, probe-stream physics, fake-clock
-pacing (no real sleeps anywhere)."""
+pacing (no real sleeps anywhere).
+
+Every generator used directly comes from the shared ``rng`` fixture
+(root ``conftest.py``), so the module is rerun-deterministic; sources
+that take a ``seed=`` argument get explicit constants (that *is* the
+seeding API under test).
+"""
 
 import numpy as np
 import pytest
@@ -8,7 +14,6 @@ from repro.api import dataset_plan_key
 from repro.serve import FakeClock, ProbeSource, ReplaySource
 from repro.ultrasound import stream_gain_drift
 from repro.ultrasound.streaming import drifted_phantom, stream_scene_drift
-from repro.utils.rng import make_rng
 
 
 @pytest.fixture(scope="module")
@@ -83,18 +88,18 @@ class TestStreamingAdapters:
             assert np.array_equal(a, b)
 
     def test_drifted_phantom_steps_positions_only(
-        self, sim_contrast_dataset
+        self, sim_contrast_dataset, rng
     ):
         phantom = sim_contrast_dataset.phantom
-        stepped = drifted_phantom(phantom, make_rng(0), 50e-6)
+        stepped = drifted_phantom(phantom, rng, 50e-6)
         displacement = stepped.positions_m - phantom.positions_m
         assert np.abs(displacement).max() < 1e-3  # microns, not mm
         assert displacement.std() > 0.0
         assert stepped.amplitudes is phantom.amplitudes
 
-    def test_zero_drift_is_identity(self, sim_contrast_dataset):
+    def test_zero_drift_is_identity(self, sim_contrast_dataset, rng):
         phantom = sim_contrast_dataset.phantom
-        assert drifted_phantom(phantom, make_rng(0), 0.0) is phantom
+        assert drifted_phantom(phantom, rng, 0.0) is phantom
 
     def test_scene_drift_resimulates_on_same_geometry(
         self, sim_contrast_dataset
