@@ -1,0 +1,250 @@
+"""Sharded-serving benchmark: worker processes vs the threaded engine.
+
+Streams one unpaced (compute-bound) frame sequence through three
+executors with identical outputs and compares steady-state throughput:
+
+* **offline loop** — ``beamform`` per frame on the caller thread: the
+  raw single-core kernel cost,
+* **threaded engine** — :class:`~repro.serve.ServeEngine` with
+  ``--threads`` worker threads: pipeline overlap, but every byte of
+  pure-Python work still serializes on the GIL,
+* **sharded engine** — :class:`~repro.serve.ShardedServeEngine` over
+  {1, 2, 4} worker *processes* × {shm, pickle} transport: the GIL-free
+  scaling axis this repo's north star asks for, with the shm rings
+  keeping the per-frame transport cost to a memcpy.
+
+Engines are started (workers spawned, rings sized, plan caches warmed
+by a short untimed run) before the timed window, so the numbers are
+steady-state serving throughput, not process-spawn cost.  Models run
+untrained — throughput does not depend on weight values.
+
+Writes ``benchmarks/BENCH_serve_sharded.json``.
+
+Acceptance gate (full mode): 4-worker shm sharding must reach >= 1.5x
+the threaded engine on the ``tiny_vbf`` pipeline.  **The gate needs
+parallel hardware**: on a host with fewer than 2 usable cores (CI
+sandboxes, cgroup-limited containers) no process layout can beat a
+saturated core, so the gate is recorded in the JSON as
+``enforced: false`` and skipped — the nightly CI workflow runs this
+bench on multi-core runners where the gate is live.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_serve_sharded.py [--smoke]
+        [--frames N] [--max-batch B] [--threads T]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.api import create_beamformer
+from repro.models.registry import build_model
+from repro.serve import ReplaySource, ServeEngine, ShardedServeEngine
+from repro.ultrasound import simulation_contrast, stream_gain_drift
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_serve_sharded.json"
+
+SPECS = ("das", "tiny_vbf", "tiny_vbf@20 bits")
+TRANSPORTS = ("shm", "pickle")
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_FLOOR = 1.5  # acceptance: 4-worker shm >= 1.5x threaded
+GATED_SPEC = "tiny_vbf"
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def make_beamformer(spec: str):
+    model = None
+    if spec not in ("das", "mvdr"):
+        model = build_model("tiny_vbf", "small", seed=0)
+    return create_beamformer(spec, model=model)
+
+
+def bench_offline(beamformer, frames) -> float:
+    start = time.perf_counter()
+    for frame in frames:
+        beamformer.beamform(frame)
+    return time.perf_counter() - start
+
+
+def bench_threaded(beamformer, frames, threads: int, max_batch: int
+                   ) -> float:
+    engine = ServeEngine(
+        beamformer,
+        max_batch=max_batch,
+        max_latency_ms=50.0,
+        n_workers=threads,
+        log_every_s=0.0,
+    )
+    engine.serve(ReplaySource(frames[:2]))  # warm-up
+    start = time.perf_counter()
+    report = engine.serve(ReplaySource(frames))
+    elapsed = time.perf_counter() - start
+    assert report.completed == len(frames), "threaded engine lost frames"
+    return elapsed
+
+
+def bench_sharded(
+    beamformer, frames, workers: int, transport: str, max_batch: int
+) -> float:
+    with ShardedServeEngine(
+        beamformer,
+        n_workers=workers,
+        transport=transport,
+        max_batch=max_batch,
+        max_latency_ms=50.0,
+        log_every_s=0.0,
+    ) as engine:
+        engine.serve(ReplaySource(frames[:2]))  # warm-up (rings, plans)
+        start = time.perf_counter()
+        report = engine.serve(ReplaySource(frames))
+        elapsed = time.perf_counter() - start
+    assert report.completed == len(frames), "sharded engine lost frames"
+    return elapsed
+
+
+def bench_spec(
+    spec: str,
+    frames,
+    threads: int,
+    worker_counts,
+    transports,
+    max_batch: int,
+) -> dict:
+    beamformer = make_beamformer(spec)
+    beamformer.beamform(frames[0])  # warm-up: plan cache, BLAS, imports
+    n = len(frames)
+
+    offline_s = bench_offline(beamformer, frames)
+    threaded_s = bench_threaded(beamformer, frames, threads, max_batch)
+    threaded_fps = n / threaded_s
+    row = {
+        "offline_fps": n / offline_s,
+        "threaded_fps": threaded_fps,
+        "threads": threads,
+        "sharded": {},
+    }
+    for transport in transports:
+        row["sharded"][transport] = {}
+        for workers in worker_counts:
+            sharded_s = bench_sharded(
+                beamformer, frames, workers, transport, max_batch
+            )
+            fps = n / sharded_s
+            row["sharded"][transport][str(workers)] = {
+                "frames_per_s": fps,
+                "speedup_vs_threaded": fps / threaded_fps,
+            }
+            print(
+                f"{spec:>18} | {transport:>6} x{workers}: "
+                f"{fps:6.2f} frames/s "
+                f"({fps / threaded_fps:.2f}x threaded)"
+            )
+    print(
+        f"{spec:>18} | offline {row['offline_fps']:6.2f} | "
+        f"threaded({threads}) {threaded_fps:6.2f} frames/s"
+    )
+    return row
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI run: fewer frames/configs, no speedup gate",
+    )
+    parser.add_argument("--frames", type=int, default=None)
+    parser.add_argument("--max-batch", type=int, default=4)
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="worker threads for the threaded-engine baseline "
+        "(default: min(4, usable cores) — the threaded engine's best "
+        "configuration for the host; oversubscribing threads on a "
+        "small host only adds GIL thrash, which would flatter the "
+        "sharded numbers)",
+    )
+    args = parser.parse_args(argv)
+    threads = args.threads or min(max(WORKER_COUNTS), usable_cores())
+    n_frames = args.frames or (6 if args.smoke else 24)
+    worker_counts = (2,) if args.smoke else WORKER_COUNTS
+    transports = TRANSPORTS
+    specs = ("das", "tiny_vbf") if args.smoke else SPECS
+
+    base = simulation_contrast()
+    frames = list(stream_gain_drift(base, n_frames, seed=0))
+    cores = usable_cores()
+    gate_enforced = not args.smoke and cores >= 2
+
+    results = {
+        spec: bench_spec(
+            spec,
+            frames,
+            threads,
+            worker_counts,
+            transports,
+            args.max_batch,
+        )
+        for spec in specs
+    }
+
+    payload = {
+        "bench": "serve_sharded_throughput",
+        "mode": "smoke" if args.smoke else "full",
+        "n_frames": n_frames,
+        "max_batch": args.max_batch,
+        "grid_shape": list(base.grid.shape),
+        "n_elements": base.probe.n_elements,
+        "host_cores": cores,
+        "gate": {
+            "floor": SPEEDUP_FLOOR,
+            "spec": GATED_SPEC,
+            "config": "shm x4 workers",
+            "enforced": gate_enforced,
+            "reason": (
+                None
+                if gate_enforced
+                else (
+                    "smoke mode"
+                    if args.smoke
+                    else f"single-core host ({cores} usable core)"
+                )
+            ),
+        },
+        "results": results,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"-> {OUT_PATH}")
+
+    if gate_enforced:
+        gated = results[GATED_SPEC]["sharded"]["shm"][
+            str(max(worker_counts))
+        ]["speedup_vs_threaded"]
+        if gated < SPEEDUP_FLOOR:
+            raise SystemExit(
+                f"sharded serving did not clear {SPEEDUP_FLOOR}x over "
+                f"the threaded engine on {GATED_SPEC} "
+                f"(got {gated:.2f}x on {cores} cores)"
+            )
+    elif not args.smoke:
+        print(
+            f"gate skipped: {payload['gate']['reason']} — >= 2 cores "
+            f"are required for process sharding to beat a saturated "
+            f"core (the nightly CI runners enforce it)"
+        )
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,241 @@
+"""Benchmark-trend gate: diff a BENCH_*.json against its baseline.
+
+Every benchmark in this repo emits a JSON artifact (``BENCH_throughput``,
+``BENCH_serve``, ``BENCH_backend``, ``BENCH_serve_sharded``).  Until
+this script existed those artifacts were uploaded and forgotten; now
+each CI benchmark step runs::
+
+    python benchmarks/compare_bench.py \\
+        --current benchmarks/BENCH_serve.json \\
+        --baseline benchmarks/baselines/BENCH_serve.json [--smoke]
+
+and the job **fails** when a throughput metric regressed more than the
+tolerance vs the committed baseline.  Baselines live in
+``benchmarks/baselines/`` and are refreshed in the PR that legitimately
+changes performance — a regression therefore has to be either fixed or
+explicitly re-baselined in review, never silently absorbed.
+
+What is compared
+----------------
+
+The two payloads are walked recursively and every *numeric leaf* whose
+key names a throughput-like metric is collected:
+
+* keys ending in ``_fps`` or ``_per_s`` (absolute throughput),
+* keys equal to ``speedup`` or ``speedup_vs_numpy`` (machine-relative
+  ratios).
+
+Config echoes that merely look numeric (``fps`` pacing, ``speedup_floor``,
+frame counts...) are excluded by exact name.  Latency/seconds metrics
+are deliberately *not* gated — they are noisy inverses of the same
+signal.  A metric present in the baseline but missing from the current
+payload fails the gate (a benchmark silently losing coverage is a
+regression too); new metrics pass (they gate once re-baselined).
+
+Tolerances
+----------
+
+* full mode: >25 % below baseline on any gated metric fails
+  (``--max-regression 0.25``).  Absolute throughput is only comparable
+  between runs on the *same machine class*, so full mode is for
+  same-host comparisons: refreshing baselines during development, or
+  self-hosted/dedicated runners.
+* ``--smoke``: the cross-machine policy every hosted-CI invocation
+  uses (the PR jobs pass it with smoke benchmark runs; nightly passes
+  it with full runs and a tightened ``--smoke-max-regression``).
+  Shared-runner absolute speed varies by integer factors between
+  hosts, so absolute metrics (``*_fps``/``*_per_s``) are *reported but
+  not gated*, and the machine-relative ratio metrics gate with
+  ``--smoke-max-regression`` (default 60 %) — loose enough for
+  scheduler noise, tight enough to catch structural regressions (a
+  speedup collapsing to ~1x).
+
+Exit status: 0 = within tolerance, 1 = regression (or missing metric),
+2 = usage error (missing/invalid files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Exact keys that look like metrics but are configuration echoes.
+EXCLUDED_KEYS = frozenset(
+    {
+        "fps",  # source pacing *input* (BENCH_serve config)
+        "speedup_floor",
+        "n_frames",
+        "frames",
+        "repeats",
+    }
+)
+
+#: Key suffixes of absolute-throughput metrics (higher is better).
+ABSOLUTE_SUFFIXES = ("_fps", "_per_s")
+
+#: Exact keys of machine-relative ratio metrics (higher is better).
+RATIO_KEYS = frozenset(
+    {"speedup", "speedup_vs_numpy", "speedup_vs_threaded"}
+)
+
+
+def is_metric_key(key: str) -> bool:
+    if key in EXCLUDED_KEYS:
+        return False
+    return key in RATIO_KEYS or key.endswith(ABSOLUTE_SUFFIXES)
+
+
+def is_ratio_key(key: str) -> bool:
+    return key in RATIO_KEYS
+
+
+def collect_metrics(payload, prefix: str = "") -> dict[str, float]:
+    """``{dotted.path: value}`` for every gated numeric leaf."""
+    metrics: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                metrics.update(collect_metrics(value, path))
+            elif (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and is_metric_key(str(key))
+            ):
+                metrics[path] = float(value)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            metrics.update(collect_metrics(value, f"{prefix}[{index}]"))
+    return metrics
+
+
+def compare(
+    current: dict,
+    baseline: dict,
+    max_regression: float,
+    smoke: bool = False,
+    smoke_max_regression: float = 0.60,
+) -> tuple[list[str], list[str]]:
+    """Diff two benchmark payloads.
+
+    Returns ``(failures, notes)``: human-readable regression lines that
+    must fail the gate, and informational lines (improvements, ungated
+    smoke-mode absolute drifts, new metrics).
+    """
+    current_metrics = collect_metrics(current)
+    baseline_metrics = collect_metrics(baseline)
+    failures: list[str] = []
+    notes: list[str] = []
+
+    for path in sorted(baseline_metrics):
+        base = baseline_metrics[path]
+        if path not in current_metrics:
+            failures.append(
+                f"{path}: present in baseline ({base:.4g}) but missing "
+                f"from the current payload — benchmark lost coverage"
+            )
+            continue
+        value = current_metrics[path]
+        if base <= 0:
+            continue  # nothing meaningful to gate against
+        change = value / base - 1.0
+        leaf = path.rsplit(".", 1)[-1]
+        gated = not (smoke and not is_ratio_key(leaf))
+        tolerance = smoke_max_regression if smoke else max_regression
+        line = (
+            f"{path}: {base:.4g} -> {value:.4g} ({change:+.1%})"
+        )
+        if change < -tolerance and gated:
+            failures.append(
+                f"{line} exceeds the {tolerance:.0%} regression budget"
+            )
+        elif change < -tolerance:
+            notes.append(f"{line} [not gated in smoke mode]")
+        elif change > 0.25:
+            notes.append(f"{line} [improved]")
+
+    for path in sorted(set(current_metrics) - set(baseline_metrics)):
+        notes.append(
+            f"{path}: new metric ({current_metrics[path]:.4g}); gates "
+            f"after the next re-baseline"
+        )
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--current", required=True, type=Path,
+        help="freshly generated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--baseline", required=True, type=Path,
+        help="committed baseline JSON (benchmarks/baselines/...)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="full-mode failure threshold (fraction below baseline)",
+    )
+    parser.add_argument(
+        "--smoke-max-regression", type=float, default=0.60,
+        help="smoke-mode threshold for ratio metrics (absolute "
+        "metrics are not gated in smoke mode; see module docstring)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="the current payload came from a --smoke benchmark run "
+        "on a shared runner",
+    )
+    args = parser.parse_args(argv)
+
+    for path in (args.current, args.baseline):
+        if not path.exists():
+            print(f"compare_bench: no such file: {path}", file=sys.stderr)
+            return 2
+    try:
+        current = json.loads(args.current.read_text())
+        baseline = json.loads(args.baseline.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"compare_bench: invalid JSON: {exc}", file=sys.stderr)
+        return 2
+
+    failures, notes = compare(
+        current,
+        baseline,
+        max_regression=args.max_regression,
+        smoke=args.smoke,
+        smoke_max_regression=args.smoke_max_regression,
+    )
+    mode = "smoke" if args.smoke else "full"
+    print(
+        f"compare_bench [{mode}]: {args.current.name} vs "
+        f"{args.baseline} "
+        f"({len(collect_metrics(baseline))} gated metrics)"
+    )
+    for note in notes:
+        print(f"  note: {note}")
+    if failures:
+        print(
+            f"THROUGHPUT REGRESSION ({len(failures)} metric(s) beyond "
+            f"budget):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  FAIL: {failure}", file=sys.stderr)
+        print(
+            "If this change legitimately trades throughput away, "
+            "refresh benchmarks/baselines/ in the same PR.",
+            file=sys.stderr,
+        )
+        return 1
+    print("  ok: no gated metric regressed beyond budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

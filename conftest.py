@@ -10,7 +10,10 @@ Two things live here because they must be shared by *both* test trees
   :class:`numpy.random.Generator`.  It is seeded from the requesting
   test's node id, so every test gets an independent stream that is
   byte-stable across reruns and under ``pytest -p no:randomly`` /
-  randomized orderings alike.
+  randomized orderings alike,
+* the ``slow`` marker and its ``--runslow`` gate — soak-class tests
+  (minutes of wall clock; the sharded-serve 5k-frame soak) are skipped
+  from the tier-1 run and exercised by the nightly CI workflow.
 """
 
 import zlib
@@ -27,6 +30,29 @@ def pytest_addoption(parser):
         help="regenerate the frozen byte-level fixtures under "
         "tests/golden/data/ instead of comparing against them",
     )
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (nightly soak tests)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: soak-class test, skipped unless --runslow is given "
+        "(run nightly in CI)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

@@ -1,9 +1,11 @@
-"""Setup shim.
+"""Setup shim (legacy editable-install fallback).
 
-The offline environment ships setuptools 65 without the ``wheel`` package,
-so PEP 660 editable installs fail; this shim lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
-``pip install -e .`` on newer toolchains) work everywhere.
+All project metadata lives in ``pyproject.toml``.  This file remains
+only because the offline environment ships setuptools 65 without the
+``wheel`` package, so PEP 660 editable installs fail there; the shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (and
+plain ``pip install -e .`` on newer toolchains, exercised by the CI
+packaging job) work everywhere.
 """
 
 from setuptools import setup

@@ -26,6 +26,7 @@ from repro.backend.base import (
     ArrayBackend,
     available_backends,
     backend_names_and_tolerances,
+    default_backend_name,
     get_backend,
     register_backend,
     resolve_backend,
@@ -45,6 +46,7 @@ __all__ = [
     "NumpyFastBackend",
     "available_backends",
     "backend_names_and_tolerances",
+    "default_backend_name",
     "flat_matmul",
     "get_backend",
     "register_backend",

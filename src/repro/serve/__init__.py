@@ -21,18 +21,29 @@ Pieces (each importable on its own):
                scene drift, frame rate and jitter),
 * scheduler  — :class:`MicroBatcher`: groups in-flight frames by
                acquisition geometry, flushes on ``max_batch`` or
-               ``max_latency_ms``,
+               ``max_latency_ms``; :class:`ShardRouter`: batch→shard
+               placement for the sharded engine,
 * engine     — :class:`ServeEngine`: worker pool, bounded queues with
                explicit backpressure (block / drop-oldest), graceful
                shutdown,
-* telemetry  — :class:`ServeTelemetry`: per-stage latency percentiles,
-               throughput, queue depth, plan-cache hit rate,
+* sharding   — :class:`ShardedServeEngine`: the same pipeline sharded
+               over N worker *processes* (GIL-free scaling), fed
+               through shared-memory frame transport,
+* shm        — :class:`ShmRing` / :class:`FrameTransport`:
+               shared-memory ring buffers with a pickle fallback,
+* telemetry  — :class:`ServeTelemetry`: per-stage latency percentiles
+               (bounded reservoirs), per-shard breakdown, worker
+               liveness/restart counters, throughput, queue depth,
+               plan-cache hit rate,
 * queues     — :class:`BoundedQueue` backpressure primitive,
 * clock      — :class:`MonotonicClock` / :class:`FakeClock` (tests).
 
-CLI: ``python -m repro.serve --beamformer tiny_vbf --source probe``.
+CLI: ``python -m repro.serve --beamformer tiny_vbf --source probe``
+(add ``--engine sharded --workers 4 --transport shm`` for processes).
 Bench: ``benchmarks/bench_serve.py`` (single-frame loop vs micro-batched
-engine; emits ``BENCH_serve.json``).
+engine; emits ``BENCH_serve.json``) and
+``benchmarks/bench_serve_sharded.py`` (threaded vs sharded; emits
+``BENCH_serve_sharded.json``).
 """
 
 from repro.serve.clock import Clock, FakeClock, MonotonicClock
@@ -43,7 +54,23 @@ from repro.serve.queues import (
     QueueClosed,
     QueueTimeout,
 )
-from repro.serve.scheduler import MicroBatch, MicroBatcher, PendingFrame
+from repro.serve.scheduler import (
+    SHARD_POLICIES,
+    MicroBatch,
+    MicroBatcher,
+    PendingFrame,
+    ShardRouter,
+)
+from repro.serve.sharding import ShardedServeEngine, WorkerCrashed
+from repro.serve.shm import (
+    TRANSPORTS,
+    FrameTransport,
+    PickledPayload,
+    ShmRing,
+    SlotHandle,
+    TransportClosed,
+    TransportFull,
+)
 from repro.serve.sources import FrameSource, ProbeSource, ReplaySource
 from repro.serve.telemetry import LatencyStats, ServeTelemetry
 
@@ -53,16 +80,27 @@ __all__ = [
     "Clock",
     "FakeClock",
     "FrameSource",
+    "FrameTransport",
     "LatencyStats",
     "MicroBatch",
     "MicroBatcher",
     "MonotonicClock",
     "PendingFrame",
+    "PickledPayload",
     "ProbeSource",
     "QueueClosed",
     "QueueTimeout",
     "ReplaySource",
+    "SHARD_POLICIES",
     "ServeEngine",
     "ServeReport",
     "ServeTelemetry",
+    "ShardRouter",
+    "ShardedServeEngine",
+    "ShmRing",
+    "SlotHandle",
+    "TRANSPORTS",
+    "TransportClosed",
+    "TransportFull",
+    "WorkerCrashed",
 ]

@@ -17,6 +17,10 @@ Examples::
     PYTHONPATH=src python -m repro.serve --beamformer das \\
         --backend numpy-fast --frames 32
 
+    # Process-sharded: 4 worker processes over shared-memory transport
+    PYTHONPATH=src python -m repro.serve --beamformer tiny_vbf \\
+        --untrained --engine sharded --workers 4 --transport shm
+
 Prints the final telemetry dict as JSON on stdout; progress log lines go
 to stderr via the ``repro.serve`` logger.
 """
@@ -32,6 +36,9 @@ from repro.api import create_beamformer, parse_spec
 from repro.backend import available_backends
 from repro.serve.engine import ServeEngine
 from repro.serve.queues import BACKPRESSURE_POLICIES
+from repro.serve.scheduler import SHARD_POLICIES
+from repro.serve.sharding import ShardedServeEngine
+from repro.serve.shm import TRANSPORTS
 from repro.serve.sources import ProbeSource, ReplaySource
 from repro.ultrasound import (
     phantom_contrast,
@@ -110,7 +117,39 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKPRESSURE_POLICIES,
         default="block",
     )
-    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--engine",
+        choices=("threaded", "sharded"),
+        default="threaded",
+        help="threaded: in-process worker threads (ServeEngine); "
+        "sharded: worker processes over shared-memory transport "
+        "(ShardedServeEngine)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads (threaded engine) or processes (sharded)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default="shm",
+        help="sharded engine only: frame/image transport — shm "
+        "(shared-memory rings) or pickle (queues)",
+    )
+    parser.add_argument(
+        "--shard-policy",
+        choices=SHARD_POLICIES,
+        default="round_robin",
+        help="sharded engine only: batch->worker placement",
+    )
+    parser.add_argument(
+        "--restart-workers",
+        action="store_true",
+        help="sharded engine only: respawn crashed workers and requeue "
+        "their in-flight batches instead of failing the run",
+    )
     parser.add_argument(
         "--backend",
         choices=available_backends(),
@@ -178,18 +217,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     beamformer = make_beamformer(args)
     source = make_source(args)
-    engine = ServeEngine(
-        beamformer,
-        max_batch=args.max_batch,
-        max_latency_ms=args.max_latency_ms,
-        queue_capacity=args.queue_capacity,
-        backpressure=args.backpressure,
-        n_workers=args.workers,
-        log_every_s=args.log_every,
-    )
-    report = engine.serve(source)
+    if args.engine == "sharded":
+        engine = ShardedServeEngine(
+            beamformer,
+            n_workers=args.workers,
+            transport=args.transport,
+            max_batch=args.max_batch,
+            max_latency_ms=args.max_latency_ms,
+            queue_capacity=args.queue_capacity,
+            backpressure=args.backpressure,
+            shard_policy=args.shard_policy,
+            restart_workers=args.restart_workers,
+            log_every_s=args.log_every,
+        )
+        with engine:
+            report = engine.serve(source)
+    else:
+        engine = ServeEngine(
+            beamformer,
+            max_batch=args.max_batch,
+            max_latency_ms=args.max_latency_ms,
+            queue_capacity=args.queue_capacity,
+            backpressure=args.backpressure,
+            n_workers=args.workers,
+            log_every_s=args.log_every,
+        )
+        report = engine.serve(source)
     payload = {
         "beamformer": beamformer.describe(),
+        "engine": args.engine,
+        "workers": args.workers,
+        "transport": (
+            args.transport if args.engine == "sharded" else None
+        ),
         "source": args.source,
         "preset": args.preset,
         "frames": args.frames,

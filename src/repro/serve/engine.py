@@ -60,6 +60,92 @@ Sink = Callable[[int, object, np.ndarray], None]
 _SENTINEL = object()
 
 
+def run_batcher(
+    ingest: BoundedQueue,
+    dispatch: Callable[[MicroBatch], None],
+    max_batch: int,
+    max_latency_ms: float,
+    clock: Clock,
+) -> None:
+    """Drain ``ingest`` through a :class:`MicroBatcher` until it closes.
+
+    The scheduling loop shared by the threaded :class:`ServeEngine` and
+    the process-sharded :class:`~repro.serve.sharding.ShardedServeEngine`
+    — both batch identically; they differ only in what ``dispatch`` does
+    with a due :class:`MicroBatch` (local queue vs worker-process
+    transport).  Returns after the closing flush has dispatched every
+    pending frame; exceptions (from keying a frame or from ``dispatch``)
+    propagate to the caller, which owns thread-death handling.
+    """
+    scheduler = MicroBatcher(
+        max_batch=max_batch,
+        max_latency_s=max_latency_ms / 1e3,
+        clock=clock,
+    )
+    while True:
+        deadline = scheduler.next_deadline()
+        timeout = (
+            None if deadline is None
+            else max(0.0, deadline - clock.now())
+        )
+        try:
+            scheduler.add(ingest.get(timeout=timeout))
+            # Opportunistically drain whatever else already arrived so
+            # a burst becomes one batch, not max_batch batches — but
+            # never hold more than a batch's worth of frames:
+            # backpressure must build in the *bounded* ingest queue,
+            # not in the scheduler.
+            while len(ingest) > 0 and scheduler.pending < max_batch:
+                try:
+                    scheduler.add(ingest.get(timeout=0.0))
+                except (QueueTimeout, QueueClosed):
+                    break
+        except QueueTimeout:
+            pass  # a deadline expired; ready() flushes it below
+        except QueueClosed:
+            for batch in scheduler.flush():
+                dispatch(batch)
+            return
+        for batch in scheduler.ready():
+            dispatch(batch)
+
+
+def pump_source(
+    source: Iterable,
+    ingest: BoundedQueue,
+    telemetry: ServeTelemetry,
+    dropped: list[int],
+) -> int:
+    """Feed ``source`` into the ingest queue; the producer half of serve.
+
+    Shared by both engines: assigns sequence numbers, applies the
+    queue's backpressure policy (recording evictions in ``dropped`` and
+    telemetry), and stops early if the queue is closed under it (a dead
+    batcher must stop the producer, not deadlock it).  Returns the
+    number of frames submitted.  The caller still owns ``ingest.close``
+    — typically in a ``finally`` so shutdown happens on source errors
+    too.
+    """
+    seq = 0
+    for dataset in source:
+        submitted_at = telemetry.frame_submitted()
+        frame = PendingFrame(
+            seq=seq, dataset=dataset, submitted_at=submitted_at
+        )
+        seq += 1
+        try:
+            evicted = ingest.put(frame)
+        except QueueClosed:
+            # The consumer side failed and closed the queue; stop
+            # ingesting and let the caller surface its exception.
+            break
+        if evicted is not None:
+            dropped.append(evicted.seq)
+            telemetry.frame_dropped()
+        telemetry.observe_queue_depth("ingest", len(ingest))
+    return seq
+
+
 @dataclass
 class ServeReport:
     """Outcome of one :meth:`ServeEngine.serve` run.
@@ -160,46 +246,17 @@ class ServeEngine:
         batches: BoundedQueue,
         telemetry: ServeTelemetry,
     ) -> None:
-        scheduler = MicroBatcher(
-            max_batch=self.max_batch,
-            max_latency_s=self.max_latency_ms / 1e3,
-            clock=self.clock,
-        )
-
         def dispatch(batch: MicroBatch) -> None:
             batches.put(batch)
             telemetry.observe_queue_depth("batch", len(batches))
 
-        while True:
-            deadline = scheduler.next_deadline()
-            timeout = (
-                None
-                if deadline is None
-                else max(0.0, deadline - self.clock.now())
-            )
-            try:
-                scheduler.add(ingest.get(timeout=timeout))
-                # Opportunistically drain whatever else already arrived
-                # so a burst becomes one batch, not max_batch batches —
-                # but never hold more than a batch's worth of frames:
-                # backpressure must build in the *bounded* ingest queue,
-                # not in the scheduler.
-                while (
-                    len(ingest) > 0
-                    and scheduler.pending < self.max_batch
-                ):
-                    try:
-                        scheduler.add(ingest.get(timeout=0.0))
-                    except (QueueTimeout, QueueClosed):
-                        break
-            except QueueTimeout:
-                pass  # a deadline expired; ready() flushes it below
-            except QueueClosed:
-                for batch in scheduler.flush():
-                    dispatch(batch)
-                return
-            for batch in scheduler.ready():
-                dispatch(batch)
+        run_batcher(
+            ingest,
+            dispatch,
+            max_batch=self.max_batch,
+            max_latency_ms=self.max_latency_ms,
+            clock=self.clock,
+        )
 
     def _worker_loop(
         self,
@@ -318,22 +375,7 @@ class ServeEngine:
 
         seq = 0
         try:
-            for dataset in source:
-                submitted_at = telemetry.frame_submitted()
-                frame = PendingFrame(
-                    seq=seq, dataset=dataset, submitted_at=submitted_at
-                )
-                seq += 1
-                try:
-                    evicted = ingest.put(frame)
-                except QueueClosed:
-                    # The batcher failed and closed the queue; stop
-                    # ingesting and surface its exception below.
-                    break
-                if evicted is not None:
-                    dropped.append(evicted.seq)
-                    telemetry.frame_dropped()
-                telemetry.observe_queue_depth("ingest", len(ingest))
+            seq = pump_source(source, ingest, telemetry, dropped)
         finally:
             ingest.close()
             batcher.join()

@@ -134,3 +134,19 @@ class BoundedQueue:
         """Deepest the queue has been since construction."""
         with self._lock:
             return self._high_water
+
+    def stats(self) -> dict:
+        """One consistent snapshot of the queue's gauges.
+
+        ``depth``/``dropped``/``high_water`` read individually each take
+        the lock, so a telemetry caller sampling all three could see
+        them from different instants; engines record this dict instead.
+        """
+        with self._lock:
+            return {
+                "depth": len(self._items),
+                "capacity": self.capacity,
+                "dropped": self._dropped,
+                "high_water": self._high_water,
+                "closed": self._closed,
+            }

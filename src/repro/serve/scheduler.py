@@ -25,6 +25,7 @@ testable with a fake clock and no sleeps.  Thread ownership lives in
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
@@ -61,6 +62,71 @@ class MicroBatch:
 
     def __len__(self) -> int:
         return len(self.frames)
+
+
+SHARD_POLICIES = ("round_robin", "geometry")
+
+
+class ShardRouter:
+    """Assign dispatched micro-batches to one of ``n_shards`` workers.
+
+    Policies:
+
+    * ``"round_robin"`` (default) — batches rotate across shards in
+      dispatch order.  Best load balance, and the right choice for the
+      common serving pattern of one hot geometry: consecutive batches of
+      the same stream land on *different* workers and execute in
+      parallel.
+    * ``"geometry"`` — a batch's geometry key (stably hashed) pins it to
+      one shard.  Every frame of a given acquisition geometry hits the
+      same worker, so each worker's ToF-plan cache holds only its own
+      geometries — the precursor to per-probe shard affinity for
+      multi-probe fan-out, at the cost of imbalance when one geometry
+      dominates.
+
+    The router is a pure function of its inputs plus one counter, owned
+    by the sharded engine's batcher thread; it is deliberately not
+    thread-safe.
+    """
+
+    def __init__(self, n_shards: int, policy: str = "round_robin") -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SHARD_POLICIES}, got {policy!r}"
+            )
+        self.n_shards = n_shards
+        self.policy = policy
+        self._next = 0
+
+    def route(self, batch: MicroBatch) -> int:
+        """Shard index in ``[0, n_shards)`` for one dispatched batch."""
+        if self.policy == "geometry":
+            return _stable_hash(batch.geometry) % self.n_shards
+        shard = self._next
+        self._next = (self._next + 1) % self.n_shards
+        return shard
+
+
+def _stable_hash(key: tuple) -> int:
+    """Process-stable hash over a geometry key's byte content.
+
+    ``hash()`` on bytes is randomized per interpreter (PYTHONHASHSEED),
+    which would make geometry→shard placement differ between a parent
+    and its spawned children or across restarts; shard placement should
+    be a property of the *geometry*, not of the process.  ``crc32``
+    runs at C speed — the key embeds the grid axes' raw bytes
+    (tens of KiB), and this runs per dispatched batch on the batcher
+    thread.
+    """
+    acc = 0
+    for part in key:
+        payload = (
+            part if isinstance(part, bytes) else repr(part).encode()
+        )
+        acc = zlib.crc32(payload, acc)
+    return acc
 
 
 class MicroBatcher:

@@ -1,0 +1,888 @@
+"""Process-sharded serving: N worker processes behind one engine.
+
+:class:`~repro.serve.engine.ServeEngine` overlaps acquisition and
+compute, but its workers are *threads*: every byte of pure-Python work —
+micro-batching, plan lookups, qexec's frame-serial quantized path,
+telemetry — serializes on the GIL, so a single process tops out at
+roughly one core of non-BLAS throughput.  :class:`ShardedServeEngine`
+breaks that ceiling by sharding micro-batches across real processes:
+
+::
+
+    source ─▶ ingest queue ─▶ batcher ─▶ per-worker task queues ─▶ N processes
+     (caller)  (backpressure)  (thread)      (round-robin/geometry)     │
+                                                                        ▼
+    sink ◀── collector thread ◀── result queue ◀── shared-memory image ring
+
+* **Transport** — raw RF frames travel parent→worker through a
+  shared-memory ring (:mod:`repro.serve.shm`); beamformed images travel
+  back through per-worker shared-memory rings.  Only tiny slot
+  descriptors ride the queues.  ``transport="pickle"`` degrades every
+  payload to queue pickling (reference path, and the fallback for
+  object dtypes / oversized frames).
+* **Spawn safety** — workers are started with the ``spawn`` method (no
+  inherited locks or forked BLAS state), receive the beamformer by
+  pickle (backends reduce to registry names, see
+  :meth:`repro.backend.ArrayBackend.__reduce__`) and are initialized
+  with the parent's process-default backend
+  (:func:`repro.backend.default_backend_name`) before touching any
+  kernel.  Each worker owns its own ToF-plan cache; the per-shard
+  hit-rate is folded back into the run telemetry at shutdown.
+* **Parity** — a worker rebuilds each frame from a byte-exact RF copy
+  plus the batch's geometry template and runs the *same*
+  ``beamform_batch`` as the threaded engine, so sharded output is
+  bitwise identical to offline ``beamform`` (asserted across backends
+  by ``tests/serve/test_sharding.py``).
+* **Failure model** — a worker that *raises* reports the batch as
+  failed and keeps serving (the engine re-raises the first failure
+  after the run, like the threaded engine).  A worker that *dies* is
+  detected by liveness polling: by default the run aborts with
+  :class:`WorkerCrashed`; with ``restart_workers=True`` the engine
+  respawns the shard, requeues its in-flight batches (their frames are
+  still parked in the input ring — slots are only freed once a batch
+  has an outcome) and keeps going, counting the restart in telemetry.
+  Duplicate results from requeue races are detected by batch id and
+  discarded.
+
+The engine is a context manager; workers spawn once (``start()``) and
+serve any number of runs before ``close()``.  See DESIGN.md §5 for the
+full protocol walk-through and the parity argument.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import queue as _queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+import numpy as np
+
+from repro.api.base import Beamformer
+from repro.backend import default_backend_name
+from repro.serve.clock import Clock, MonotonicClock
+from repro.serve.engine import ServeReport, Sink, pump_source, run_batcher
+from repro.serve.queues import BACKPRESSURE_POLICIES, BoundedQueue
+from repro.serve.scheduler import SHARD_POLICIES, MicroBatch, ShardRouter
+from repro.serve.shm import (
+    TRANSPORTS,
+    FrameTransport,
+    QueueFreeList,
+    SlotHandle,
+    TransportClosed,
+    close_attachments,
+    unpack,
+)
+from repro.serve.telemetry import ServeTelemetry
+
+logger = logging.getLogger("repro.serve")
+
+#: Bound on batches queued per worker (beyond the one executing).
+#: Small on purpose: backpressure should build in the ingest queue and
+#: the input ring, not in opaque OS pipe buffers.
+TASK_QUEUE_DEPTH = 4
+
+#: Collector poll period; also the worker-liveness detection latency.
+_POLL_S = 0.1
+
+#: How long ``start()`` waits for every worker's ready handshake.
+_READY_TIMEOUT_S = 120.0
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died without reporting a result."""
+
+
+@dataclass(frozen=True)
+class FrameStub:
+    """The beamforming-relevant slice of a dataset.
+
+    What a worker needs to reproduce ``beamform(dataset)`` exactly:
+    the acquisition geometry (every field of
+    :func:`repro.api.base.dataset_plan_key`) plus the RF samples and a
+    name for error messages.  Metadata that beamforming never reads
+    (phantom scatterers, medium, spec) stays in the parent — the sink
+    callback still receives the original dataset object.
+
+    One stub with ``rf=None`` doubles as a batch's geometry *template*
+    (~4 KB pickled); workers graft each frame's shared-memory RF onto
+    it with :func:`dataclasses.replace`.
+    """
+
+    name: str
+    probe: object
+    grid: object
+    angle_rad: float
+    sound_speed_m_s: float
+    t_start_s: float
+    rf: np.ndarray | None = None
+
+
+def _template_of(dataset) -> FrameStub:
+    return FrameStub(
+        name=getattr(dataset, "name", "<unnamed>"),
+        probe=dataset.probe,
+        grid=dataset.grid,
+        angle_rad=float(dataset.angle_rad),
+        sound_speed_m_s=float(dataset.sound_speed_m_s),
+        t_start_s=float(getattr(dataset, "t_start_s", 0.0)),
+    )
+
+
+# --------------------------------------------------------------------------
+# Worker process
+# --------------------------------------------------------------------------
+
+
+def _worker_main(
+    worker_id: int,
+    generation: int,
+    beamformer_blob: bytes,
+    backend_name: str,
+    transport: str,
+    output_slots: int,
+    task_queue,
+    result_queue,
+    output_free_queue,
+) -> None:
+    """Entry point of one shard (runs in a spawned child process).
+
+    Protocol (task queue in, result queue out):
+
+    * ``("batch", batch_id, template, [(seq, payload), ...])`` →
+      ``("done", worker_id, generation, batch_id,
+      [(seq, payload), ...], execute_s)`` or
+      ``("error", worker_id, generation, batch_id, traceback_str)``,
+    * ``("end_run",)`` → ``("run_done", worker_id, plan_cache_delta)``
+      where the delta covers plan-cache traffic since the previous
+      ``end_run`` (so multi-run engines don't double-count),
+    * ``("stop",)`` → ``("stopped", worker_id)`` and exit.
+
+    ``generation`` counts respawns of this shard slot; the collector
+    uses it to discard messages from a dead incarnation (whose output
+    slots were already reclaimed wholesale — see ``_check_liveness``).
+    Any failure outside batch execution (unpickling the beamformer,
+    transport setup) is reported as ``("fatal", worker_id, tb)``.
+    """
+    import multiprocessing
+
+    try:
+        from repro.backend import set_backend
+        from repro.beamform.tof import tof_plan_cache_stats
+
+        set_backend(backend_name)
+        beamformer: Beamformer = pickle.loads(beamformer_blob)
+        writer = FrameTransport(
+            transport,
+            output_slots,
+            make_free_list=lambda: QueueFreeList(output_free_queue),
+        )
+        attachments: dict = {}
+        parent = multiprocessing.parent_process()
+        cache_baseline = tof_plan_cache_stats()
+    except BaseException:
+        result_queue.put(("fatal", worker_id, traceback.format_exc()))
+        return
+
+    result_queue.put(("ready", worker_id))
+    while True:
+        try:
+            message = task_queue.get(timeout=5.0)
+        except _queue.Empty:
+            if parent is not None and not parent.is_alive():
+                break  # orphaned: the engine is gone, so are we
+            continue
+        kind = message[0]
+        if kind == "stop":
+            result_queue.put(("stopped", worker_id))
+            break
+        if kind == "end_run":
+            cache_now = tof_plan_cache_stats()
+            delta = {
+                "hits": cache_now["hits"] - cache_baseline["hits"],
+                "misses": (
+                    cache_now["misses"] - cache_baseline["misses"]
+                ),
+            }
+            cache_baseline = cache_now
+            result_queue.put(("run_done", worker_id, delta))
+            continue
+        _, batch_id, template, frames = message
+        started = time.monotonic()
+        try:
+            datasets = [
+                replace(template, rf=unpack(payload, attachments))
+                for _, payload in frames
+            ]
+            images = beamformer.beamform_batch(datasets)
+            out = [
+                (seq, writer.pack(np.ascontiguousarray(image)))
+                for (seq, _), image in zip(frames, images)
+            ]
+            result_queue.put(
+                (
+                    "done",
+                    worker_id,
+                    generation,
+                    batch_id,
+                    out,
+                    time.monotonic() - started,
+                )
+            )
+        except BaseException:
+            result_queue.put(
+                (
+                    "error",
+                    worker_id,
+                    generation,
+                    batch_id,
+                    traceback.format_exc(),
+                )
+            )
+    close_attachments(attachments)
+    writer.close()
+
+
+# --------------------------------------------------------------------------
+# Parent-side engine
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Pending:
+    """One dispatched batch awaiting its result."""
+
+    batch_id: int
+    shard: int
+    message: tuple
+    batch: MicroBatch
+    frame_payloads: list
+    dispatch_time: float
+
+
+@dataclass
+class _RunState:
+    """Everything scoped to one ``serve()`` call."""
+
+    telemetry: ServeTelemetry
+    ingest: BoundedQueue
+    results: dict = field(default_factory=dict)
+    dropped: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+    pending: dict = field(default_factory=dict)
+    run_done: set = field(default_factory=set)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    abort: threading.Event = field(default_factory=threading.Event)
+    dispatch_done: threading.Event = field(
+        default_factory=threading.Event
+    )
+    end_run_sent: bool = False
+
+
+class ShardedServeEngine:
+    """Micro-batching streaming executor sharded over worker processes.
+
+    Drop-in alternative to :class:`~repro.serve.engine.ServeEngine` for
+    CPU-bound pipelines: same sources, same backpressure policies, same
+    :class:`~repro.serve.engine.ServeReport`, bitwise-identical images —
+    but ``beamform_batch`` runs in ``n_workers`` separate processes fed
+    through shared memory, so pure-Python pipeline work scales past the
+    GIL.
+
+    Args:
+        beamformer: any picklable :class:`~repro.api.base.Beamformer`
+            (all built-ins are; backends pickle by registry name).
+        n_workers: worker *processes* (shards).
+        transport: ``"shm"`` (shared-memory rings, default) or
+            ``"pickle"`` (everything over the queues).
+        max_batch / max_latency_ms / queue_capacity / backpressure:
+            exactly as on :class:`~repro.serve.engine.ServeEngine`.
+        shard_policy: ``"round_robin"`` (default) or ``"geometry"`` —
+            see :class:`~repro.serve.scheduler.ShardRouter`.
+        input_slots: frame-ring depth (in-flight frame bound); default
+            ``4 * max_batch * n_workers``.
+        output_slots: per-worker image-ring depth; default
+            ``2 * max_batch``.
+        restart_workers: respawn a crashed shard and requeue its
+            in-flight batches instead of aborting the run.
+        max_restarts: total respawns allowed per engine before a crash
+            becomes fatal anyway.
+        start_method: ``multiprocessing`` start method; ``"spawn"``
+            (default) is the only portable, lock-safe choice.
+        clock: engine-side time source.  Worker processes always
+            measure compute with their own monotonic clocks (only
+            durations cross the boundary), so a fake clock here only
+            affects parent-side pacing/telemetry.
+        log_every_s: period of the telemetry log line (0 disables).
+    """
+
+    def __init__(
+        self,
+        beamformer: Beamformer,
+        n_workers: int = 2,
+        transport: str = "shm",
+        max_batch: int = 4,
+        max_latency_ms: float = 25.0,
+        queue_capacity: int = 64,
+        backpressure: str = "block",
+        shard_policy: str = "round_robin",
+        input_slots: int | None = None,
+        output_slots: int | None = None,
+        restart_workers: bool = False,
+        max_restarts: int = 3,
+        start_method: str = "spawn",
+        clock: Clock | None = None,
+        log_every_s: float = 10.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, "
+                f"got {transport!r}"
+            )
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {backpressure!r}"
+            )
+        if shard_policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"shard_policy must be one of {SHARD_POLICIES}, "
+                f"got {shard_policy!r}"
+            )
+        self.beamformer = beamformer
+        self.n_workers = n_workers
+        self.transport = transport
+        self.max_batch = max_batch
+        self.max_latency_ms = max_latency_ms
+        self.queue_capacity = queue_capacity
+        self.backpressure = backpressure
+        self.shard_policy = shard_policy
+        self.input_slots = input_slots or 4 * max_batch * n_workers
+        self.output_slots = output_slots or 2 * max_batch
+        self.restart_workers = restart_workers
+        self.max_restarts = max_restarts
+        self.start_method = start_method
+        self.clock = clock or MonotonicClock()
+        self.log_every_s = log_every_s
+
+        import multiprocessing
+
+        self._ctx = multiprocessing.get_context(start_method)
+        self._started = False
+        self._broken = False
+        self._restarts = 0
+        self._serve_lock = threading.Lock()
+        self._procs: list = []
+        self._task_queues: list = []
+        self._output_free_lists: list = []
+        self._generations: list[int] = []
+        self._result_queue = None
+        self._frames = FrameTransport(transport, self.input_slots)
+        self._attachments: dict = {}
+        self._batch_counter = 0
+        self._log_last = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ShardedServeEngine":
+        """Spawn the worker pool (idempotent; implied by ``serve``)."""
+        if self._started:
+            return self
+        blob = pickle.dumps(self.beamformer)
+        self._beamformer_blob = blob
+        self._backend_name = default_backend_name()
+        self._result_queue = self._ctx.Queue()
+        self._task_queues = [
+            self._ctx.Queue(maxsize=TASK_QUEUE_DEPTH)
+            for _ in range(self.n_workers)
+        ]
+        self._output_free_lists = [
+            QueueFreeList.create(self._ctx, self.output_slots)
+            for _ in range(self.n_workers)
+        ]
+        self._generations = [0] * self.n_workers
+        self._procs = [
+            self._spawn(shard) for shard in range(self.n_workers)
+        ]
+        self._await_ready()
+        self._started = True
+        return self
+
+    def _spawn(self, shard: int):
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                shard,
+                self._generations[shard],
+                self._beamformer_blob,
+                self._backend_name,
+                self.transport,
+                self.output_slots,
+                self._task_queues[shard],
+                self._result_queue,
+                self._output_free_lists[shard].raw,
+            ),
+            name=f"serve-shard-{shard}",
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def _await_ready(self) -> None:
+        ready: set[int] = set()
+        deadline = time.monotonic() + _READY_TIMEOUT_S
+        while len(ready) < self.n_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._terminate_all()
+                raise WorkerCrashed(
+                    f"workers {sorted(set(range(self.n_workers)) - ready)} "
+                    f"did not report ready within {_READY_TIMEOUT_S}s"
+                )
+            try:
+                message = self._result_queue.get(
+                    timeout=min(remaining, _POLL_S * 5)
+                )
+            except _queue.Empty:
+                dead = [
+                    shard
+                    for shard, process in enumerate(self._procs)
+                    if not process.is_alive()
+                ]
+                if dead:
+                    self._terminate_all()
+                    raise WorkerCrashed(
+                        f"workers {dead} died during startup"
+                    )
+                continue
+            if message[0] == "ready":
+                ready.add(message[1])
+            elif message[0] == "fatal":
+                self._terminate_all()
+                raise WorkerCrashed(
+                    f"worker {message[1]} failed during startup:\n"
+                    f"{message[2]}"
+                )
+
+    def close(self) -> None:
+        """Stop workers and release every transport resource."""
+        if not self._procs:
+            return
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(("stop",), timeout=1.0)
+            except _queue.Full:
+                pass
+        for process in self._procs:
+            process.join(timeout=5.0)
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        self._frames.close()
+        # Worker-owned image segments unlink on clean worker exit; if a
+        # worker was terminated, unlink its segment here by name.
+        from multiprocessing import shared_memory
+
+        names = list(self._attachments)
+        close_attachments(self._attachments)
+        for name in names:
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+        for mp_queue in (
+            *self._task_queues,
+            *(free.raw for free in self._output_free_lists),
+            self._result_queue,
+        ):
+            if mp_queue is None:
+                continue
+            mp_queue.close()
+            mp_queue.cancel_join_thread()
+        self._procs = []
+        self._task_queues = []
+        self._output_free_lists = []
+        self._result_queue = None
+        self._started = False
+
+    def _terminate_all(self) -> None:
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+        for process in self._procs:
+            process.join(timeout=5.0)
+        self._procs = []
+        self._started = False
+        self._broken = True
+
+    def __enter__(self) -> "ShardedServeEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- serving ---------------------------------------------------------
+
+    def serve(
+        self, source: Iterable, sink: Sink | None = None
+    ) -> ServeReport:
+        """Run the sharded pipeline over ``source`` until exhausted.
+
+        Same contract as :meth:`ServeEngine.serve
+        <repro.serve.engine.ServeEngine.serve>`: images come back in
+        submission order (``None`` for frames dropped by backpressure),
+        the first worker failure is re-raised after shutdown, and no
+        frame is lost on graceful shutdown.
+        """
+        with self._serve_lock:
+            if self._broken:
+                raise RuntimeError(
+                    "engine is broken after a worker crash; close() "
+                    "and build a new engine"
+                )
+            self.start()
+            run = _RunState(
+                telemetry=ServeTelemetry(clock=self.clock),
+                ingest=BoundedQueue(
+                    self.queue_capacity, self.backpressure
+                ),
+            )
+            run.telemetry.worker_spawned(self.n_workers)
+            router = ShardRouter(self.n_workers, self.shard_policy)
+            batcher = threading.Thread(
+                target=self._batcher_loop,
+                args=(run, router),
+                name="serve-shard-batcher",
+                daemon=True,
+            )
+            collector = threading.Thread(
+                target=self._collector_loop,
+                args=(run, sink),
+                name="serve-shard-collector",
+                daemon=True,
+            )
+            batcher.start()
+            collector.start()
+            seq = 0
+            try:
+                seq = pump_source(
+                    source, run.ingest, run.telemetry, run.dropped
+                )
+            finally:
+                run.ingest.close()
+                batcher.join()
+                if not run.abort.is_set():
+                    self._send_end_run(run)
+                run.dispatch_done.set()
+                collector.join()
+                self._release_leftovers(run)
+
+            if run.errors:
+                raise run.errors[0]
+            images = [run.results.get(index) for index in range(seq)]
+            report = ServeReport(
+                images=images,
+                dropped=sorted(run.dropped),
+                stats=run.telemetry.stats(),
+            )
+            if self.log_every_s > 0:
+                logger.info(
+                    "sharded serve finished: %s",
+                    run.telemetry.log_line(),
+                )
+            return report
+
+    # -- batcher side ----------------------------------------------------
+
+    def _batcher_loop(self, run: _RunState, router: ShardRouter) -> None:
+        try:
+            run_batcher(
+                run.ingest,
+                lambda batch: self._dispatch(run, router, batch),
+                max_batch=self.max_batch,
+                max_latency_ms=self.max_latency_ms,
+                clock=self.clock,
+            )
+        except TransportClosed:
+            pass  # the run aborted while we were blocked dispatching
+        except BaseException as exc:
+            with run.lock:
+                run.errors.append(exc)
+            run.abort.set()
+            run.ingest.close()
+
+    def _dispatch(
+        self, run: _RunState, router: ShardRouter, batch: MicroBatch
+    ) -> None:
+        shard = router.route(batch)
+        template = _template_of(batch.frames[0].dataset)
+        payloads = []
+        for frame in batch.frames:
+            payloads.append(
+                self._frames.pack(
+                    np.asarray(frame.dataset.rf),
+                    timeout=None,
+                    abort=run.abort.is_set,
+                )
+            )
+        self._batch_counter += 1
+        batch_id = self._batch_counter
+        message = (
+            "batch",
+            batch_id,
+            template,
+            [
+                (frame.seq, payload)
+                for frame, payload in zip(batch.frames, payloads)
+            ],
+        )
+        entry = _Pending(
+            batch_id=batch_id,
+            shard=shard,
+            message=message,
+            batch=batch,
+            frame_payloads=payloads,
+            dispatch_time=self.clock.now(),
+        )
+        with run.lock:
+            run.pending[batch_id] = entry
+            run.telemetry.observe_queue_depth(
+                "inflight_batches", len(run.pending)
+            )
+        self._put_task(run, shard, message)
+
+    def _put_task(
+        self, run: _RunState, shard: int, message: tuple
+    ) -> None:
+        while True:
+            if run.abort.is_set():
+                raise TransportClosed
+            try:
+                self._task_queues[shard].put(message, timeout=_POLL_S)
+                return
+            except _queue.Full:
+                continue
+
+    def _send_end_run(self, run: _RunState) -> None:
+        for shard in range(self.n_workers):
+            try:
+                self._put_task(run, shard, ("end_run",))
+            except TransportClosed:
+                return
+        run.end_run_sent = True
+
+    # -- collector side --------------------------------------------------
+
+    def _collector_loop(self, run: _RunState, sink: Sink | None) -> None:
+        last_liveness = 0.0
+        while True:
+            if run.abort.is_set():
+                return
+            # Poll liveness on idle timeouts *and* periodically under
+            # sustained result traffic — a busy healthy shard must not
+            # delay detection of a dead one.
+            now = time.monotonic()
+            if now - last_liveness >= _POLL_S:
+                last_liveness = now
+                self._check_liveness(run)
+                if run.abort.is_set():
+                    return
+            try:
+                message = self._result_queue.get(timeout=_POLL_S)
+            except _queue.Empty:
+                if self._run_complete(run):
+                    return
+                continue
+            kind = message[0]
+            if kind == "done":
+                self._on_done(run, message, sink)
+            elif kind == "error":
+                self._on_error(run, message)
+            elif kind == "run_done":
+                _, shard, cache_stats = message
+                with run.lock:
+                    run.run_done.add(shard)
+                run.telemetry.shard_plan_cache(shard, cache_stats)
+            elif kind == "fatal":
+                _, shard, tb = message
+                with run.lock:
+                    run.errors.append(
+                        WorkerCrashed(
+                            f"worker {shard} failed:\n{tb}"
+                        )
+                    )
+                self._abort_run(run)
+                return
+            # "ready" / "stopped" are lifecycle noise here
+            self._maybe_log(run)
+            if self._run_complete(run):
+                return
+
+    def _run_complete(self, run: _RunState) -> bool:
+        if not run.dispatch_done.is_set():
+            return False
+        with run.lock:
+            return not run.pending and run.run_done >= set(
+                range(self.n_workers)
+            )
+
+    def _on_done(
+        self, run: _RunState, message: tuple, sink: Sink | None
+    ) -> None:
+        _, shard, generation, batch_id, out_payloads, execute_s = message
+        if generation != self._generations[shard]:
+            # A dead incarnation's parting words: its batches were
+            # requeued and its slot pool rebuilt wholesale, so neither
+            # the result nor the slots are ours to consume/release.
+            return
+        with run.lock:
+            entry = run.pending.pop(batch_id, None)
+        if entry is None:
+            # Duplicate from a requeue race: the batch already has an
+            # outcome; just recycle the output slots.
+            for _, payload in out_payloads:
+                self._release_output(shard, payload)
+            return
+        done_time = self.clock.now()
+        images = {}
+        for seq, payload in out_payloads:
+            images[seq] = unpack(payload, self._attachments)
+            self._release_output(shard, payload)
+        for payload in entry.frame_payloads:
+            self._frames.release(payload)
+        with run.lock:
+            run.results.update(images)
+        run.telemetry.batch_done(
+            [frame.submitted_at for frame in entry.batch.frames],
+            entry.dispatch_time,
+            done_time,
+            shard=shard,
+            execute_s=execute_s,
+        )
+        if sink is not None:
+            for frame in entry.batch.frames:
+                sink(frame.seq, frame.dataset, images[frame.seq])
+
+    def _on_error(self, run: _RunState, message: tuple) -> None:
+        _, shard, generation, batch_id, tb = message
+        if generation != self._generations[shard]:
+            return  # stale incarnation; the requeued retry decides
+        with run.lock:
+            entry = run.pending.pop(batch_id, None)
+            run.errors.append(
+                RuntimeError(
+                    f"worker {shard} failed on batch {batch_id}:\n{tb}"
+                )
+            )
+        if entry is not None:
+            for payload in entry.frame_payloads:
+                self._frames.release(payload)
+
+    def _release_output(self, shard: int, payload) -> None:
+        if isinstance(payload, SlotHandle):
+            self._output_free_lists[shard].release(payload.slot)
+
+    def _check_liveness(self, run: _RunState) -> None:
+        for shard, process in enumerate(self._procs):
+            if process.is_alive():
+                continue
+            run.telemetry.worker_exited()
+            if (
+                self.restart_workers
+                and self._restarts < self.max_restarts
+            ):
+                self._restarts += 1
+                logger.warning(
+                    "worker %d died (exitcode %s); restarting "
+                    "(%d/%d) and requeueing its in-flight batches",
+                    shard,
+                    process.exitcode,
+                    self._restarts,
+                    self.max_restarts,
+                )
+                # Order matters: bump the generation first (stale
+                # results must be recognizable), rebuild the output
+                # slot pool while nobody allocates from it (indices
+                # the dead worker acquired but never surfaced would
+                # otherwise leak on every crash, eventually starving
+                # the pool), and only then start the replacement.
+                self._generations[shard] += 1
+                self._output_free_lists[shard].rebuild(
+                    self.output_slots
+                )
+                self._procs[shard] = self._spawn(shard)
+                run.telemetry.worker_restarted()
+                run.telemetry.worker_spawned()
+                self._requeue_shard(run, shard)
+            else:
+                with run.lock:
+                    run.errors.append(
+                        WorkerCrashed(
+                            f"worker {shard} died (exitcode "
+                            f"{process.exitcode}) with the run in "
+                            f"flight"
+                        )
+                    )
+                self._abort_run(run)
+                return
+
+    def _requeue_shard(self, run: _RunState, shard: int) -> None:
+        """Re-dispatch every batch the dead shard still owed us.
+
+        Safe because input-ring slots are freed only once a batch has
+        an outcome: the frames of these batches are still parked in
+        shared memory, byte-for-byte.  Batches that were merely queued
+        (never read by the dead worker) survive in the task queue and
+        will be served by the replacement as well — the resulting
+        duplicates are discarded by batch id in :meth:`_on_done`.
+        """
+        with run.lock:
+            owed = [
+                entry
+                for entry in run.pending.values()
+                if entry.shard == shard
+            ]
+        for entry in owed:
+            try:
+                self._put_task(run, shard, entry.message)
+            except TransportClosed:
+                return
+        if run.end_run_sent and shard not in run.run_done:
+            try:
+                self._put_task(run, shard, ("end_run",))
+            except TransportClosed:
+                pass
+
+    def _abort_run(self, run: _RunState) -> None:
+        self._broken = True
+        run.abort.set()
+        run.ingest.close()
+
+    def _release_leftovers(self, run: _RunState) -> None:
+        with run.lock:
+            leftovers = list(run.pending.values())
+            run.pending.clear()
+        for entry in leftovers:
+            for payload in entry.frame_payloads:
+                self._frames.release(payload)
+
+    def _maybe_log(self, run: _RunState) -> None:
+        if self.log_every_s <= 0:
+            return
+        now = self.clock.now()
+        if now - self._log_last < self.log_every_s:
+            return
+        self._log_last = now
+        logger.info(run.telemetry.log_line())

@@ -1,0 +1,454 @@
+"""Shared-memory frame transport for the process-sharded serve engine.
+
+Raw IQ frames in and beamformed images out are the two heavy flows of
+:class:`~repro.serve.sharding.ShardedServeEngine` (hundreds of KiB per
+frame); everything else on the worker protocol is a few KiB of metadata.
+This module moves the heavy flows through
+:mod:`multiprocessing.shared_memory` ring buffers so a frame crosses the
+process boundary as one ``memcpy`` into a mapped segment plus a tiny
+slot descriptor on a queue — never through pickle.
+
+Layout
+------
+
+A :class:`ShmRing` is one shared segment divided into ``slots`` fixed
+``slot_bytes`` slices.  Writing copies an array's bytes into a free slot
+and returns a :class:`SlotHandle` (segment name, slot index, shape,
+dtype) that travels over the ordinary task/result queues; reading
+reconstructs the array *by copy* so the slot can be reused immediately
+after.  Slot lifetime is explicit: whoever allocated the slot frees it
+(via its free list) once the consumer's result round-trips — the serve
+engine releases input slots only when a batch's results (or its failure)
+arrive, which is what makes requeue-after-worker-crash safe: an
+in-flight batch's frames stay valid in the ring until the engine has an
+outcome for them.
+
+Two free-list flavors cover the two directions:
+
+* parent→worker (frames): the parent both allocates and frees, so the
+  free list is an in-process :class:`LocalFreeList` — no IPC at all,
+* worker→parent (images): workers allocate, the parent frees, so the
+  free list is a :class:`QueueFreeList` over a ``multiprocessing`` queue
+  preloaded with the slot indices.
+
+A full ring is *backpressure*, not an error: allocation blocks (with a
+timeout and an abort hook) and the stall propagates back through the
+batcher to the bounded ingest queue, exactly like the threaded engine.
+
+Fallback
+--------
+
+Arrays the ring cannot carry — object dtypes, or payloads larger than
+``slot_bytes`` (e.g. a rare geometry with a bigger grid than the one the
+ring was sized for) — fall back to pickle transparently: ``pack``
+returns a :class:`PickledPayload` instead of a :class:`SlotHandle` and
+the array rides the queue itself.  ``transport="pickle"`` on the engine
+simply uses this path for every frame, which is also the reference
+implementation the shm path is tested against.
+
+Non-contiguous arrays are copied contiguous on write (a copy is being
+made into the segment anyway).  Dtype round-trip fidelity for every
+dtype the pipeline emits (float32/float64/complex64/complex128) is
+pinned byte-for-byte by ``tests/serve/test_shm.py``.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable
+
+import numpy as np
+
+TRANSPORTS = ("shm", "pickle")
+
+#: How long a blocked slot allocation waits between abort checks.
+_POLL_S = 0.05
+
+
+class TransportFull(Exception):
+    """No free slot became available within the allocation timeout."""
+
+
+class TransportClosed(Exception):
+    """The transport was closed while a caller was blocked on it."""
+
+
+@dataclass(frozen=True)
+class SlotHandle:
+    """Descriptor of one array parked in a shared-memory slot.
+
+    Travels over ordinary queues (it is tiny and picklable); the array
+    bytes stay in the segment.  ``dtype`` is the NumPy dtype *string*
+    (``np.dtype.str``), which preserves byte order.
+    """
+
+    segment: str
+    slot: int
+    offset: int
+    shape: tuple
+    dtype: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class PickledPayload:
+    """Fallback payload: the array itself rides the queue via pickle."""
+
+    array: np.ndarray
+
+
+def _ring_capable(array: np.ndarray, slot_bytes: int) -> bool:
+    return (
+        not array.dtype.hasobject
+        and array.nbytes <= slot_bytes
+    )
+
+
+class LocalFreeList:
+    """Thread-safe in-process free list (parent-owned rings).
+
+    FIFO on purpose: released slots go to the back of the line, so the
+    ring actually *rotates* — a bug that reads a slot after releasing
+    it shows up as corruption quickly instead of being masked by
+    immediate same-slot reuse.
+    """
+
+    def __init__(self, slots: int) -> None:
+        self._free = deque(range(slots))
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+
+    def acquire(
+        self,
+        timeout: float | None,
+        abort: Callable[[], bool] | None = None,
+    ) -> int:
+        deadline = None if timeout is None else (
+            _monotonic() + timeout
+        )
+        with self._available:
+            while True:
+                if self._closed:
+                    raise TransportClosed
+                if self._free:
+                    return self._free.popleft()
+                if abort is not None and abort():
+                    raise TransportClosed
+                remaining = _POLL_S
+                if deadline is not None:
+                    remaining = min(remaining, deadline - _monotonic())
+                    if remaining <= 0:
+                        raise TransportFull
+                self._available.wait(remaining)
+
+    def release(self, slot: int) -> None:
+        with self._available:
+            self._free.append(slot)
+            self._available.notify()
+
+    def close(self) -> None:
+        with self._available:
+            self._closed = True
+            self._available.notify_all()
+
+    @property
+    def free_count(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+
+class QueueFreeList:
+    """Cross-process free list over a ``multiprocessing`` queue.
+
+    The queue is created (and preloaded with every slot index) by the
+    parent *before* workers spawn, so it can be inherited through
+    ``Process`` args; allocation then works from any process.
+    """
+
+    def __init__(self, queue) -> None:
+        self._queue = queue
+
+    @classmethod
+    def create(cls, ctx, slots: int) -> "QueueFreeList":
+        queue = ctx.Queue(maxsize=slots)
+        for slot in range(slots):
+            queue.put(slot)
+        return cls(queue)
+
+    @property
+    def raw(self):
+        """The underlying queue (for ``Process`` argument passing)."""
+        return self._queue
+
+    def rebuild(self, slots: int) -> None:
+        """Drain whatever is queued and restock every slot index.
+
+        Used when the *allocating* process died: indices it had
+        acquired but never surfaced in a result are gone, so the pool
+        would shrink by that amount on every crash.  Only safe once no
+        other process allocates from this list (the dead allocator's
+        replacement must not have started) and the releasing side
+        discards the dead incarnation's handles — both arranged by the
+        sharded engine's restart sequence.
+        """
+        while True:
+            try:
+                self._queue.get(timeout=0.05)
+            except _queue.Empty:
+                break
+        for slot in range(slots):
+            self._queue.put(slot)
+
+    def acquire(
+        self,
+        timeout: float | None,
+        abort: Callable[[], bool] | None = None,
+    ) -> int:
+        deadline = None if timeout is None else (
+            _monotonic() + timeout
+        )
+        while True:
+            if abort is not None and abort():
+                raise TransportClosed
+            remaining = _POLL_S
+            if deadline is not None:
+                remaining = min(remaining, deadline - _monotonic())
+                if remaining <= 0:
+                    raise TransportFull
+            try:
+                return self._queue.get(timeout=remaining)
+            except _queue.Empty:
+                continue
+
+    def release(self, slot: int) -> None:
+        self._queue.put(slot)
+
+    def close(self) -> None:  # queue lifetime is owned by the engine
+        pass
+
+
+def _monotonic() -> float:
+    return time.monotonic()
+
+
+class ShmRing:
+    """A ring of fixed-size slots over one shared-memory segment.
+
+    Create with ``create=True`` in the owning process (which must also
+    eventually :meth:`unlink`); attach from other processes with
+    ``create=False`` and the segment ``name``.  The free list is
+    supplied by the caller (:class:`LocalFreeList` or
+    :class:`QueueFreeList`) and decides which processes may allocate.
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        slot_bytes: int,
+        free_list,
+        name: str | None = None,
+        create: bool = True,
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if slot_bytes < 1:
+            raise ValueError(
+                f"slot_bytes must be >= 1, got {slot_bytes}"
+            )
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.free_list = free_list
+        if create:
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=slots * slot_bytes
+            )
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+        self.name = self._shm.name
+        self._owner = create
+
+    # -- data plane ------------------------------------------------------
+
+    def pack(
+        self,
+        array: np.ndarray,
+        timeout: float | None = None,
+        abort: Callable[[], bool] | None = None,
+    ) -> "SlotHandle | PickledPayload":
+        """Park ``array`` in a free slot (or fall back to pickle).
+
+        Blocks while the ring is full — that is the transport's
+        backpressure — until ``timeout`` (:class:`TransportFull`) or
+        until ``abort()`` returns true (:class:`TransportClosed`).
+        """
+        array = np.asarray(array)
+        if not _ring_capable(array, self.slot_bytes):
+            return PickledPayload(array=array)
+        slot = self.free_list.acquire(timeout, abort)
+        offset = slot * self.slot_bytes
+        view = np.ndarray(
+            array.shape,
+            dtype=array.dtype,
+            buffer=self._shm.buf[offset:offset + array.nbytes],
+        )
+        np.copyto(view, array)
+        del view  # release the buffer view so close() can unmap
+        return SlotHandle(
+            segment=self.name,
+            slot=slot,
+            offset=offset,
+            shape=tuple(array.shape),
+            dtype=array.dtype.str,
+            nbytes=array.nbytes,
+        )
+
+    def read(self, handle: SlotHandle) -> np.ndarray:
+        """Copy a parked array back out (the slot stays allocated)."""
+        view = np.ndarray(
+            handle.shape,
+            dtype=np.dtype(handle.dtype),
+            buffer=self._shm.buf[
+                handle.offset:handle.offset + handle.nbytes
+            ],
+        )
+        return view.copy()
+
+    def release(self, payload) -> None:
+        """Return a slot to the free list (no-op for pickle payloads)."""
+        if isinstance(payload, SlotHandle):
+            self.free_list.release(payload.slot)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self.free_list.close()
+        try:
+            self._shm.close()
+        except BufferError:  # a live numpy view pins the mapping
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after ``close``)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShmRing {self.name} slots={self.slots} "
+            f"slot_bytes={self.slot_bytes}>"
+        )
+
+
+def unpack(payload, attachments: dict) -> np.ndarray:
+    """Materialize a payload produced by ``pack`` in another process.
+
+    ``attachments`` caches segment-name → attached
+    :class:`~multiprocessing.shared_memory.SharedMemory` mappings for
+    the calling process; pass the same dict for every call so each
+    segment is mapped once.
+    """
+    if isinstance(payload, PickledPayload):
+        return payload.array
+    segment = attachments.get(payload.segment)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=payload.segment)
+        attachments[payload.segment] = segment
+    view = np.ndarray(
+        payload.shape,
+        dtype=np.dtype(payload.dtype),
+        buffer=segment.buf[
+            payload.offset:payload.offset + payload.nbytes
+        ],
+    )
+    return view.copy()
+
+
+def close_attachments(attachments: dict) -> None:
+    """Unmap every segment cached by :func:`unpack`."""
+    for segment in attachments.values():
+        try:
+            segment.close()
+        except BufferError:
+            pass
+    attachments.clear()
+
+
+class FrameTransport:
+    """One direction of the heavy data plane, with lazy ring creation.
+
+    The ring's slot size must fit the arrays it will carry, which are
+    unknown until the first frame arrives — so the ring is created on
+    first :meth:`pack`, sized ``slot_bytes = first_array.nbytes``
+    (every frame of a steady stream is the same size; odd larger arrays
+    fall back to pickle per the module docstring).  With
+    ``kind="pickle"`` no ring is ever created and every payload rides
+    the queue.
+
+    Args:
+        kind: ``"shm"`` or ``"pickle"``.
+        slots: ring depth (frames in flight).
+        make_free_list: zero-arg factory for the ring's free list,
+            called at ring creation; lets the parent choose
+            :class:`LocalFreeList` and workers a
+            :class:`QueueFreeList` over a pre-created queue.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        slots: int,
+        make_free_list: Callable[[], object] | None = None,
+    ) -> None:
+        if kind not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {kind!r}"
+            )
+        self.kind = kind
+        self.slots = slots
+        self._make_free_list = make_free_list or (
+            lambda: LocalFreeList(slots)
+        )
+        self._ring: ShmRing | None = None
+
+    @property
+    def ring(self) -> ShmRing | None:
+        return self._ring
+
+    def pack(
+        self,
+        array: np.ndarray,
+        timeout: float | None = None,
+        abort: Callable[[], bool] | None = None,
+    ):
+        if self.kind == "pickle":
+            return PickledPayload(array=np.asarray(array))
+        array = np.asarray(array)
+        if self._ring is None:
+            if array.dtype.hasobject:
+                return PickledPayload(array=array)
+            self._ring = ShmRing(
+                slots=self.slots,
+                slot_bytes=max(1, array.nbytes),
+                free_list=self._make_free_list(),
+            )
+        return self._ring.pack(array, timeout=timeout, abort=abort)
+
+    def release(self, payload) -> None:
+        if self._ring is not None:
+            self._ring.release(payload)
+
+    def close(self) -> None:
+        if self._ring is not None:
+            self._ring.close()
+            self._ring.unlink()
+            self._ring = None

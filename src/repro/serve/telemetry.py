@@ -17,10 +17,30 @@ whole picture
 as one dict (the shape serialized into ``BENCH_serve.json``);
 ``log_line()`` compresses it into the periodic one-liner the engine
 logs.
+
+Sharded serving (:mod:`repro.serve.sharding`) extends the picture along
+two axes:
+
+* **per-shard stages** — :meth:`ServeTelemetry.batch_done` accepts a
+  ``shard`` label; every labelled batch additionally lands in that
+  shard's own ``execute``/``total`` histograms, so ``stats()["shards"]``
+  exposes p50/p95/p99 *per worker process* next to the aggregate,
+* **worker lifecycle counters** — :meth:`worker_spawned`,
+  :meth:`worker_exited` and :meth:`worker_restarted` feed
+  ``stats()["workers"]`` (spawned / live / clean exits / restarts), the
+  liveness signal the nightly soak test asserts on.
+
+Latency samples are held in a **bounded reservoir**
+(:class:`LatencyStats`): the first ``cap`` samples are kept exactly,
+after which reservoir sampling keeps a uniform subsample, so a
+long-running engine's memory stays flat no matter how many frames it
+serves.  ``count``/``mean``/``max`` stay exact; percentiles come from
+the reservoir (accuracy pinned by ``tests/serve``).
 """
 
 from __future__ import annotations
 
+import random
 import threading
 
 import numpy as np
@@ -30,33 +50,68 @@ from repro.serve.clock import Clock, MonotonicClock
 
 PERCENTILES = (50.0, 95.0, 99.0)
 
+#: Default latency-reservoir size.  4096 uniform samples put the p99
+#: estimate within a few percent of the exact value (see the accuracy
+#: test in ``tests/serve/test_queue_telemetry.py``) at a fixed 32 KiB
+#: per stage histogram.
+RESERVOIR_CAP = 4096
+
 
 class LatencyStats:
-    """Streaming latency accumulator with percentile snapshots."""
+    """Bounded-memory latency accumulator with percentile snapshots.
 
-    def __init__(self) -> None:
-        self._samples: list[float] = []
+    The first ``cap`` samples are stored exactly; from then on classic
+    reservoir sampling (Vitter's algorithm R) maintains a uniform random
+    subsample of everything seen, so percentile estimates stay unbiased
+    while memory stays O(cap) forever.  Count, mean and max are tracked
+    exactly regardless.
+
+    The replacement RNG is seeded deterministically so telemetry
+    snapshots are reproducible run-to-run given the same sample stream.
+    """
+
+    def __init__(self, cap: int = RESERVOIR_CAP) -> None:
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = cap
+        self._reservoir: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._rng = random.Random(0x5EED)
 
     def record(self, seconds: float) -> None:
-        self._samples.append(float(seconds))
+        value = float(seconds)
+        self._count += 1
+        self._sum += value
+        if self._count == 1 or value > self._max:
+            self._max = value
+        if len(self._reservoir) < self.cap:
+            self._reservoir.append(value)
+            return
+        # Reservoir replacement: keep each of the N samples seen so far
+        # with equal probability cap/N.
+        slot = self._rng.randrange(self._count)
+        if slot < self.cap:
+            self._reservoir[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     def snapshot(self) -> dict:
         """``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}``."""
-        if not self._samples:
+        if not self._count:
             return {"count": 0}
-        values = np.asarray(self._samples) * 1e3
+        values = np.asarray(self._reservoir) * 1e3
         p50, p95, p99 = np.percentile(values, PERCENTILES)
         return {
-            "count": int(values.size),
-            "mean_ms": float(values.mean()),
+            "count": int(self._count),
+            "mean_ms": float(self._sum / self._count * 1e3),
             "p50_ms": float(p50),
             "p95_ms": float(p95),
             "p99_ms": float(p99),
-            "max_ms": float(values.max()),
+            "max_ms": float(self._max * 1e3),
         }
 
 
@@ -71,14 +126,19 @@ class ServeTelemetry:
             "execute": LatencyStats(),
             "total": LatencyStats(),
         }
-        self._batch_sizes: list[int] = []
+        self._shards: dict[object, dict] = {}
+        self._batch_sizes = LatencyStats()
         self._queue_high_water: dict[str, int] = {}
         self._frames_in = 0
         self._frames_done = 0
         self._frames_dropped = 0
         self._first_in: float | None = None
         self._last_done: float | None = None
+        self._workers_spawned = 0
+        self._workers_exited = 0
+        self._workers_restarted = 0
         self._cache_start = tof_plan_cache_stats()
+        self._shard_caches: dict[object, dict] = {}
 
     # -- recording -------------------------------------------------------
 
@@ -100,16 +160,51 @@ class ServeTelemetry:
         submit_times: list[float],
         dispatch_time: float,
         done_time: float,
+        shard: object | None = None,
+        execute_s: float | None = None,
     ) -> None:
-        """Record one executed micro-batch's per-frame stage latencies."""
+        """Record one executed micro-batch's per-frame stage latencies.
+
+        Args:
+            submit_times: per-frame submit timestamps (engine clock).
+            dispatch_time: when the batch left the scheduler.
+            done_time: when its images were available.
+            shard: optional worker/shard label; labelled batches also
+                land in that shard's own histograms.
+            execute_s: compute duration measured *inside* the worker.
+                Sharded engines pass this because worker-process clocks
+                only share durations, not epochs, with the parent;
+                ``None`` falls back to ``done_time - dispatch_time``.
+        """
+        execute = (
+            done_time - dispatch_time if execute_s is None
+            else float(execute_s)
+        )
         with self._lock:
-            self._batch_sizes.append(len(submit_times))
-            for submitted in submit_times:
-                self._stages["queue_wait"].record(
-                    dispatch_time - submitted
+            self._batch_sizes.record(len(submit_times))
+            shard_stats = None
+            if shard is not None:
+                shard_stats = self._shards.setdefault(
+                    shard,
+                    {
+                        "frames": 0,
+                        "batches": 0,
+                        "execute": LatencyStats(),
+                        "total": LatencyStats(),
+                    },
                 )
-                self._stages["execute"].record(done_time - dispatch_time)
-                self._stages["total"].record(done_time - submitted)
+                shard_stats["batches"] += 1
+            for submitted in submit_times:
+                total = done_time - submitted
+                self._stages["queue_wait"].record(
+                    max(0.0, total - execute)
+                )
+                self._stages["execute"].record(execute)
+                self._stages["total"].record(total)
+                if shard_stats is not None:
+                    shard_stats["frames"] += 1
+                    shard_stats["execute"].record(execute)
+                    shard_stats["total"].record(total)
             self._frames_done += len(submit_times)
             self._last_done = done_time
 
@@ -117,6 +212,34 @@ class ServeTelemetry:
         with self._lock:
             previous = self._queue_high_water.get(name, 0)
             self._queue_high_water[name] = max(previous, depth)
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def worker_spawned(self, count: int = 1) -> None:
+        with self._lock:
+            self._workers_spawned += count
+
+    def worker_exited(self, count: int = 1) -> None:
+        with self._lock:
+            self._workers_exited += count
+
+    def worker_restarted(self, count: int = 1) -> None:
+        with self._lock:
+            self._workers_restarted += count
+
+    def shard_plan_cache(self, shard: object, stats: dict) -> None:
+        """Fold a worker-local ToF-plan-cache *delta* into a shard.
+
+        Workers report per-run deltas (traffic since their previous
+        ``end_run``); accumulation handles a restarted shard reporting
+        twice within one run (old incarnation + replacement).
+        """
+        with self._lock:
+            entry = self._shard_caches.setdefault(
+                shard, {"hits": 0, "misses": 0}
+            )
+            entry["hits"] += stats.get("hits", 0)
+            entry["misses"] += stats.get("misses", 0)
 
     # -- reporting -------------------------------------------------------
 
@@ -126,6 +249,9 @@ class ServeTelemetry:
         with self._lock:
             hits = cache_now["hits"] - self._cache_start["hits"]
             misses = cache_now["misses"] - self._cache_start["misses"]
+            for shard_cache in self._shard_caches.values():
+                hits += shard_cache.get("hits", 0)
+                misses += shard_cache.get("misses", 0)
             lookups = hits + misses
             elapsed = None
             throughput = None
@@ -133,24 +259,42 @@ class ServeTelemetry:
                 elapsed = self._last_done - self._first_in
                 if elapsed > 0:
                     throughput = self._frames_done / elapsed
-            sizes = np.asarray(self._batch_sizes) if self._batch_sizes \
-                else np.zeros(0)
+            batches = self._batch_sizes
             return {
                 "frames_in": self._frames_in,
                 "frames_done": self._frames_done,
                 "frames_dropped": self._frames_dropped,
                 "elapsed_s": elapsed,
                 "throughput_frames_per_s": throughput,
-                "batches": int(sizes.size),
+                "batches": batches.count,
                 "mean_batch_size": (
-                    float(sizes.mean()) if sizes.size else None
+                    batches._sum / batches.count if batches.count else None
                 ),
                 "max_batch_size": (
-                    int(sizes.max()) if sizes.size else None
+                    int(batches._max) if batches.count else None
                 ),
                 "stages": {
                     name: stats.snapshot()
                     for name, stats in self._stages.items()
+                },
+                "shards": {
+                    str(shard): {
+                        "frames": entry["frames"],
+                        "batches": entry["batches"],
+                        "execute": entry["execute"].snapshot(),
+                        "total": entry["total"].snapshot(),
+                    }
+                    for shard, entry in sorted(
+                        self._shards.items(), key=lambda item: str(item[0])
+                    )
+                },
+                "workers": {
+                    "spawned": self._workers_spawned,
+                    "exited": self._workers_exited,
+                    "restarts": self._workers_restarted,
+                    "live": max(
+                        0, self._workers_spawned - self._workers_exited
+                    ),
                 },
                 "queue_high_water": dict(self._queue_high_water),
                 "plan_cache": {
@@ -170,7 +314,7 @@ class ServeTelemetry:
             f"{throughput:.2f} frames/s" if throughput else "warming up"
         )
         hits = f"{hit_rate:.0%}" if hit_rate is not None else "n/a"
-        return (
+        line = (
             f"served {stats['frames_done']}/{stats['frames_in']} frames "
             f"({stats['frames_dropped']} dropped) | {rate} | "
             f"latency p50/p95/p99 "
@@ -180,3 +324,10 @@ class ServeTelemetry:
             f"mean batch {stats['mean_batch_size'] or 0:.1f} | "
             f"plan-cache hit rate {hits}"
         )
+        workers = stats["workers"]
+        if workers["spawned"]:
+            line += (
+                f" | workers {workers['live']}/{workers['spawned']} live"
+                f" ({workers['restarts']} restarts)"
+            )
+        return line

@@ -1,0 +1,187 @@
+"""The benchmark-trend gate must actually gate.
+
+``benchmarks/compare_bench.py`` is what turns the BENCH_*.json
+artifacts from decoration into CI policy, so its failure behaviour is
+pinned here: a synthetic >25 % throughput regression must exit nonzero,
+small drift must pass, vanished metrics must fail, and smoke mode must
+gate ratios but not absolute throughput.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "compare_bench.py"
+)
+_spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+BASELINE = {
+    "bench": "serve_throughput",
+    "fps": 10.0,  # pacing config — must not be treated as a metric
+    "speedup_floor": 1.5,  # config — must not be treated as a metric
+    "results": {
+        "das": {
+            "offline_fps": 40.0,
+            "served_fps": 10.0,
+            "speedup": 1.4,
+            "latency_ms": {"p50": 90.0},
+        },
+        "tiny_vbf": {
+            "offline_fps": 10.0,
+            "served_fps": 8.0,
+            "speedup": 1.9,
+        },
+    },
+}
+
+
+def _variant(scale_key: str, path: tuple, factor: float) -> dict:
+    payload = json.loads(json.dumps(BASELINE))
+    node = payload
+    for key in path[:-1]:
+        node = node[key]
+    node[path[-1]] = node[path[-1]] * factor
+    assert scale_key == path[-1]
+    return payload
+
+
+class TestMetricCollection:
+    def test_collects_throughput_and_ratio_leaves_only(self):
+        metrics = compare_bench.collect_metrics(BASELINE)
+        assert metrics["results.das.offline_fps"] == 40.0
+        assert metrics["results.tiny_vbf.speedup"] == 1.9
+        # Config echoes and latency numbers are not gated.
+        assert "fps" not in metrics
+        assert "speedup_floor" not in metrics
+        assert not any("latency" in key for key in metrics)
+
+    def test_walks_lists(self):
+        metrics = compare_bench.collect_metrics(
+            {"runs": [{"served_fps": 5.0}, {"served_fps": 7.0}]}
+        )
+        assert metrics == {
+            "runs[0].served_fps": 5.0,
+            "runs[1].served_fps": 7.0,
+        }
+
+
+class TestCompare:
+    def test_synthetic_regression_beyond_budget_fails(self):
+        current = _variant(
+            "served_fps", ("results", "das", "served_fps"), 0.5
+        )
+        failures, _ = compare_bench.compare(current, BASELINE, 0.25)
+        assert len(failures) == 1
+        assert "results.das.served_fps" in failures[0]
+        assert "-50.0%" in failures[0]
+
+    def test_drift_within_budget_passes(self):
+        current = _variant(
+            "served_fps", ("results", "das", "served_fps"), 0.80
+        )
+        failures, _ = compare_bench.compare(current, BASELINE, 0.25)
+        assert failures == []
+
+    def test_improvement_never_fails(self):
+        current = _variant(
+            "offline_fps", ("results", "das", "offline_fps"), 3.0
+        )
+        failures, notes = compare_bench.compare(current, BASELINE, 0.25)
+        assert failures == []
+        assert any("improved" in note for note in notes)
+
+    def test_missing_metric_fails_as_lost_coverage(self):
+        current = json.loads(json.dumps(BASELINE))
+        del current["results"]["tiny_vbf"]["speedup"]
+        failures, _ = compare_bench.compare(current, BASELINE, 0.25)
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+
+    def test_new_metric_is_reported_not_gated(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["results"]["das"]["sharded_fps"] = 50.0
+        failures, notes = compare_bench.compare(current, BASELINE, 0.25)
+        assert failures == []
+        assert any("new metric" in note for note in notes)
+
+    def test_smoke_mode_does_not_gate_absolute_throughput(self):
+        current = _variant(
+            "served_fps", ("results", "das", "served_fps"), 0.2
+        )
+        failures, notes = compare_bench.compare(
+            current, BASELINE, 0.25, smoke=True
+        )
+        assert failures == []
+        assert any("not gated in smoke mode" in note for note in notes)
+
+    def test_smoke_mode_still_gates_collapsed_ratios(self):
+        current = _variant(
+            "speedup", ("results", "tiny_vbf", "speedup"), 0.3
+        )
+        failures, _ = compare_bench.compare(
+            current, BASELINE, 0.25, smoke=True
+        )
+        assert len(failures) == 1
+        assert "speedup" in failures[0]
+
+
+class TestMain:
+    def _write(self, tmp_path: Path, name: str, payload: dict) -> Path:
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        current = self._write(
+            tmp_path,
+            "current.json",
+            _variant("served_fps", ("results", "das", "served_fps"), 0.5),
+        )
+        baseline = self._write(tmp_path, "baseline.json", BASELINE)
+        code = compare_bench.main(
+            ["--current", str(current), "--baseline", str(baseline)]
+        )
+        assert code == 1
+        assert "THROUGHPUT REGRESSION" in capsys.readouterr().err
+
+    def test_exit_zero_within_budget(self, tmp_path, capsys):
+        current = self._write(tmp_path, "current.json", BASELINE)
+        baseline = self._write(tmp_path, "baseline.json", BASELINE)
+        code = compare_bench.main(
+            ["--current", str(current), "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "no gated metric regressed" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_file(self, tmp_path):
+        baseline = self._write(tmp_path, "baseline.json", BASELINE)
+        code = compare_bench.main(
+            [
+                "--current", str(tmp_path / "nope.json"),
+                "--baseline", str(baseline),
+            ]
+        )
+        assert code == 2
+
+    @pytest.mark.parametrize("mode_args", [[], ["--smoke"]])
+    def test_repo_baselines_match_committed_artifacts(self, mode_args):
+        """Every committed baseline gates cleanly against itself."""
+        baselines = sorted(
+            (_SCRIPT.parent / "baselines").rglob("BENCH_*.json")
+        )
+        assert baselines, "benchmarks/baselines/ must not be empty"
+        for baseline in baselines:
+            code = compare_bench.main(
+                [
+                    "--current", str(baseline),
+                    "--baseline", str(baseline),
+                    *mode_args,
+                ]
+            )
+            assert code == 0

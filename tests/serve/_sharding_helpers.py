@@ -1,0 +1,50 @@
+"""Spawn-picklable beamformers that kill their worker process.
+
+These live in a plain (non-test) module because the sharded engine's
+worker processes must *import* the beamformer's class to unpickle it —
+a class defined inside a test function (or a test module pytest rewrote
+under a different name) would not resolve in the child.
+"""
+
+import os
+from pathlib import Path
+
+from repro.api.adapters import DasBeamformer
+
+
+class CrashingBeamformer(DasBeamformer):
+    """Kills the hosting process on the first batch it sees.
+
+    ``os._exit`` bypasses every ``finally``/``atexit`` — from the
+    engine's point of view this is indistinguishable from an OOM kill
+    or a segfault, which is exactly the failure mode the liveness
+    polling must surface.
+    """
+
+    name = "crashing_das"
+
+    def beamform_batch(self, datasets):
+        os._exit(42)
+
+
+class CrashOnceBeamformer(DasBeamformer):
+    """Kills the first worker process that sees a batch — exactly once.
+
+    The marker file is created *before* dying, so after the engine
+    respawns the shard every retry (and every other worker) beamforms
+    normally; the surviving datapath is plain DAS, which keeps the
+    restart test's outputs comparable bit-for-bit against offline DAS.
+    """
+
+    name = "crash_once_das"
+
+    def __init__(self, marker_path, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.marker_path = str(marker_path)
+
+    def beamform_batch(self, datasets):
+        marker = Path(self.marker_path)
+        if not marker.exists():
+            marker.touch()
+            os._exit(17)
+        return super().beamform_batch(datasets)

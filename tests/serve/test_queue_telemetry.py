@@ -86,6 +86,132 @@ class TestLatencyStats:
         assert snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"]
 
 
+class TestLatencyReservoir:
+    """The bounded-memory contract of the percentile accumulator."""
+
+    def test_exact_below_cap(self):
+        stats = LatencyStats(cap=100)
+        values = [0.010 * (index + 1) for index in range(50)]
+        for value in values:
+            stats.record(value)
+        snap = stats.snapshot()
+        expected = np.percentile(np.asarray(values) * 1e3, 50.0)
+        assert snap["p50_ms"] == pytest.approx(float(expected))
+
+    def test_memory_stays_bounded_and_moments_stay_exact(self):
+        stats = LatencyStats(cap=64)
+        values = np.linspace(0.001, 1.0, 10_000)
+        for value in values:
+            stats.record(float(value))
+        assert len(stats._reservoir) == 64
+        snap = stats.snapshot()
+        assert snap["count"] == 10_000
+        assert snap["mean_ms"] == pytest.approx(
+            float(values.mean()) * 1e3
+        )
+        assert snap["max_ms"] == pytest.approx(1000.0)
+
+    def test_percentile_accuracy_on_known_distribution(self, rng):
+        """Reservoir percentiles track the exact ones on 50k lognormals.
+
+        This is the regression test for the unbounded-list bug: the
+        fix must keep memory O(cap) *without* giving up percentile
+        fidelity.  Tolerances are loose enough for sampling noise and
+        tight enough to catch a broken reservoir (e.g. one that keeps
+        only the head or tail of the stream).
+        """
+        stats = LatencyStats()  # default cap
+        samples = rng.lognormal(mean=-4.0, sigma=0.8, size=50_000)
+        for value in samples:
+            stats.record(float(value))
+        snap = stats.snapshot()
+        exact = np.percentile(samples * 1e3, (50.0, 95.0, 99.0))
+        assert snap["p50_ms"] == pytest.approx(exact[0], rel=0.05)
+        assert snap["p95_ms"] == pytest.approx(exact[1], rel=0.05)
+        assert snap["p99_ms"] == pytest.approx(exact[2], rel=0.10)
+        assert snap["max_ms"] == pytest.approx(
+            float(samples.max()) * 1e3
+        )
+
+    def test_rejects_degenerate_cap(self):
+        with pytest.raises(ValueError):
+            LatencyStats(cap=0)
+
+
+class TestShardTelemetry:
+    def test_per_shard_stats_and_worker_counters(self):
+        clock = FakeClock()
+        telemetry = ServeTelemetry(clock=clock)
+        telemetry.worker_spawned(2)
+        t0 = telemetry.frame_submitted()
+        clock.advance(0.005)
+        t1 = telemetry.frame_submitted()
+        dispatch = clock.now()
+        clock.advance(0.030)
+        telemetry.batch_done(
+            [t0], dispatch, clock.now(), shard=0, execute_s=0.010
+        )
+        telemetry.batch_done(
+            [t1], dispatch, clock.now(), shard=1, execute_s=0.020
+        )
+        telemetry.worker_exited()
+        telemetry.worker_restarted()
+        telemetry.worker_spawned()
+
+        stats = telemetry.stats()
+        shards = stats["shards"]
+        assert set(shards) == {"0", "1"}
+        assert shards["0"]["frames"] == 1
+        assert shards["0"]["execute"]["p50_ms"] == pytest.approx(10.0)
+        assert shards["1"]["execute"]["p50_ms"] == pytest.approx(20.0)
+        # Worker-measured execute: queue_wait is the clamped remainder.
+        assert stats["stages"]["execute"]["max_ms"] == pytest.approx(
+            20.0
+        )
+        assert stats["workers"] == {
+            "spawned": 3, "exited": 1, "restarts": 1, "live": 2,
+        }
+        line = telemetry.log_line()
+        assert "workers 2/3 live (1 restarts)" in line
+
+    def test_shard_plan_cache_merges_into_hit_rate(self):
+        telemetry = ServeTelemetry(clock=FakeClock())
+        telemetry.shard_plan_cache(0, {"hits": 7, "misses": 1})
+        telemetry.shard_plan_cache(1, {"hits": 3, "misses": 1})
+        cache = telemetry.stats()["plan_cache"]
+        assert cache["hits"] >= 10
+        assert cache["misses"] >= 2
+        assert cache["hit_rate"] is not None
+
+    def test_unlabelled_batches_keep_threaded_shape(self):
+        clock = FakeClock()
+        telemetry = ServeTelemetry(clock=clock)
+        t0 = telemetry.frame_submitted()
+        clock.advance(0.010)
+        telemetry.batch_done([t0], t0 + 0.005, clock.now())
+        stats = telemetry.stats()
+        assert stats["shards"] == {}
+        assert stats["workers"]["spawned"] == 0
+
+
+class TestQueueStats:
+    def test_stats_snapshot_is_consistent(self):
+        queue = BoundedQueue(2, "drop_oldest")
+        queue.put("a")
+        queue.put("b")
+        queue.put("c")  # evicts "a"
+        stats = queue.stats()
+        assert stats == {
+            "depth": 2,
+            "capacity": 2,
+            "dropped": 1,
+            "high_water": 2,
+            "closed": False,
+        }
+        queue.close()
+        assert queue.stats()["closed"] is True
+
+
 class TestServeTelemetry:
     def test_stage_latencies_and_throughput(self):
         clock = FakeClock()

@@ -1,0 +1,211 @@
+"""Shared-memory frame transport: round trips, ring discipline, fallback.
+
+Single-process tests of :mod:`repro.serve.shm` — the cross-process
+behaviour (a worker actually attaching the segment from a spawned
+child) is exercised end to end by ``tests/serve/test_sharding.py``;
+here the contract of the primitive itself is pinned: byte-exact round
+trips for every dtype the pipeline emits, slot reuse across
+wraparound, blocking-then-failing allocation on a full ring, and the
+pickle fallback for payloads the ring cannot carry.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.shm import (
+    FrameTransport,
+    LocalFreeList,
+    PickledPayload,
+    ShmRing,
+    SlotHandle,
+    TransportClosed,
+    TransportFull,
+    close_attachments,
+    unpack,
+)
+
+#: Every array dtype the serving pipeline moves between processes:
+#: float64 RF in, complex128 IQ out, and their float32/complex64
+#: counterparts under the numpy-fast backend.
+PIPELINE_DTYPES = (np.float32, np.float64, np.complex64, np.complex128)
+
+
+@pytest.fixture
+def ring():
+    ring = ShmRing(slots=4, slot_bytes=4096, free_list=LocalFreeList(4))
+    yield ring
+    ring.close()
+    ring.unlink()
+
+
+def _sample(rng, dtype, shape=(16, 8)):
+    real = rng.standard_normal(shape)
+    if np.issubdtype(dtype, np.complexfloating):
+        return (real + 1j * rng.standard_normal(shape)).astype(dtype)
+    return real.astype(dtype)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", PIPELINE_DTYPES)
+    def test_dtype_round_trip_is_byte_exact(self, ring, rng, dtype):
+        array = _sample(rng, dtype)
+        handle = ring.pack(array)
+        assert isinstance(handle, SlotHandle)
+        out = ring.read(handle)
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        assert out.tobytes() == array.tobytes()
+        ring.release(handle)
+
+    @pytest.mark.parametrize("dtype", PIPELINE_DTYPES)
+    def test_unpack_via_attachment_cache(self, ring, rng, dtype):
+        # unpack() is the consumer-side path: attach the segment by
+        # name (as another process would) and copy the array out.
+        array = _sample(rng, dtype)
+        handle = ring.pack(array)
+        attachments = {}
+        try:
+            out = unpack(handle, attachments)
+            assert out.tobytes() == array.tobytes()
+            assert handle.segment in attachments
+            # Second unpack reuses the cached mapping.
+            again = unpack(handle, attachments)
+            assert again.tobytes() == array.tobytes()
+            assert len(attachments) == 1
+        finally:
+            close_attachments(attachments)
+        ring.release(handle)
+
+    def test_read_returns_an_independent_copy(self, ring, rng):
+        array = _sample(rng, np.float64)
+        handle = ring.pack(array)
+        out = ring.read(handle)
+        ring.release(handle)
+        # Overwrite the slot with a different frame; the earlier copy
+        # must not change.
+        other = _sample(rng, np.float64)
+        handle2 = ring.pack(other)
+        assert out.tobytes() == array.tobytes()
+        ring.release(handle2)
+
+    def test_non_contiguous_input_round_trips_by_value(self, ring, rng):
+        base = _sample(rng, np.float64, shape=(16, 16))
+        strided = base[::2, 1::3]
+        assert not strided.flags["C_CONTIGUOUS"]
+        handle = ring.pack(strided)
+        out = ring.read(handle)
+        np.testing.assert_array_equal(out, strided)
+        ring.release(handle)
+
+    def test_object_dtype_falls_back_to_pickle(self, ring):
+        array = np.array([{"not": "shm-able"}, None], dtype=object)
+        payload = ring.pack(array)
+        assert isinstance(payload, PickledPayload)
+        assert unpack(payload, {})[0] == {"not": "shm-able"}
+
+    def test_oversized_array_falls_back_to_pickle(self, ring, rng):
+        array = rng.standard_normal(4096)  # 32 KiB > 4 KiB slots
+        payload = ring.pack(array)
+        assert isinstance(payload, PickledPayload)
+        np.testing.assert_array_equal(unpack(payload, {}), array)
+
+
+class TestRingDiscipline:
+    def test_wraparound_reuses_slots(self, rng):
+        ring = ShmRing(
+            slots=2, slot_bytes=4096, free_list=LocalFreeList(2)
+        )
+        try:
+            seen_slots = set()
+            for index in range(10):
+                array = np.full((8, 8), float(index))
+                handle = ring.pack(array)
+                seen_slots.add(handle.slot)
+                np.testing.assert_array_equal(ring.read(handle), array)
+                ring.release(handle)
+            assert seen_slots == {0, 1}
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_full_ring_blocks_then_raises(self, ring, rng):
+        handles = [ring.pack(_sample(rng, np.float32)) for _ in range(4)]
+        with pytest.raises(TransportFull):
+            ring.pack(_sample(rng, np.float32), timeout=0.05)
+        ring.release(handles[0])
+        replacement = ring.pack(_sample(rng, np.float32), timeout=0.05)
+        assert replacement.slot == handles[0].slot
+        for handle in (*handles[1:], replacement):
+            ring.release(handle)
+
+    def test_release_unblocks_a_waiting_packer(self, ring, rng):
+        handles = [ring.pack(_sample(rng, np.float32)) for _ in range(4)]
+        result = {}
+
+        def blocked_pack():
+            result["handle"] = ring.pack(
+                _sample(rng, np.float32), timeout=5.0
+            )
+
+        thread = threading.Thread(target=blocked_pack)
+        thread.start()
+        ring.release(handles.pop())
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert isinstance(result["handle"], SlotHandle)
+
+    def test_abort_hook_raises_transport_closed(self, ring, rng):
+        for _ in range(4):
+            ring.pack(_sample(rng, np.float32))
+        with pytest.raises(TransportClosed):
+            ring.pack(
+                _sample(rng, np.float32),
+                timeout=5.0,
+                abort=lambda: True,
+            )
+
+    def test_closed_free_list_raises(self, rng):
+        ring = ShmRing(
+            slots=2, slot_bytes=4096, free_list=LocalFreeList(2)
+        )
+        ring.free_list.close()
+        with pytest.raises(TransportClosed):
+            ring.pack(_sample(rng, np.float32))
+        ring.close()
+        ring.unlink()
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError, match="slots"):
+            ShmRing(slots=0, slot_bytes=16, free_list=LocalFreeList(1))
+        with pytest.raises(ValueError, match="slot_bytes"):
+            ShmRing(slots=1, slot_bytes=0, free_list=LocalFreeList(1))
+
+
+class TestFrameTransport:
+    def test_lazy_ring_sized_to_first_array(self, rng):
+        transport = FrameTransport("shm", slots=3)
+        try:
+            first = _sample(rng, np.float64, shape=(32, 4))
+            payload = transport.pack(first)
+            assert isinstance(payload, SlotHandle)
+            assert transport.ring.slot_bytes == first.nbytes
+            # A later, larger frame cannot fit the ring: pickle fallback.
+            bigger = _sample(rng, np.float64, shape=(64, 8))
+            assert isinstance(transport.pack(bigger), PickledPayload)
+            transport.release(payload)
+        finally:
+            transport.close()
+
+    def test_pickle_kind_never_creates_a_ring(self, rng):
+        transport = FrameTransport("pickle", slots=3)
+        payload = transport.pack(_sample(rng, np.complex128))
+        assert isinstance(payload, PickledPayload)
+        assert transport.ring is None
+        transport.release(payload)  # no-op, must not raise
+        transport.close()
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="transport"):
+            FrameTransport("tcp", slots=2)
