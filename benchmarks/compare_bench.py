@@ -77,7 +77,12 @@ ABSOLUTE_SUFFIXES = ("_fps", "_per_s")
 
 #: Exact keys of machine-relative ratio metrics (higher is better).
 RATIO_KEYS = frozenset(
-    {"speedup", "speedup_vs_numpy", "speedup_vs_threaded"}
+    {
+        "speedup",
+        "speedup_vs_numpy",
+        "speedup_vs_threaded",
+        "gateway_efficiency",
+    }
 )
 
 

@@ -9,7 +9,10 @@ imaging, built with every substrate it depends on:
 * :mod:`repro.backend` — pluggable compute backends for the hot paths
   (``numpy`` reference, ``numpy-fast`` float32) behind one registry,
 * :mod:`repro.serve` — streaming engine: frame sources, geometry-aware
-  micro-batching scheduler, worker pool with backpressure, telemetry,
+  micro-batching scheduler, threaded and process-sharded executors with
+  backpressure, shared-memory transport, telemetry,
+* :mod:`repro.gateway` — TCP serving frontend: versioned wire protocol,
+  session server with admission control, pure-Python client,
 * :mod:`repro.ultrasound` — plane-wave acquisition simulator and
   PICMUS-style dataset presets,
 * :mod:`repro.beamform` — ToF correction, DAS, MVDR, compounding, B-mode,
@@ -23,8 +26,8 @@ imaging, built with every substrate it depends on:
 * :mod:`repro.training` — MVDR-supervised training pipeline with a weight
   cache.
 
-See DESIGN.md for the per-experiment index and EXPERIMENTS.md for
-paper-vs-measured results.
+See docs/architecture.md for the layer map, DESIGN.md for the
+per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 """
 
 __version__ = "1.0.0"
@@ -32,6 +35,7 @@ __version__ = "1.0.0"
 __all__ = [
     "api",
     "backend",
+    "gateway",
     "serve",
     "ultrasound",
     "beamform",

@@ -95,12 +95,14 @@ class DasBeamformer(Beamformer):
         return self._apod
 
     def beamform(self, dataset) -> np.ndarray:
+        """Apodized delay-and-sum of one dataset -> complex IQ image."""
         with self.backend_scope():
             return das_beamform(
                 dataset_tofc(dataset), self._apodization(dataset)
             )
 
     def describe(self) -> dict:
+        """Identity and knobs: ``{name, backend, f_number, ...}``."""
         return {"name": self.name, "backend": "classical",
                 "compute_backend": _backend_label(self.backend),
                 "f_number": self.f_number}
@@ -120,10 +122,12 @@ class MvdrBeamformer(Beamformer):
         self.backend = resolve_backend(backend)
 
     def beamform(self, dataset) -> np.ndarray:
+        """Minimum-variance beamform of one dataset -> complex IQ."""
         with self.backend_scope():
             return mvdr_beamform(dataset_tofc(dataset), self.config)
 
     def describe(self) -> dict:
+        """Identity and the effective :class:`MvdrConfig` knobs."""
         config = self.config or MvdrConfig()
         return {
             "name": self.name,
@@ -163,6 +167,7 @@ class LearnedBeamformer(Beamformer):
         return self.model.forward(x, training=False)
 
     def beamform(self, dataset) -> np.ndarray:
+        """Model-predicted complex IQ image for one dataset."""
         with self.backend_scope():
             x = model_input(self.kind, normalized_tofc(dataset))
             return stacked_to_complex(self._forward(x)[0])
@@ -193,6 +198,7 @@ class LearnedBeamformer(Beamformer):
         return images
 
     def describe(self) -> dict:
+        """Identity and knobs: ``{name, backend, kind, scale, ...}``."""
         return {
             "name": self.name,
             "backend": "learned",
@@ -247,6 +253,7 @@ class QuantizedBeamformer(LearnedBeamformer):
         return Beamformer.beamform_batch(self, datasets)
 
     def describe(self) -> dict:
+        """The learned description plus the fixed-point scheme name."""
         description = super().describe()
         description.update(
             name=self.name, backend="fpga", scheme=self.scheme.name

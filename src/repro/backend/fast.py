@@ -60,6 +60,7 @@ class NumpyFastBackend(ArrayBackend):
     # -- dtype policy ----------------------------------------------------
 
     def asarray(self, x: np.ndarray) -> np.ndarray:
+        """Cast to float32, this backend's real compute dtype."""
         return np.asarray(x, dtype=np.float32)
 
     def _compute_cast(self, x: np.ndarray) -> np.ndarray:
@@ -85,6 +86,7 @@ class NumpyFastBackend(ArrayBackend):
     # -- GEMM-shaped kernels --------------------------------------------
 
     def matmul(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Flattened GEMM in float32/complex64."""
         # _compute_cast, not a blind float32 cast: the reference matmul
         # preserves complex inputs, so this one must too (complex64).
         return flat_matmul(
@@ -97,6 +99,7 @@ class NumpyFastBackend(ArrayBackend):
         weight: np.ndarray,
         bias: np.ndarray | None,
     ) -> np.ndarray:
+        """float32 GEMM with the bias added in place."""
         y = self.matmul(x, weight)
         if bias is not None:
             y += self._compute_cast(bias)
@@ -108,6 +111,7 @@ class NumpyFastBackend(ArrayBackend):
         kernel_size: tuple[int, int],
         in_channels: int,
     ) -> np.ndarray:
+        """Patch extraction as one cached-index ``take`` over scratch."""
         kh, kw = kernel_size
         pad_h, pad_w = kh // 2, kw // 2
         batch, height, width = x.shape[:3]
@@ -169,6 +173,7 @@ class NumpyFastBackend(ArrayBackend):
     def attention_scores(
         self, q: np.ndarray, k: np.ndarray, scale: float
     ) -> np.ndarray:
+        """float32 attention scores, scale applied in place."""
         scores = np.einsum(
             "bhtk,bhsk->bhts",
             np.asarray(q, dtype=np.float32),
@@ -181,6 +186,7 @@ class NumpyFastBackend(ArrayBackend):
     def attention_context(
         self, attention: np.ndarray, v: np.ndarray
     ) -> np.ndarray:
+        """float32 attention-weighted value sum."""
         return np.einsum(
             "bhts,bhsk->bhtk",
             np.asarray(attention, dtype=np.float32),
@@ -217,6 +223,7 @@ class NumpyFastBackend(ArrayBackend):
         return tables
 
     def apply_plan(self, plan, rf: np.ndarray) -> np.ndarray:
+        """Fused gather+lerp over per-plan cached flat indices."""
         flat_lower, flat_upper, frac, valid = self._plan_gather_tables(
             plan
         )
@@ -236,6 +243,7 @@ class NumpyFastBackend(ArrayBackend):
     def das_sum(
         self, tofc: np.ndarray, apodization: np.ndarray | None
     ) -> np.ndarray:
+        """float32 aperture reduction (einsum for the weighted path)."""
         tofc = self._compute_cast(tofc)
         if apodization is None:
             return tofc.mean(axis=-1)
@@ -247,12 +255,14 @@ class NumpyFastBackend(ArrayBackend):
         )
 
     def prepare_mvdr_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Materialize windows once in complex64 (see inline note)."""
         # Materialize the strided sliding-window view as a contiguous
         # compute-dtype array once per column; the two kernels below
         # then see their _compute_cast calls turn into no-ops.
         return self._compute_cast(windows)
 
     def mvdr_covariance(self, windows: np.ndarray) -> np.ndarray:
+        """complex64 subaperture-averaged covariance."""
         windows = self._compute_cast(windows)
         return np.einsum(
             "zws,zwt->zst", windows, windows.conj(), optimize=True
@@ -261,6 +271,7 @@ class NumpyFastBackend(ArrayBackend):
     def mvdr_output(
         self, weights: np.ndarray, windows: np.ndarray
     ) -> np.ndarray:
+        """complex64 distortionless output."""
         windows = self._compute_cast(windows)
         weights = self._compute_cast(weights)
         return np.einsum(

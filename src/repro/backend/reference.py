@@ -41,9 +41,11 @@ class NumpyBackend(ArrayBackend):
     atol = 0.0
 
     def asarray(self, x: np.ndarray) -> np.ndarray:
+        """Cast to float64, the reference compute dtype."""
         return np.asarray(x, dtype=float)
 
     def matmul(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Flattened GEMM at the inputs' own (float64) precision."""
         return flat_matmul(x, weight)
 
     def affine(
@@ -52,6 +54,7 @@ class NumpyBackend(ArrayBackend):
         weight: np.ndarray,
         bias: np.ndarray | None,
     ) -> np.ndarray:
+        """``x @ weight (+ bias)`` exactly as Dense/Conv2D always did."""
         y = flat_matmul(x, weight)
         if bias is not None:
             y = y + bias
@@ -63,6 +66,7 @@ class NumpyBackend(ArrayBackend):
         kernel_size: tuple[int, int],
         in_channels: int,
     ) -> np.ndarray:
+        """Same-padded sliding-window patches via stride tricks."""
         kh, kw = kernel_size
         pad_h, pad_w = kh // 2, kw // 2
         padded = np.pad(
@@ -82,6 +86,7 @@ class NumpyBackend(ArrayBackend):
     def attention_scores(
         self, q: np.ndarray, k: np.ndarray, scale: float
     ) -> np.ndarray:
+        """Scaled attention scores via the historical einsum."""
         return (
             np.einsum("bhtk,bhsk->bhts", q, k, optimize=True) * scale
         )
@@ -89,9 +94,11 @@ class NumpyBackend(ArrayBackend):
     def attention_context(
         self, attention: np.ndarray, v: np.ndarray
     ) -> np.ndarray:
+        """Attention-weighted value sum via the historical einsum."""
         return np.einsum("bhts,bhsk->bhtk", attention, v, optimize=True)
 
     def apply_plan(self, plan, rf: np.ndarray) -> np.ndarray:
+        """Fancy-indexed gather + lerp, the original ``tof_correct`` body."""
         element_idx = np.broadcast_to(
             np.arange(plan.probe.n_elements), plan.idx0.shape
         )
@@ -106,11 +113,13 @@ class NumpyBackend(ArrayBackend):
     def das_sum(
         self, tofc: np.ndarray, apodization: np.ndarray | None
     ) -> np.ndarray:
+        """Aperture mean / apodization-weighted sum, float64."""
         if apodization is None:
             return tofc.mean(axis=-1)
         return (tofc * apodization).sum(axis=-1)
 
     def mvdr_covariance(self, windows: np.ndarray) -> np.ndarray:
+        """Subaperture-averaged spatial covariance (complex128)."""
         return np.einsum(
             "zws,zwt->zst", windows, windows.conj()
         ) / windows.shape[1]
@@ -118,6 +127,7 @@ class NumpyBackend(ArrayBackend):
     def mvdr_output(
         self, weights: np.ndarray, windows: np.ndarray
     ) -> np.ndarray:
+        """Conjugate-weighted distortionless output (complex128)."""
         return np.einsum(
             "zs,zws->z", weights.conj(), windows
         ) / windows.shape[1]

@@ -1,0 +1,421 @@
+"""Wire format of the gateway: length-prefixed JSON headers + raw arrays.
+
+Every message on a gateway connection is one *frame*::
+
+    +----------------+----------------------+------------------------+
+    | header length  | header (UTF-8 JSON)  | payload (raw bytes)    |
+    | 4 bytes, !I    | `header length` B    | header["nbytes"] B     |
+    +----------------+----------------------+------------------------+
+
+The header is a flat JSON object with at least ``"type"`` (the message
+kind) and ``"nbytes"`` (payload length, 0 when absent).  Array payloads
+— RF frames client→server, IQ images server→client — travel as their
+raw contiguous bytes; the header carries ``shape`` and ``dtype``
+(NumPy dtype *string*, e.g. ``"<f8"``, which preserves byte order), so
+the receiving side rebuilds the array without pickling and the round
+trip is byte-exact.  Everything else (geometry negotiation, telemetry,
+errors) is plain JSON.
+
+Versioning rules
+----------------
+
+``PROTOCOL_VERSION`` is a single integer carried in the ``hello``
+header (``"v"``).  The server accepts exactly its own version and
+answers anything else with an ``error`` of code ``version_mismatch``
+naming the version it speaks — clients fail fast instead of
+misparsing.  Compatible additions (new optional header fields, new
+message types) do not bump the version; changes to the framing, to
+existing header fields, or to the meaning of a message type do.
+
+Message types (client → server):
+
+* ``hello`` — opens the session; carries ``v`` and the session
+  ``geometry`` (see :func:`geometry_to_wire`).
+* ``frame`` — one RF frame: ``seq`` (client-chosen id echoed back on
+  the result), ``shape``/``dtype``/``nbytes`` + payload.
+* ``stats`` — request a telemetry snapshot.
+* ``bye`` — graceful goodbye; the server answers ``bye_ok`` after the
+  session's in-flight frames have completed.
+
+Message types (server → client):
+
+* ``hello_ok`` — session admitted: ``session`` id and the negotiated
+  ``max_inflight`` credit.
+* ``result`` — one beamformed IQ image: ``seq``, ``shape``/``dtype``/
+  ``nbytes`` + payload.  Results may arrive out of submission order;
+  match by ``seq``.
+* ``reject`` — frame ``seq`` was *not* admitted (``code`` one of
+  :data:`REJECT_CODES`); the stream stays usable.
+* ``stats_ok`` — telemetry snapshot (``stats`` object).
+* ``bye_ok`` — goodbye acknowledged; the server closes after sending.
+* ``error`` — fatal session error (``code`` one of
+  :data:`ERROR_CODES`); the server closes the connection after
+  sending it.
+
+This module is transport-agnostic on purpose: the byte-level helpers
+(:func:`pack_message`, :func:`split_header`) are shared by the asyncio
+server and the blocking-socket client, which each add their own I/O
+loop on top.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.beamform.geometry import ImagingGrid
+from repro.ultrasound.probe import LinearProbe
+
+#: Protocol revision spoken by this tree (see module docstring for the
+#: bump rules).
+PROTOCOL_VERSION = 1
+
+#: Hard cap on the JSON header, generous for any geometry this repo can
+#: produce (a paper-scale grid is ~10 KB of coordinates) while keeping a
+#: garbage length prefix from allocating gigabytes.
+MAX_HEADER_BYTES = 4 * 1024 * 1024
+
+#: Hard cap on a message payload (a paper-scale RF frame is ~2 MB).
+MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+
+#: Fatal error codes carried by ``error`` messages.
+ERROR_CODES = (
+    "malformed",          # unparseable framing or header
+    "version_mismatch",   # hello spoke a different PROTOCOL_VERSION
+    "bad_geometry",       # hello geometry failed validation
+    "bad_frame",          # frame violates the negotiated geometry
+    "session_cap",        # max concurrent sessions reached
+    "draining",           # server is shutting down; no new work
+    "internal",           # unexpected server-side failure
+)
+
+#: Non-fatal per-frame reject codes carried by ``reject`` messages.
+REJECT_CODES = (
+    "inflight_cap",       # session exceeded its in-flight credit
+    "overloaded",         # gateway feed queue is full (global pressure)
+    "draining",           # frame arrived while the server drains
+    "bad_frame",          # silent/non-finite frame refused at the door
+)
+
+
+class ProtocolError(Exception):
+    """A peer violated the wire format (framing, header, or payload)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        """Record the error ``code`` (one of :data:`ERROR_CODES`) and a
+        human-readable ``message``."""
+        super().__init__(message)
+        self.code = code
+
+
+def pack_message(header: dict, payload: bytes = b"") -> bytes:
+    """Serialize one message frame (header length + JSON + payload).
+
+    Args:
+        header: flat JSON-serializable dict; ``nbytes`` is filled in
+            from ``payload`` (a mismatching existing value is an error).
+        payload: raw payload bytes (may be empty).
+
+    Returns:
+        The exact bytes to put on the wire.
+
+    Raises:
+        ProtocolError: the header does not fit ``MAX_HEADER_BYTES`` or
+            declares an ``nbytes`` that contradicts ``payload``.
+    """
+    declared = header.get("nbytes", len(payload))
+    if declared != len(payload):
+        raise ProtocolError(
+            "malformed",
+            f"header nbytes={declared} but payload is "
+            f"{len(payload)} bytes",
+        )
+    header = dict(header, nbytes=len(payload))
+    blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(blob) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            "malformed",
+            f"header of {len(blob)} bytes exceeds the "
+            f"{MAX_HEADER_BYTES}-byte cap",
+        )
+    return _LEN.pack(len(blob)) + blob + payload
+
+
+def header_length(prefix: bytes) -> int:
+    """Decode and validate the 4-byte length prefix of a message.
+
+    Raises:
+        ProtocolError: the declared header length exceeds
+            ``MAX_HEADER_BYTES`` (or is zero) — the framing is garbage
+            and the connection cannot be resynchronized.
+    """
+    (length,) = _LEN.unpack(prefix)
+    if length == 0 or length > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            "malformed",
+            f"header length {length} outside (0, {MAX_HEADER_BYTES}]",
+        )
+    return length
+
+
+def parse_header(blob: bytes) -> dict:
+    """Parse and validate one JSON header blob.
+
+    Raises:
+        ProtocolError: the blob is not a JSON object, lacks ``type``,
+            or declares an out-of-range ``nbytes``.
+    """
+    try:
+        header = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("malformed", f"unparseable header: {exc}")
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError(
+            "malformed", "header must be a JSON object with a 'type'"
+        )
+    nbytes = header.get("nbytes", 0)
+    if (
+        not isinstance(nbytes, int)
+        or nbytes < 0
+        or nbytes > MAX_PAYLOAD_BYTES
+    ):
+        raise ProtocolError(
+            "malformed",
+            f"payload length {nbytes!r} outside [0, {MAX_PAYLOAD_BYTES}]",
+        )
+    return header
+
+
+# --------------------------------------------------------------------------
+# Array payloads
+# --------------------------------------------------------------------------
+
+
+def array_header(kind: str, array: np.ndarray, **extra) -> dict:
+    """Header fields describing ``array`` as a raw-bytes payload."""
+    array = np.ascontiguousarray(array)
+    return {
+        "type": kind,
+        "shape": list(array.shape),
+        "dtype": array.dtype.str,
+        "nbytes": array.nbytes,
+        **extra,
+    }
+
+
+def array_payload(array: np.ndarray) -> bytes:
+    """The raw contiguous bytes of ``array`` (C order)."""
+    return np.ascontiguousarray(array).tobytes()
+
+
+def decode_array(header: dict, payload: bytes) -> np.ndarray:
+    """Rebuild the array a header + payload pair describes.
+
+    The result is a read-only view over ``payload`` (zero copy); byte
+    content is exactly what the sender serialized.
+
+    Raises:
+        ProtocolError: shape/dtype are missing or inconsistent with the
+            payload length.
+    """
+    try:
+        dtype = np.dtype(header["dtype"])
+        shape = tuple(int(n) for n in header["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            "malformed", f"array header missing shape/dtype: {exc}"
+        )
+    if dtype.hasobject:
+        raise ProtocolError(
+            "malformed", "object dtypes cannot travel as raw bytes"
+        )
+    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    if expected != len(payload):
+        raise ProtocolError(
+            "malformed",
+            f"array {shape}/{dtype.str} needs {expected} bytes, "
+            f"payload has {len(payload)}",
+        )
+    return np.frombuffer(payload, dtype=dtype).reshape(shape)
+
+
+# --------------------------------------------------------------------------
+# Geometry negotiation
+# --------------------------------------------------------------------------
+
+
+def geometry_to_wire(
+    probe: LinearProbe,
+    grid: ImagingGrid,
+    angle_rad: float,
+    sound_speed_m_s: float,
+    t_start_s: float,
+    rf_shape: tuple[int, int],
+    rf_dtype: str,
+) -> dict:
+    """Encode one acquisition geometry as a JSON-safe dict.
+
+    Floats ride JSON as their shortest round-tripping repr, so the
+    decoded values are bit-identical to the originals — the decoded
+    geometry therefore resolves to the *same* cached ToF plan as the
+    sender's, which is what makes gateway output bitwise equal to
+    offline ``beamform``.
+    """
+    return {
+        "probe": {
+            "n_elements": probe.n_elements,
+            "pitch_m": probe.pitch_m,
+            "element_width_m": probe.element_width_m,
+            "center_frequency_hz": probe.center_frequency_hz,
+            "sampling_frequency_hz": probe.sampling_frequency_hz,
+        },
+        "grid": {
+            "x_m": [float(x) for x in grid.x_m],
+            "z_m": [float(z) for z in grid.z_m],
+        },
+        "angle_rad": float(angle_rad),
+        "sound_speed_m_s": float(sound_speed_m_s),
+        "t_start_s": float(t_start_s),
+        "rf_shape": [int(n) for n in rf_shape],
+        "rf_dtype": str(rf_dtype),
+    }
+
+
+def dataset_geometry(dataset) -> dict:
+    """The wire geometry of a dataset-like object (see
+    :meth:`repro.api.base.Beamformer.beamform` for the duck type)."""
+    rf = np.asarray(dataset.rf)
+    return geometry_to_wire(
+        dataset.probe,
+        dataset.grid,
+        dataset.angle_rad,
+        dataset.sound_speed_m_s,
+        getattr(dataset, "t_start_s", 0.0),
+        rf.shape,
+        rf.dtype.str,
+    )
+
+
+class SessionGeometry:
+    """A decoded, validated session geometry.
+
+    Attributes:
+        probe: the rebuilt :class:`~repro.ultrasound.probe.LinearProbe`.
+        grid: the rebuilt :class:`~repro.beamform.geometry.ImagingGrid`.
+        angle_rad / sound_speed_m_s / t_start_s: acquisition scalars.
+        rf_shape: required ``(n_samples, n_elements)`` of every frame.
+        rf_dtype: required NumPy dtype of every frame.
+    """
+
+    def __init__(
+        self,
+        probe: LinearProbe,
+        grid: ImagingGrid,
+        angle_rad: float,
+        sound_speed_m_s: float,
+        t_start_s: float,
+        rf_shape: tuple[int, int],
+        rf_dtype: np.dtype,
+    ) -> None:
+        """Store the decoded fields (built via :func:`geometry_from_wire`)."""
+        self.probe = probe
+        self.grid = grid
+        self.angle_rad = angle_rad
+        self.sound_speed_m_s = sound_speed_m_s
+        self.t_start_s = t_start_s
+        self.rf_shape = rf_shape
+        self.rf_dtype = rf_dtype
+
+
+def geometry_from_wire(wire: dict) -> SessionGeometry:
+    """Decode and validate a ``hello`` geometry dict.
+
+    Raises:
+        ProtocolError: code ``bad_geometry`` on any missing field or a
+            value the probe/grid constructors reject.
+    """
+    try:
+        probe = LinearProbe(
+            n_elements=int(wire["probe"]["n_elements"]),
+            pitch_m=float(wire["probe"]["pitch_m"]),
+            element_width_m=float(wire["probe"]["element_width_m"]),
+            center_frequency_hz=float(
+                wire["probe"]["center_frequency_hz"]
+            ),
+            sampling_frequency_hz=float(
+                wire["probe"]["sampling_frequency_hz"]
+            ),
+        )
+        grid = ImagingGrid(
+            x_m=np.asarray(wire["grid"]["x_m"], dtype=float),
+            z_m=np.asarray(wire["grid"]["z_m"], dtype=float),
+        )
+        rf_shape = tuple(int(n) for n in wire["rf_shape"])
+        rf_dtype = np.dtype(str(wire["rf_dtype"]))
+        if len(rf_shape) != 2 or min(rf_shape) < 1:
+            raise ValueError(f"rf_shape must be 2-D, got {rf_shape}")
+        if rf_dtype.hasobject:
+            raise ValueError("rf_dtype cannot be an object dtype")
+        if rf_shape[1] != probe.n_elements:
+            raise ValueError(
+                f"rf_shape {rf_shape} disagrees with "
+                f"{probe.n_elements} probe elements"
+            )
+        return SessionGeometry(
+            probe=probe,
+            grid=grid,
+            angle_rad=float(wire["angle_rad"]),
+            sound_speed_m_s=float(wire["sound_speed_m_s"]),
+            t_start_s=float(wire.get("t_start_s", 0.0)),
+            rf_shape=rf_shape,
+            rf_dtype=rf_dtype,
+        )
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError("bad_geometry", f"invalid geometry: {exc}")
+
+
+# --------------------------------------------------------------------------
+# Blocking-socket I/O (used by the pure-Python client)
+# --------------------------------------------------------------------------
+
+
+def send_message(sock, header: dict, payload: bytes = b"") -> None:
+    """Write one message frame to a blocking socket."""
+    sock.sendall(pack_message(header, payload))
+
+
+def _recv_exact(sock, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed with {remaining} of {count} bytes "
+                f"outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock) -> tuple[dict, bytes]:
+    """Read one message frame from a blocking socket.
+
+    Returns:
+        ``(header, payload)``.
+
+    Raises:
+        ConnectionError: the peer closed mid-message.
+        ProtocolError: the peer sent garbage framing.
+    """
+    length = header_length(_recv_exact(sock, _LEN.size))
+    header = parse_header(_recv_exact(sock, length))
+    payload = _recv_exact(sock, header.get("nbytes", 0))
+    return header, payload

@@ -39,7 +39,9 @@ Pieces (each importable on its own):
 * clock      — :class:`MonotonicClock` / :class:`FakeClock` (tests).
 
 CLI: ``python -m repro.serve --beamformer tiny_vbf --source probe``
-(add ``--engine sharded --workers 4 --transport shm`` for processes).
+(add ``--engine sharded --workers 4 --transport shm`` for processes,
+``--gateway PORT`` to front the engine with the TCP gateway of
+:mod:`repro.gateway`).
 Bench: ``benchmarks/bench_serve.py`` (single-frame loop vs micro-batched
 engine; emits ``BENCH_serve.json``) and
 ``benchmarks/bench_serve_sharded.py`` (threaded vs sharded; emits

@@ -21,8 +21,13 @@ Examples::
     PYTHONPATH=src python -m repro.serve --beamformer tiny_vbf \\
         --untrained --engine sharded --workers 4 --transport shm
 
+    # Serve the same engine over TCP instead of a local source
+    PYTHONPATH=src python -m repro.serve --beamformer das --gateway 7355
+
 Prints the final telemetry dict as JSON on stdout; progress log lines go
-to stderr via the ``repro.serve`` logger.
+to stderr via the ``repro.serve`` logger.  With ``--gateway PORT`` the
+source flags are ignored and the engine fronts a network gateway
+(:mod:`repro.gateway`) until interrupted.
 """
 
 from __future__ import annotations
@@ -56,14 +61,8 @@ PRESETS = {
 }
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.serve",
-        description=(
-            "Stream simulated plane-wave frames through a beamformer "
-            "with geometry-aware micro-batching."
-        ),
-    )
+def add_beamformer_args(parser: argparse.ArgumentParser) -> None:
+    """Add the beamformer-selection flags (shared with the gateway CLI)."""
     parser.add_argument(
         "--beamformer",
         default="das",
@@ -77,38 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
         "cache (learned specs only; skips training on first use)",
     )
     parser.add_argument(
-        "--source",
-        choices=("replay", "probe"),
-        default="replay",
-        help="replay: gain-perturbed copies of one preset acquisition; "
-        "probe: re-simulated drifting scene per frame",
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="compute backend bound to the beamformer (default: the "
+        "process default — REPRO_BACKEND or 'numpy')",
     )
     parser.add_argument(
-        "--preset",
-        choices=tuple(PRESETS),
-        default="simulation_contrast",
-        help="base acquisition preset",
+        "--scale", choices=("small", "paper"), default="small"
     )
-    parser.add_argument("--frames", type=int, default=16,
-                        help="stream length")
-    parser.add_argument(
-        "--fps",
-        type=float,
-        default=0.0,
-        help="source frame rate; 0 streams unpaced",
-    )
-    parser.add_argument(
-        "--jitter-ms",
-        type=float,
-        default=0.0,
-        help="Gaussian frame-interval jitter (paced sources)",
-    )
-    parser.add_argument(
-        "--drift-um",
-        type=float,
-        default=50.0,
-        help="probe source: per-frame scatterer drift step (microns)",
-    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Add the engine-configuration flags (shared with the gateway CLI)."""
     parser.add_argument("--max-batch", type=int, default=4)
     parser.add_argument("--max-latency-ms", type=float, default=25.0)
     parser.add_argument("--queue-capacity", type=int, default=64)
@@ -151,26 +132,105 @@ def build_parser() -> argparse.ArgumentParser:
         "their in-flight batches instead of failing the run",
     )
     parser.add_argument(
-        "--backend",
-        choices=available_backends(),
-        default=None,
-        help="compute backend bound to the beamformer (default: the "
-        "process default — REPRO_BACKEND or 'numpy')",
-    )
-    parser.add_argument(
-        "--scale", choices=("small", "paper"), default="small"
-    )
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
         "--log-every",
         type=float,
         default=5.0,
         help="seconds between telemetry log lines (0 disables)",
     )
+
+
+def add_source_args(parser: argparse.ArgumentParser) -> None:
+    """Add the frame-source flags (local-run mode only)."""
+    parser.add_argument(
+        "--source",
+        choices=("replay", "probe"),
+        default="replay",
+        help="replay: gain-perturbed copies of one preset acquisition; "
+        "probe: re-simulated drifting scene per frame",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=tuple(PRESETS),
+        default="simulation_contrast",
+        help="base acquisition preset",
+    )
+    parser.add_argument("--frames", type=int, default=16,
+                        help="stream length")
+    parser.add_argument(
+        "--fps",
+        type=float,
+        default=0.0,
+        help="source frame rate; 0 streams unpaced",
+    )
+    parser.add_argument(
+        "--jitter-ms",
+        type=float,
+        default=0.0,
+        help="Gaussian frame-interval jitter (paced sources)",
+    )
+    parser.add_argument(
+        "--drift-um",
+        type=float,
+        default=50.0,
+        help="probe source: per-frame scatterer drift step (microns)",
+    )
+
+
+def add_gateway_args(parser: argparse.ArgumentParser) -> None:
+    """Add the gateway network knobs (shared with the gateway CLI)."""
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="gateway mode only: bind address",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        help="gateway mode only: concurrent-session admission cap",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="gateway mode only: per-session in-flight frame credit",
+    )
+    parser.add_argument(
+        "--feed-capacity",
+        type=int,
+        default=64,
+        help="gateway mode only: gateway feed-queue bound (frames "
+        "beyond it are rejected 'overloaded')",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=(
+            "Stream simulated plane-wave frames through a beamformer "
+            "with geometry-aware micro-batching."
+        ),
+    )
+    add_beamformer_args(parser)
+    add_source_args(parser)
+    add_engine_args(parser)
+    parser.add_argument(
+        "--gateway",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the engine over TCP on this port instead of "
+        "running a local source (see repro.gateway; 0 picks an "
+        "ephemeral port; source flags are ignored)",
+    )
+    add_gateway_args(parser)
     return parser
 
 
 def make_beamformer(args: argparse.Namespace):
+    """Build the beamformer the CLI flags describe."""
     model = None
     if args.untrained:
         name, _ = parse_spec(args.beamformer)
@@ -188,6 +248,7 @@ def make_beamformer(args: argparse.Namespace):
 
 
 def make_source(args: argparse.Namespace):
+    """Build the frame source the CLI flags describe."""
     base = PRESETS[args.preset](scale=args.scale)
     fps = args.fps if args.fps > 0 else None
     jitter_s = args.jitter_ms / 1e3
@@ -209,7 +270,13 @@ def make_source(args: argparse.Namespace):
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.serve``."""
     args = build_parser().parse_args(argv)
+    if args.gateway is not None:
+        from repro.gateway.__main__ import run_gateway
+
+        args.port = args.gateway
+        return run_gateway(args)
     logging.basicConfig(
         stream=sys.stderr,
         level=logging.INFO,

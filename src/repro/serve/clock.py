@@ -28,9 +28,11 @@ class MonotonicClock(Clock):
     """Wall-clock implementation over ``time.monotonic``."""
 
     def now(self) -> float:
+        """``time.monotonic()``."""
         return time.monotonic()
 
     def sleep(self, seconds: float) -> None:
+        """``time.sleep`` for positive durations."""
         if seconds > 0:
             time.sleep(seconds)
 
@@ -48,9 +50,11 @@ class FakeClock(Clock):
         self.sleeps: list[float] = []
 
     def now(self) -> float:
+        """The manually advanced fake time."""
         return self._now
 
     def sleep(self, seconds: float) -> None:
+        """Advance fake time and record the requested duration."""
         self.sleeps.append(float(seconds))
         if seconds > 0:
             self._now += float(seconds)

@@ -165,6 +165,7 @@ class ServeReport:
 
     @property
     def completed(self) -> int:
+        """Number of frames that produced an image this run."""
         return sum(image is not None for image in self.images)
 
 
@@ -186,6 +187,11 @@ class ServeEngine:
             monotonic clock makes sense here; the injectable parameter
             exists for telemetry determinism in tests.
         log_every_s: period of the telemetry log line (0 disables).
+        keep_images: retain every result for :attr:`ServeReport.images`
+            (the default).  Long-running push consumers — the network
+            gateway — set this ``False`` so an unbounded run holds no
+            per-frame state: images are delivered to the sink only and
+            the report's ``images`` entries stay ``None``.
     """
 
     def __init__(
@@ -198,6 +204,7 @@ class ServeEngine:
         n_workers: int = 1,
         clock: Clock | None = None,
         log_every_s: float = 10.0,
+        keep_images: bool = True,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ValueError(
@@ -214,6 +221,23 @@ class ServeEngine:
         self.n_workers = n_workers
         self.clock = clock or MonotonicClock()
         self.log_every_s = log_every_s
+        self.keep_images = keep_images
+        self._run_errors: list[BaseException] = []
+
+    @property
+    def broken(self) -> bool:
+        """True once a stage of the current run has failed.
+
+        The engine's error contract defers the raise to the end of the
+        run (failed workers keep draining so nothing deadlocks), but a
+        push-style caller with a potentially unbounded source — the
+        gateway — needs to *see* the failure to stop feeding; it polls
+        this, mirroring :attr:`ShardedServeEngine.broken
+        <repro.serve.sharding.ShardedServeEngine.broken>`.  Unlike the
+        sharded engine's flag this one resets on the next ``serve``
+        call (a threaded run failure does not poison the engine).
+        """
+        return bool(self._run_errors)
 
     # -- pipeline stages -------------------------------------------------
 
@@ -288,9 +312,10 @@ class ServeEngine:
             try:
                 images = self.beamformer.beamform_batch(datasets)
                 done_time = self.clock.now()
-                with results_lock:
-                    for frame, image in zip(batch.frames, images):
-                        results[frame.seq] = image
+                if self.keep_images:
+                    with results_lock:
+                        for frame, image in zip(batch.frames, images):
+                            results[frame.seq] = image
                 telemetry.batch_done(
                     [frame.submitted_at for frame in batch.frames],
                     dispatch_time,
@@ -319,7 +344,10 @@ class ServeEngine:
     # -- entry point -----------------------------------------------------
 
     def serve(
-        self, source: Iterable, sink: Sink | None = None
+        self,
+        source: Iterable,
+        sink: Sink | None = None,
+        telemetry: ServeTelemetry | None = None,
     ) -> ServeReport:
         """Run the pipeline over ``source`` until it is exhausted.
 
@@ -328,6 +356,11 @@ class ServeEngine:
                 :class:`~repro.serve.sources.FrameSource`).
             sink: optional per-image callback ``(seq, dataset, image)``,
                 invoked from worker threads as results complete.
+            telemetry: optional externally owned
+                :class:`~repro.serve.telemetry.ServeTelemetry` to record
+                into — lets a live consumer (the gateway's ``stats``
+                endpoint) snapshot the run mid-flight.  Default: a fresh
+                instance per run.
 
         Returns:
             A :class:`ServeReport` with images in submission order.
@@ -335,14 +368,16 @@ class ServeEngine:
         Raises:
             The first worker/sink exception, if any stage failed.
         """
-        telemetry = ServeTelemetry(clock=self.clock)
+        telemetry = telemetry or ServeTelemetry(clock=self.clock)
         ingest = BoundedQueue(self.queue_capacity, self.backpressure)
         batches = BoundedQueue(
             max(2, 2 * self.n_workers), "block"
         )
         results: dict[int, np.ndarray] = {}
         results_lock = threading.Lock()
-        errors: list[BaseException] = []
+        # Shared with the `broken` property (and reset per run) so a
+        # live consumer can observe a failed stage mid-run.
+        errors = self._run_errors = []
         dropped: list[int] = []
         log_state = {"lock": threading.Lock(), "last": self.clock.now()}
 

@@ -116,6 +116,7 @@ class BoundedQueue:
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
         with self._lock:
             return self._closed
 

@@ -318,6 +318,10 @@ class ShardedServeEngine:
             durations cross the boundary), so a fake clock here only
             affects parent-side pacing/telemetry.
         log_every_s: period of the telemetry log line (0 disables).
+        keep_images: retain results for :attr:`ServeReport.images`
+            (default).  ``False`` delivers images to the sink only —
+            the memory contract long-running push consumers (the
+            network gateway) need.
     """
 
     def __init__(
@@ -337,6 +341,7 @@ class ShardedServeEngine:
         start_method: str = "spawn",
         clock: Clock | None = None,
         log_every_s: float = 10.0,
+        keep_images: bool = True,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -370,6 +375,7 @@ class ShardedServeEngine:
         self.start_method = start_method
         self.clock = clock or MonotonicClock()
         self.log_every_s = log_every_s
+        self.keep_images = keep_images
 
         import multiprocessing
 
@@ -527,6 +533,18 @@ class ShardedServeEngine:
         self._started = False
         self._broken = True
 
+    @property
+    def broken(self) -> bool:
+        """True once a worker crash has aborted the engine (terminal).
+
+        Set while ``serve`` may still be unwinding — a push-style
+        caller (the gateway) polls it so a blocking frame source can
+        stop feeding and let ``serve`` surface its
+        :class:`WorkerCrashed` instead of waiting for a next frame
+        that may never come.
+        """
+        return self._broken
+
     def __enter__(self) -> "ShardedServeEngine":
         return self.start()
 
@@ -536,15 +554,19 @@ class ShardedServeEngine:
     # -- serving ---------------------------------------------------------
 
     def serve(
-        self, source: Iterable, sink: Sink | None = None
+        self,
+        source: Iterable,
+        sink: Sink | None = None,
+        telemetry: ServeTelemetry | None = None,
     ) -> ServeReport:
         """Run the sharded pipeline over ``source`` until exhausted.
 
         Same contract as :meth:`ServeEngine.serve
         <repro.serve.engine.ServeEngine.serve>`: images come back in
         submission order (``None`` for frames dropped by backpressure),
-        the first worker failure is re-raised after shutdown, and no
-        frame is lost on graceful shutdown.
+        the first worker failure is re-raised after shutdown, no frame
+        is lost on graceful shutdown, and a caller-owned ``telemetry``
+        is recorded into live (the gateway's ``stats`` endpoint).
         """
         with self._serve_lock:
             if self._broken:
@@ -554,7 +576,7 @@ class ShardedServeEngine:
                 )
             self.start()
             run = _RunState(
-                telemetry=ServeTelemetry(clock=self.clock),
+                telemetry=telemetry or ServeTelemetry(clock=self.clock),
                 ingest=BoundedQueue(
                     self.queue_capacity, self.backpressure
                 ),
@@ -762,8 +784,9 @@ class ShardedServeEngine:
             self._release_output(shard, payload)
         for payload in entry.frame_payloads:
             self._frames.release(payload)
-        with run.lock:
-            run.results.update(images)
+        if self.keep_images:
+            with run.lock:
+                run.results.update(images)
         run.telemetry.batch_done(
             [frame.submitted_at for frame in entry.batch.frames],
             entry.dispatch_time,

@@ -129,6 +129,7 @@ class LocalFreeList:
         timeout: float | None,
         abort: Callable[[], bool] | None = None,
     ) -> int:
+        """Pop a free slot index, blocking with abort/timeout checks."""
         deadline = None if timeout is None else (
             _monotonic() + timeout
         )
@@ -148,17 +149,20 @@ class LocalFreeList:
                 self._available.wait(remaining)
 
     def release(self, slot: int) -> None:
+        """Return a slot to the back of the free line (FIFO rotation)."""
         with self._available:
             self._free.append(slot)
             self._available.notify()
 
     def close(self) -> None:
+        """Wake every blocked acquirer with :class:`TransportClosed`."""
         with self._available:
             self._closed = True
             self._available.notify_all()
 
     @property
     def free_count(self) -> int:
+        """Currently free slots (diagnostics/tests)."""
         with self._lock:
             return len(self._free)
 
@@ -176,6 +180,7 @@ class QueueFreeList:
 
     @classmethod
     def create(cls, ctx, slots: int) -> "QueueFreeList":
+        """A free list preloaded with every slot index (parent side)."""
         queue = ctx.Queue(maxsize=slots)
         for slot in range(slots):
             queue.put(slot)
@@ -210,6 +215,7 @@ class QueueFreeList:
         timeout: float | None,
         abort: Callable[[], bool] | None = None,
     ) -> int:
+        """Pop a free slot index off the shared queue, abortable."""
         deadline = None if timeout is None else (
             _monotonic() + timeout
         )
@@ -227,9 +233,11 @@ class QueueFreeList:
                 continue
 
     def release(self, slot: int) -> None:
+        """Hand a consumed slot back to the allocating process."""
         self._queue.put(slot)
 
-    def close(self) -> None:  # queue lifetime is owned by the engine
+    def close(self) -> None:
+        """No-op: the engine owns the shared queue's lifetime."""
         pass
 
 
@@ -422,6 +430,7 @@ class FrameTransport:
 
     @property
     def ring(self) -> ShmRing | None:
+        """The lazily created ring (``None`` before the first pack)."""
         return self._ring
 
     def pack(
@@ -430,6 +439,7 @@ class FrameTransport:
         timeout: float | None = None,
         abort: Callable[[], bool] | None = None,
     ):
+        """Park ``array`` for transport; ring slot or pickle fallback."""
         if self.kind == "pickle":
             return PickledPayload(array=np.asarray(array))
         array = np.asarray(array)
@@ -444,10 +454,12 @@ class FrameTransport:
         return self._ring.pack(array, timeout=timeout, abort=abort)
 
     def release(self, payload) -> None:
+        """Free a packed payload's slot (no-op for pickle payloads)."""
         if self._ring is not None:
             self._ring.release(payload)
 
     def close(self) -> None:
+        """Close and unlink the owned ring segment, if one was built."""
         if self._ring is not None:
             self._ring.close()
             self._ring.unlink()

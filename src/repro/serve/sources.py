@@ -104,6 +104,7 @@ class ReplaySource(_PacedSource):
         return len(self._frames) * self.repeat
 
     def frames(self) -> Iterator[PlaneWaveDataset]:
+        """Yield the recorded frames ``repeat`` times, paced."""
         for _ in range(self.repeat):
             for frame in self._frames:
                 self._pace()
@@ -146,6 +147,7 @@ class ProbeSource(_PacedSource):
         return self.n_frames
 
     def frames(self) -> Iterator[PlaneWaveDataset]:
+        """Yield freshly simulated frames of the drifting scene, paced."""
         stream = stream_scene_drift(
             self.base,
             self.n_frames,

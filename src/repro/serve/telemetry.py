@@ -81,6 +81,7 @@ class LatencyStats:
         self._rng = random.Random(0x5EED)
 
     def record(self, seconds: float) -> None:
+        """Fold one latency sample into the reservoir."""
         value = float(seconds)
         self._count += 1
         self._sum += value
@@ -97,6 +98,7 @@ class LatencyStats:
 
     @property
     def count(self) -> int:
+        """Exact number of samples recorded (not just retained)."""
         return self._count
 
     def snapshot(self) -> dict:
@@ -152,6 +154,7 @@ class ServeTelemetry:
         return now
 
     def frame_dropped(self, count: int = 1) -> None:
+        """Count frames evicted by backpressure."""
         with self._lock:
             self._frames_dropped += count
 
@@ -209,6 +212,7 @@ class ServeTelemetry:
             self._last_done = done_time
 
     def observe_queue_depth(self, name: str, depth: int) -> None:
+        """Track the high-water mark of the named queue."""
         with self._lock:
             previous = self._queue_high_water.get(name, 0)
             self._queue_high_water[name] = max(previous, depth)
@@ -216,14 +220,17 @@ class ServeTelemetry:
     # -- worker lifecycle ------------------------------------------------
 
     def worker_spawned(self, count: int = 1) -> None:
+        """Count worker processes started (sharded engine)."""
         with self._lock:
             self._workers_spawned += count
 
     def worker_exited(self, count: int = 1) -> None:
+        """Count worker processes observed gone."""
         with self._lock:
             self._workers_exited += count
 
     def worker_restarted(self, count: int = 1) -> None:
+        """Count crashed workers that were respawned."""
         with self._lock:
             self._workers_restarted += count
 

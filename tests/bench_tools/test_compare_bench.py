@@ -37,6 +37,10 @@ BASELINE = {
             "served_fps": 8.0,
             "speedup": 1.9,
         },
+        "gateway": {
+            "gateway_fps": 9.0,
+            "gateway_efficiency": 0.95,
+        },
     },
 }
 
@@ -129,6 +133,20 @@ class TestCompare:
         )
         assert len(failures) == 1
         assert "speedup" in failures[0]
+
+    def test_gateway_efficiency_is_a_gated_ratio(self):
+        metrics = compare_bench.collect_metrics(BASELINE)
+        assert metrics["results.gateway.gateway_efficiency"] == 0.95
+        current = _variant(
+            "gateway_efficiency",
+            ("results", "gateway", "gateway_efficiency"),
+            0.3,
+        )
+        failures, _ = compare_bench.compare(
+            current, BASELINE, 0.25, smoke=True
+        )
+        assert len(failures) == 1
+        assert "gateway_efficiency" in failures[0]
 
 
 class TestMain:

@@ -1,0 +1,57 @@
+"""Shared gateway-test helpers: gated beamformer, raw-socket access."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.api import Beamformer, create_beamformer
+from repro.ultrasound import stream_gain_drift
+
+
+class GatedBeamformer(Beamformer):
+    """DAS wrapper whose compute blocks until ``release()``.
+
+    Same trick as the serve-engine tests: letting a test force frames
+    to pile up in flight (for admission-control and drain assertions)
+    without a single sleep.
+    """
+
+    name = "gated_das"
+
+    def __init__(self):
+        self.inner = create_beamformer("das")
+        self.gate = threading.Event()
+
+    def release(self):
+        self.gate.set()
+
+    def beamform(self, dataset):
+        self.gate.wait()
+        return self.inner.beamform(dataset)
+
+    def beamform_batch(self, datasets):
+        self.gate.wait()
+        return self.inner.beamform_batch(datasets)
+
+    def describe(self):
+        return {"name": self.name, "backend": "test"}
+
+
+@pytest.fixture
+def gated_beamformer():
+    beamformer = GatedBeamformer()
+    yield beamformer
+    # A test that failed before releasing would otherwise deadlock
+    # engine shutdown (workers blocked on the gate forever).
+    beamformer.release()
+
+
+@pytest.fixture(scope="module")
+def frames(sim_contrast_dataset):
+    return list(stream_gain_drift(sim_contrast_dataset, 10, seed=21))
+
+
+def raw_connect(port: int, timeout: float = 30.0) -> socket.socket:
+    """A plain TCP connection to a local gateway (protocol bypassed)."""
+    return socket.create_connection(("127.0.0.1", port), timeout=timeout)

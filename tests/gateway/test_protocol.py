@@ -1,0 +1,166 @@
+"""Wire-format unit tests: framing, arrays, geometry round trips."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.gateway.protocol import (
+    MAX_HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    ProtocolError,
+    array_header,
+    array_payload,
+    dataset_geometry,
+    decode_array,
+    geometry_from_wire,
+    header_length,
+    pack_message,
+    parse_header,
+)
+
+
+class TestFraming:
+    def test_pack_parse_round_trip(self):
+        payload = b"\x01\x02\x03"
+        blob = pack_message({"type": "frame", "seq": 7}, payload)
+        length = header_length(blob[:4])
+        header = parse_header(blob[4 : 4 + length])
+        assert header == {"type": "frame", "seq": 7, "nbytes": 3}
+        assert blob[4 + length :] == payload
+
+    def test_empty_payload_defaults(self):
+        blob = pack_message({"type": "stats"})
+        length = header_length(blob[:4])
+        assert parse_header(blob[4:])["nbytes"] == 0
+        assert len(blob) == 4 + length
+
+    def test_nbytes_mismatch_rejected(self):
+        with pytest.raises(ProtocolError, match="nbytes"):
+            pack_message({"type": "frame", "nbytes": 5}, b"123")
+
+    def test_garbage_length_prefix(self):
+        with pytest.raises(ProtocolError, match="header length"):
+            header_length(b"\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError):
+            header_length(struct.pack("!I", 0))
+        assert header_length(struct.pack("!I", MAX_HEADER_BYTES)) == \
+            MAX_HEADER_BYTES
+
+    def test_unparseable_header(self):
+        with pytest.raises(ProtocolError, match="unparseable"):
+            parse_header(b"this is not json")
+
+    def test_header_must_be_object_with_type(self):
+        with pytest.raises(ProtocolError, match="type"):
+            parse_header(json.dumps([1, 2, 3]).encode())
+        with pytest.raises(ProtocolError, match="type"):
+            parse_header(json.dumps({"seq": 1}).encode())
+
+    def test_payload_length_bounds(self):
+        too_big = json.dumps(
+            {"type": "frame", "nbytes": MAX_PAYLOAD_BYTES + 1}
+        ).encode()
+        with pytest.raises(ProtocolError, match="payload length"):
+            parse_header(too_big)
+        with pytest.raises(ProtocolError, match="payload length"):
+            parse_header(
+                json.dumps({"type": "frame", "nbytes": -1}).encode()
+            )
+
+
+class TestArrays:
+    @pytest.mark.parametrize(
+        "dtype", ["float32", "float64", "complex64", "complex128"]
+    )
+    def test_byte_exact_round_trip(self, rng, dtype):
+        array = rng.standard_normal((13, 7))
+        if np.dtype(dtype).kind == "c":
+            array = array + 1j * rng.standard_normal((13, 7))
+        array = array.astype(dtype)
+        header = array_header("result", array, seq=3)
+        out = decode_array(header, array_payload(array))
+        assert out.dtype == array.dtype
+        assert out.tobytes() == array.tobytes()
+
+    def test_non_contiguous_input(self, rng):
+        array = rng.standard_normal((8, 8))[::2, ::2]
+        out = decode_array(
+            array_header("frame", array), array_payload(array)
+        )
+        assert np.array_equal(out, array)
+
+    def test_length_mismatch_rejected(self, rng):
+        array = rng.standard_normal((4, 4))
+        header = array_header("frame", array)
+        with pytest.raises(ProtocolError, match="bytes"):
+            decode_array(header, array_payload(array)[:-8])
+
+    def test_missing_shape_rejected(self):
+        with pytest.raises(ProtocolError, match="shape"):
+            decode_array({"type": "frame", "dtype": "<f8"}, b"")
+
+
+class TestGeometry:
+    def test_wire_round_trip_is_exact(self, sim_contrast_dataset):
+        wire = dataset_geometry(sim_contrast_dataset)
+        # JSON floats are shortest-repr round trips: serializing the
+        # wire dict must not perturb a single bit.
+        wire = json.loads(json.dumps(wire))
+        geometry = geometry_from_wire(wire)
+        assert geometry.probe == sim_contrast_dataset.probe
+        assert (
+            geometry.grid.x_m.tobytes()
+            == sim_contrast_dataset.grid.x_m.tobytes()
+        )
+        assert (
+            geometry.grid.z_m.tobytes()
+            == sim_contrast_dataset.grid.z_m.tobytes()
+        )
+        assert geometry.angle_rad == sim_contrast_dataset.angle_rad
+        assert (
+            geometry.sound_speed_m_s
+            == sim_contrast_dataset.sound_speed_m_s
+        )
+        assert geometry.rf_shape == sim_contrast_dataset.rf.shape
+        assert geometry.rf_dtype == sim_contrast_dataset.rf.dtype
+
+    def test_same_plan_key_after_round_trip(self, sim_contrast_dataset):
+        from repro.api.base import dataset_plan_key
+        from repro.gateway.server import GatewayFrame
+
+        wire = json.loads(
+            json.dumps(dataset_geometry(sim_contrast_dataset))
+        )
+        geometry = geometry_from_wire(wire)
+        frame = GatewayFrame(
+            name="round-trip",
+            probe=geometry.probe,
+            grid=geometry.grid,
+            angle_rad=geometry.angle_rad,
+            sound_speed_m_s=geometry.sound_speed_m_s,
+            t_start_s=geometry.t_start_s,
+            rf=np.asarray(sim_contrast_dataset.rf),
+            session=1,
+            client_seq=0,
+        )
+        assert dataset_plan_key(frame) == dataset_plan_key(
+            sim_contrast_dataset
+        )
+
+    def test_missing_field_is_bad_geometry(self, sim_contrast_dataset):
+        wire = dataset_geometry(sim_contrast_dataset)
+        del wire["probe"]
+        with pytest.raises(ProtocolError) as excinfo:
+            geometry_from_wire(wire)
+        assert excinfo.value.code == "bad_geometry"
+
+    def test_inconsistent_elements_is_bad_geometry(
+        self, sim_contrast_dataset
+    ):
+        wire = dataset_geometry(sim_contrast_dataset)
+        wire["rf_shape"] = [wire["rf_shape"][0], 999]
+        with pytest.raises(ProtocolError) as excinfo:
+            geometry_from_wire(wire)
+        assert excinfo.value.code == "bad_geometry"

@@ -89,6 +89,41 @@ class TestLosslessServing:
         for frame, image in zip(frames, report.images):
             assert np.array_equal(image, beamformer.beamform(frame))
 
+    def test_keep_images_false_delivers_to_sink_only(self, frames):
+        # The gateway's memory contract: an unbounded push consumer
+        # retains nothing per frame; images reach the sink only.
+        beamformer = create_beamformer("das")
+        engine = ServeEngine(
+            beamformer, max_batch=4, keep_images=False, log_every_s=0
+        )
+        delivered = {}
+        report = engine.serve(
+            ReplaySource(frames),
+            sink=lambda seq, dataset, image: delivered.__setitem__(
+                seq, image
+            ),
+        )
+        assert report.completed == 0
+        assert all(image is None for image in report.images)
+        assert sorted(delivered) == list(range(N_FRAMES))
+        for frame, seq in zip(frames, sorted(delivered)):
+            assert np.array_equal(
+                delivered[seq], beamformer.beamform(frame)
+            )
+
+    def test_external_telemetry_records_the_run(self, frames):
+        # A caller-owned telemetry instance (the gateway's live stats
+        # endpoint) sees the run's counters.
+        from repro.serve import ServeTelemetry
+
+        engine = ServeEngine(
+            create_beamformer("das"), max_batch=4, log_every_s=0
+        )
+        telemetry = ServeTelemetry(clock=engine.clock)
+        report = engine.serve(ReplaySource(frames), telemetry=telemetry)
+        assert telemetry.stats()["frames_done"] == N_FRAMES
+        assert report.stats["frames_done"] == N_FRAMES
+
     def test_bitwise_parity_learned_microbatched(self, frames):
         model = build_model("tiny_vbf", "small", seed=0)
         beamformer = create_beamformer("tiny_vbf", model=model)
