@@ -13,13 +13,24 @@ Two things live here because they must be shared by *both* test trees
   randomized orderings alike,
 * the ``slow`` marker and its ``--runslow`` gate — soak-class tests
   (minutes of wall clock; the sharded-serve 5k-frame soak) are skipped
-  from the tier-1 run and exercised by the nightly CI workflow.
+  from the tier-1 run and exercised by the nightly CI workflow,
+* the autouse ``leak_guard`` — every test runs inside a
+  :class:`repro.analysis.sanitize.LeakGuard`, so a test that forgets
+  to ``close()`` an engine (leaking its pump thread), drops a shard
+  worker process, or skips an shm ``unlink`` (leaking descriptors)
+  fails with a named leak instead of poisoning later tests.
 """
 
+import sys
 import zlib
+from pathlib import Path
 
 import numpy as np
 import pytest
+
+sys.path.insert(0, str(Path(__file__).parent / "src"))
+
+from repro.analysis.sanitize import LeakGuard  # noqa: E402
 
 
 def pytest_addoption(parser):
@@ -44,6 +55,11 @@ def pytest_configure(config):
         "slow: soak-class test, skipped unless --runslow is given "
         "(run nightly in CI)",
     )
+    config.addinivalue_line(
+        "markers",
+        "no_leak_check: opt this test out of the autouse leak guard "
+        "(for tests that intentionally leave resources behind)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
@@ -60,3 +76,27 @@ def rng(request) -> np.random.Generator:
     """Deterministic per-test RNG (seeded from the test's node id)."""
     seed = zlib.crc32(request.node.nodeid.encode())
     return np.random.default_rng(seed)
+
+
+@pytest.fixture(autouse=True)
+def leak_guard(request):
+    """Fail any test that leaks threads, child processes or fds.
+
+    Tolerant by design (daemon helpers and stdlib feeder threads are
+    whitelisted, descriptor growth has slack for import-time caching);
+    the sanitizer's own unit tests exercise the strict settings.  Tests
+    that *intentionally* leave resources behind can opt out with
+    ``@pytest.mark.no_leak_check``.
+    """
+    if request.node.get_closest_marker("no_leak_check"):
+        yield
+        return
+    with LeakGuard(grace_s=5.0, fd_tolerance=16) as guard:
+        yield
+    report = guard.check()
+    if not report.ok:
+        pytest.fail(
+            f"resource leak detected by repro.analysis.sanitize:\n"
+            f"{report.describe()}",
+            pytrace=False,
+        )

@@ -1,21 +1,12 @@
-"""Docs-consistency gate: keep the documentation tree honest in CI.
+"""Docs-consistency gate — thin shim over ``repro.analysis`` rule RA007.
 
-Two dependency-free checks (plain stdlib, no docs tooling):
-
-1. **Architecture coverage** — every ``repro.*`` subpackage must be
-   mentioned in ``docs/architecture.md``, and the four core docs pages
-   (``architecture``, ``serving``, ``protocol``, ``benchmarking``)
-   must exist and be linked from ``README.md``.  A PR that adds a
-   subsystem without documenting it fails here, which is how the docs
-   tree stays current instead of rotting like the pre-PR-5 DESIGN.md
-   sections did.
-
-2. **Public docstring floor** — every public module, class, function
-   and method in the documented API packages (``repro.api``,
-   ``repro.backend``, ``repro.serve``, ``repro.gateway``) must carry a
-   docstring.  This mirrors the ruff ``D1xx`` selection the lint job
-   runs (see ``.github/workflows/ci.yml``) but is runnable anywhere
-   Python is — including environments without ruff.
+The checks themselves (architecture coverage + the public docstring
+floor) moved into :mod:`repro.analysis.rules.docs_consistency` when the
+lint engine landed, so they run as part of ``python -m repro.analysis``
+and can be pragma-suppressed like any other rule.  This script survives
+as the historical CLI entry point: same flags, same exit codes, same
+one-problem-per-line stderr listing, so existing CI invocations and
+operator muscle memory keep working.
 
 Exit status: 0 = consistent, 1 = violations (listed on stderr).
 
@@ -26,131 +17,54 @@ Usage:
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
 from pathlib import Path
 
-#: Packages whose public surface must be fully docstring'd.
-DOCSTRING_PACKAGES = ("api", "backend", "serve", "gateway")
+_REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO / "src"))
 
-#: Core docs pages that must exist and be linked from the README.
-DOCS_PAGES = (
-    "architecture.md",
-    "serving.md",
-    "protocol.md",
-    "benchmarking.md",
+from repro.analysis.engine import ProjectContext  # noqa: E402
+from repro.analysis.rules.docs_consistency import (  # noqa: E402
+    DocsConsistencyRule,
+    repro_subpackages,
 )
 
 
-def repro_subpackages(repo: Path) -> list[str]:
-    """Names of every ``repro.*`` subpackage (directories with inits)."""
-    root = repo / "src" / "repro"
-    return sorted(
-        path.name
-        for path in root.iterdir()
-        if path.is_dir() and (path / "__init__.py").exists()
-    )
-
-
-def check_architecture_coverage(repo: Path) -> list[str]:
-    """Docs pages exist, are linked, and name every subpackage."""
-    problems: list[str] = []
-    docs = repo / "docs"
-    for page in DOCS_PAGES:
-        if not (docs / page).exists():
-            problems.append(f"docs/{page} is missing")
-    readme = (repo / "README.md").read_text(encoding="utf-8")
-    for page in DOCS_PAGES:
-        if f"docs/{page}" not in readme:
-            problems.append(f"README.md does not link docs/{page}")
-    architecture_path = docs / "architecture.md"
-    if architecture_path.exists():
-        architecture = architecture_path.read_text(encoding="utf-8")
-        for name in repro_subpackages(repo):
-            if f"repro.{name}" not in architecture:
-                problems.append(
-                    f"docs/architecture.md does not mention "
-                    f"repro.{name}"
-                )
-    return problems
-
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _missing_docstrings(
-    tree: ast.Module, relative: str
-) -> list[str]:
-    problems: list[str] = []
-    if ast.get_docstring(tree) is None:
-        problems.append(f"{relative}: module docstring missing")
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef):
-            if _is_public(node.name) and ast.get_docstring(node) is None:
-                problems.append(
-                    f"{relative}:{node.lineno}: class {node.name} "
-                    f"has no docstring"
-                )
-            for child in node.body:
-                if isinstance(
-                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
-                ):
-                    if (
-                        _is_public(child.name)
-                        and ast.get_docstring(child) is None
-                    ):
-                        problems.append(
-                            f"{relative}:{child.lineno}: method "
-                            f"{node.name}.{child.name} has no docstring"
-                        )
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            # Only module-level functions: methods are handled above and
-            # nested helpers are private by construction.
-            continue
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if _is_public(node.name) and ast.get_docstring(node) is None:
-                problems.append(
-                    f"{relative}:{node.lineno}: function {node.name} "
-                    f"has no docstring"
-                )
-    return problems
-
-
-def check_docstrings(repo: Path) -> list[str]:
-    """Public-docstring floor over the documented API packages."""
-    problems: list[str] = []
-    for package in DOCSTRING_PACKAGES:
-        root = repo / "src" / "repro" / package
-        for path in sorted(root.rglob("*.py")):
-            relative = str(path.relative_to(repo))
-            tree = ast.parse(
-                path.read_text(encoding="utf-8"), filename=relative
-            )
-            problems.extend(_missing_docstrings(tree, relative))
-    return problems
-
-
 def main(argv: list[str] | None = None) -> int:
-    """Run both checks; print violations and exit nonzero on any."""
+    """Run the RA007 checks; print violations and exit nonzero on any."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--repo",
         type=Path,
-        default=Path(__file__).resolve().parents[1],
+        default=_REPO,
         help="repository root (default: this script's grandparent)",
     )
     args = parser.parse_args(argv)
-    problems = check_architecture_coverage(args.repo)
-    problems += check_docstrings(args.repo)
+    if not (args.repo / "docs").is_dir() or not (
+        args.repo / "src" / "repro"
+    ).is_dir():
+        # RA007 gates silently on repo layout (it runs against arbitrary
+        # analysis roots); this CLI is only ever pointed at the repo, so
+        # a wrong --repo should be loud, not a spurious "ok".
+        print(
+            f"check_docs: {args.repo} is not the repository root "
+            f"(no docs/ + src/repro)",
+            file=sys.stderr,
+        )
+        return 2
+    rule = DocsConsistencyRule()
+    project = ProjectContext(root=args.repo, modules=[])
+    problems = list(rule.check_project(project))
     if problems:
         print(
             f"check_docs: {len(problems)} violation(s):",
             file=sys.stderr,
         )
         for problem in problems:
-            print(f"  {problem}", file=sys.stderr)
+            print(
+                f"  {problem.path}:{problem.line}: {problem.message}",
+                file=sys.stderr,
+            )
         return 1
     subpackages = len(repro_subpackages(args.repo))
     print(

@@ -1,0 +1,51 @@
+"""repro.analysis — repo-aware static analysis + concurrency sanitizer.
+
+Two halves:
+
+* **reprolint** (:mod:`repro.analysis.engine` and
+  :mod:`repro.analysis.rules`) — an AST lint engine whose rules encode
+  this repo's load-bearing conventions: backend-registry dispatch on
+  hot paths (RA001), bounded serving queues (RA002), a never-blocking
+  gateway event loop (RA003), spawn-safe imports and registry-name
+  backend pickling (RA004), exact-float protocol JSON (RA005), lock
+  discipline in the serve primitives (RA006), and a docs tree that
+  tracks the code tree (RA007).  ``python -m repro.analysis src/repro``
+  is the CI gate; suppressions require a written justification
+  (``# repro: noqa[RAxxx] -- reason``).
+
+* **sanitizer** (:mod:`repro.analysis.sanitize`) — runtime concurrency
+  checking: a lock-order recorder with cycle detection (potential
+  deadlocks) and thread/process/fd leak detectors, exposed as pytest
+  fixtures and enabled across the tier-1 suite.
+
+See ``docs/static-analysis.md`` for the rule catalog, the pragma
+grammar, and the guide to adding a rule.
+"""
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    ModuleContext,
+    Pragma,
+    ProjectContext,
+    Rule,
+    Violation,
+    all_rules,
+    apply_pragmas,
+    load_module,
+    register_rule,
+    run_analysis,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "ModuleContext",
+    "Pragma",
+    "ProjectContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "apply_pragmas",
+    "load_module",
+    "register_rule",
+    "run_analysis",
+]

@@ -1,0 +1,110 @@
+"""CLI for reprolint: ``python -m repro.analysis [paths...]``.
+
+Exit status 0 when no violation survives pragma filtering, 1
+otherwise — this is the contract the CI ``analysis`` job gates on.
+
+Usage::
+
+    python -m repro.analysis src/repro              # the CI gate
+    python -m repro.analysis --format json src      # machine output
+    python -m repro.analysis --select RA002 src     # one rule only
+    python -m repro.analysis --list-rules           # the catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import all_rules, run_analysis
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.analysis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: repo-aware static analysis for the repro stack"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[],
+        help="files and/or directories to analyze",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="run only these rule codes (repeatable, e.g. --select RA002)",
+    )
+    parser.add_argument(
+        "--repo",
+        type=Path,
+        default=None,
+        help=(
+            "repository root for project-level rules and relative "
+            "paths (default: current directory)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    if not args.paths:
+        print(
+            "python -m repro.analysis: no paths given "
+            "(try: python -m repro.analysis src/repro)",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        report = run_analysis(
+            args.paths, root=args.repo, select=args.select
+        )
+    except ValueError as exc:
+        print(f"python -m repro.analysis: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    try:
+        status = main()
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `... | head`): not a lint
+        # outcome.  Point stdout at devnull so the interpreter's exit
+        # flush does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        status = 0
+    raise SystemExit(status)

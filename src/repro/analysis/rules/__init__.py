@@ -1,0 +1,29 @@
+"""The bundled reprolint rules; importing this package registers them.
+
+Each module defines one rule and calls
+:func:`repro.analysis.engine.register_rule` at import time:
+
+========  ==========================  =====================================
+Code      Module                      Invariant
+========  ==========================  =====================================
+RA001     backend_purity              hot kernels dispatch via ArrayBackend
+RA002     bounded_queues              serving queues carry explicit bounds
+RA003     asyncio_blocking            gateway coroutines never block
+RA004     spawn_safety                import-pure modules, registry pickling
+RA005     exact_json                  protocol JSON uses the exact encoder
+RA006     lock_discipline             _lock owners mutate under the lock
+RA007     docs_consistency            docs track the code tree
+========  ==========================  =====================================
+
+(RA000 is reserved for pragma misuse, reported by the engine itself.)
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    asyncio_blocking,
+    backend_purity,
+    bounded_queues,
+    docs_consistency,
+    exact_json,
+    lock_discipline,
+    spawn_safety,
+)

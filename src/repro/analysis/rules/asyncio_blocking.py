@@ -1,0 +1,169 @@
+"""RA003 — no blocking calls inside the gateway's asyncio coroutines.
+
+The gateway multiplexes every client session onto one event loop
+(PR 5); a single blocking call inside a coroutine stalls *all*
+sessions at once — admission, frame reads, result deliveries and the
+graceful drain.  The architecture keeps blocking work on dedicated
+threads (the engine pump) and crosses into the loop only through
+``run_coroutine_threadsafe``; this rule pins that boundary.
+
+Scope: ``async def`` bodies in ``repro.gateway``.
+
+Violations:
+
+* calls to known blocking entry points (``time.sleep``, ``open``,
+  blocking socket methods, ``subprocess``/``os.system``,
+  ``concurrent.futures`` ``.result()``/``.wait()``),
+* synchronous file I/O methods (``read_text``/``write_bytes``/...),
+* any call carrying a ``timeout=`` keyword that is not the literal
+  ``0``/``0.0`` — a timeout parameter is the signature of a blocking
+  wait (queue gets/puts, lock acquires, joins); the only acceptable
+  form on the loop is the non-blocking ``timeout=0`` probe, as in the
+  feed queue's ``put(frame, timeout=0.0)``.
+
+Nested ``def`` functions inside a coroutine are *not* exempt only if
+awaited — they run wherever they are called; the rule conservatively
+checks every statement lexically inside an ``async def``, excluding
+nested synchronous functions handed to executors is left to a pragma
+with its justification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+import ast
+
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    Violation,
+    call_name,
+    is_zero_constant,
+    keyword_value,
+    register_rule,
+)
+
+#: The package whose coroutines this rule polices.
+ASYNC_PACKAGES = ("repro.gateway",)
+
+#: Dotted call names that always block.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "os.system",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+    }
+)
+
+#: Method names (last attribute) that block on sockets/files/futures.
+BLOCKING_METHODS = frozenset(
+    {
+        "recv",
+        "recv_into",
+        "sendall",
+        "accept",
+        "connect",
+        "read_text",
+        "read_bytes",
+        "write_text",
+        "write_bytes",
+    }
+)
+
+
+def _async_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """(start, end) line spans of every ``async def`` body."""
+    spans = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+class AsyncioBlockingRule(Rule):
+    """Flag blocking calls lexically inside gateway coroutines."""
+
+    code = "RA003"
+    summary = (
+        "gateway coroutines must never block the event loop: no "
+        "sleeps, sync I/O, or non-zero-timeout waits in async def"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Violation]:
+        """Report blocking calls inside ``async def`` bodies."""
+        if not module.package.startswith(ASYNC_PACKAGES):
+            return []
+        spans = _async_spans(module.tree)
+        if not spans:
+            return []
+
+        def in_async(node: ast.AST) -> bool:
+            line = getattr(node, "lineno", None)
+            if line is None:
+                return False
+            return any(start < line <= end for start, end in spans)
+
+        # Awaited calls hand control back to the loop; they are the
+        # *non*-blocking spelling and are exempt by construction.
+        awaited = {
+            id(node.value)
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Await)
+        }
+
+        found: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not in_async(node):
+                continue
+            if id(node) in awaited:
+                continue
+            name = call_name(node)
+            tail = name.rsplit(".", 1)[-1] if name else None
+            if name in BLOCKING_CALLS or (
+                name is not None
+                and any(name.endswith("." + b) for b in BLOCKING_CALLS)
+            ):
+                found.append(
+                    module.violation(
+                        self.code,
+                        node,
+                        f"blocking call {name}() inside async def; it "
+                        f"stalls every gateway session — move it to a "
+                        f"worker thread or an executor",
+                    )
+                )
+                continue
+            if tail in BLOCKING_METHODS:
+                found.append(
+                    module.violation(
+                        self.code,
+                        node,
+                        f"synchronous I/O method .{tail}() inside "
+                        f"async def; use the asyncio stream APIs or an "
+                        f"executor",
+                    )
+                )
+                continue
+            timeout = keyword_value(node, "timeout")
+            if timeout is not None and not is_zero_constant(timeout):
+                label = name or "<call>"
+                found.append(
+                    module.violation(
+                        self.code,
+                        node,
+                        f"{label}(timeout=...) inside async def is a "
+                        f"blocking wait; on the loop only the "
+                        f"non-blocking timeout=0 probe is allowed "
+                        f"(asyncio.wait_for is the async spelling)",
+                    )
+                )
+        return found
+
+
+register_rule(AsyncioBlockingRule())

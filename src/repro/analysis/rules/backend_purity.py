@@ -1,0 +1,122 @@
+"""RA001 — hot-path kernels must dispatch through the backend registry.
+
+PR 3 routed every GEMM-shaped and gather-shaped kernel through
+:class:`~repro.backend.ArrayBackend` so that a backend is certified by
+one registry entry and the serve/offline parity proofs hold under every
+registered implementation.  A new ``np.matmul``/``np.einsum`` call in a
+hot-path module silently reintroduces reference-only numerics that no
+conformance fixture parametrizes — exactly the regression this rule
+exists to catch.
+
+Scope: the hot-path kernel packages ``repro.nn.layers``,
+``repro.beamform`` and ``repro.quant``.
+
+What counts as a violation: a direct call to one of the *compute*
+entry points below (``np.``-qualified, or via ``numpy.``/``np.linalg``).
+Dtype, shape and constant uses of numpy (``np.asarray``, ``np.zeros``,
+``np.sqrt`` on scalars, ``np.float32``, ...) are deliberately not
+listed — the whitelist is everything outside :data:`COMPUTE_CALLS`.
+
+Structural exemption: methods named ``backward``.  Gradients are the
+training-only path; they intentionally run in reference numpy (routing
+them through a reduced-precision backend would change training
+numerics), and serving never executes them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+import ast
+
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    Violation,
+    call_name,
+    enclosing_functions,
+    register_rule,
+)
+
+#: Packages whose modules are hot-path kernels.
+HOT_PACKAGES = ("repro.nn.layers", "repro.beamform", "repro.quant")
+
+#: GEMM/reduction-shaped numpy entry points that must route through
+#: :class:`~repro.backend.ArrayBackend` in hot-path modules.
+COMPUTE_CALLS = frozenset(
+    {
+        "matmul",
+        "dot",
+        "vdot",
+        "inner",
+        "outer",
+        "einsum",
+        "tensordot",
+        "convolve",
+        "correlate",
+        "linalg.solve",
+        "linalg.inv",
+        "linalg.pinv",
+        "linalg.lstsq",
+        "linalg.eigh",
+        "linalg.svd",
+        "linalg.cholesky",
+    }
+)
+
+#: Module aliases under which numpy is conventionally imported.
+_NUMPY_ALIASES = ("np.", "numpy.")
+
+
+def _compute_call(call: ast.Call) -> str | None:
+    name = call_name(call)
+    if name is None:
+        return None
+    for alias in _NUMPY_ALIASES:
+        if name.startswith(alias):
+            suffix = name[len(alias):]
+            if suffix in COMPUTE_CALLS:
+                return name
+    return None
+
+
+class BackendPurityRule(Rule):
+    """Flag direct numpy compute calls in hot-path kernel modules."""
+
+    code = "RA001"
+    summary = (
+        "hot-path kernel modules (nn/layers, beamform, quant) must "
+        "dispatch GEMM-shaped compute through ArrayBackend, not numpy"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Violation]:
+        """Report blacklisted ``np.*`` compute calls outside ``backward``."""
+        if not module.package.startswith(HOT_PACKAGES):
+            return []
+        owners = enclosing_functions(module.tree)
+        found: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _compute_call(node)
+            if name is None:
+                continue
+            owner = owners.get(node)
+            if (
+                isinstance(owner, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and owner.name == "backward"
+            ):
+                continue  # training-only gradient path (module docstring)
+            found.append(
+                module.violation(
+                    self.code,
+                    node,
+                    f"direct {name}() in a hot-path kernel module; "
+                    f"route through the ArrayBackend registry "
+                    f"(repro.backend.get_backend()) so every backend "
+                    f"is certified by the conformance suite",
+                )
+            )
+        return found
+
+
+register_rule(BackendPurityRule())

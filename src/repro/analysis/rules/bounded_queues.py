@@ -1,0 +1,117 @@
+"""RA002 — every queue on a serving path must be explicitly bounded.
+
+The serve pipeline's backpressure story (PR 2) only works if *every*
+buffer between stages has a capacity: one unbounded queue turns
+"ingest slows to the pipeline's pace" into "memory grows until the
+OOM-killer arrives".  :class:`~repro.serve.queues.BoundedQueue` is
+bounded by construction; this rule polices the escape hatches — a raw
+``queue.Queue()``, ``asyncio.Queue()``, ``multiprocessing``/context
+``Queue()`` or ``collections.deque()`` created without an explicit
+bound in the serving packages.
+
+Scope: ``repro.serve`` and ``repro.gateway``.
+
+A queue constructor passes when it is given an explicit, non-zero
+bound: ``maxsize=N`` (or a positional size for ``Queue``) /
+``maxlen=N`` for ``deque``.  ``maxsize=0`` is the stdlib spelling of
+*unbounded* and therefore still a violation.  Intentionally unbounded
+structures (e.g. a free list whose population is fixed at creation)
+must carry a line pragma with the justification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+import ast
+
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    Violation,
+    call_name,
+    is_zero_constant,
+    keyword_value,
+)
+from repro.analysis.engine import register_rule
+
+#: Packages whose queues this rule polices.
+SERVING_PACKAGES = ("repro.serve", "repro.gateway")
+
+#: Constructor names (last dotted component) that build FIFO buffers.
+QUEUE_CONSTRUCTORS = frozenset(
+    {"Queue", "LifoQueue", "PriorityQueue", "SimpleQueue", "JoinableQueue"}
+)
+
+
+def _bound_argument(call: ast.Call, name: str) -> ast.expr | None:
+    """The bound passed to a queue constructor (kwarg or first arg)."""
+    value = keyword_value(call, name)
+    if value is not None:
+        return value
+    if call.args:
+        return call.args[0]
+    return None
+
+
+class BoundedQueuesRule(Rule):
+    """Flag unbounded queue/deque construction in serving packages."""
+
+    code = "RA002"
+    summary = (
+        "serve/gateway queues and deques must be created with an "
+        "explicit non-zero bound (maxsize=/maxlen=)"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Violation]:
+        """Report bound-less queue constructors in serving modules."""
+        if not module.package.startswith(SERVING_PACKAGES):
+            return []
+        found: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            tail = name.rsplit(".", 1)[-1]
+            if tail == "deque":
+                bound = keyword_value(node, "maxlen")
+                if bound is None or (
+                    isinstance(bound, ast.Constant) and bound.value is None
+                ):
+                    found.append(
+                        module.violation(
+                            self.code,
+                            node,
+                            "deque() without maxlen= on a serving path; "
+                            "give it a bound or use BoundedQueue "
+                            "(backpressure must be a policy, not an "
+                            "accident)",
+                        )
+                    )
+            elif tail == "SimpleQueue" and name != "queue.SimpleQueue":
+                # multiprocessing.SimpleQueue cannot be bounded at all.
+                found.append(
+                    module.violation(
+                        self.code,
+                        node,
+                        f"{name}() has no capacity bound; use a "
+                        f"maxsize-bounded Queue instead",
+                    )
+                )
+            elif tail in QUEUE_CONSTRUCTORS:
+                bound = _bound_argument(node, "maxsize")
+                if bound is None or is_zero_constant(bound):
+                    found.append(
+                        module.violation(
+                            self.code,
+                            node,
+                            f"{name}() without a non-zero maxsize on a "
+                            f"serving path; an unbounded queue defeats "
+                            f"the pipeline's backpressure contract",
+                        )
+                    )
+        return found
+
+
+register_rule(BoundedQueuesRule())

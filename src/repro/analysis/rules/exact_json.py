@@ -1,0 +1,79 @@
+"""RA005 — protocol/geometry JSON must go through the exact encoder.
+
+The gateway's bitwise serve-vs-offline parity rests on a subtle JSON
+property: floats ride the wire as their shortest round-tripping repr,
+so a decoded geometry is bit-identical to the sender's and resolves to
+the *same* cached ToF plan (see
+:func:`repro.gateway.protocol.geometry_to_wire`).  That only holds
+because every protocol message is serialized by one encoder with pinned
+options (:func:`repro.gateway.protocol.pack_message`).  A second, bare
+``json.dumps`` on a protocol or geometry path can silently diverge —
+different separators change framing byte counts, ``allow_nan`` or a
+custom ``default=`` changes float fidelity — and the parity proof
+quietly stops covering it.
+
+Scope: ``repro.gateway`` and ``repro.serve``, except the encoder module
+itself (``repro.gateway.protocol``).
+
+Operator-facing output (CLI stats dumps) is not wire data; such uses
+carry a line pragma stating exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+import ast
+
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    Violation,
+    call_name,
+    register_rule,
+)
+
+#: Packages whose JSON encoding this rule polices.
+PROTOCOL_PACKAGES = ("repro.gateway", "repro.serve")
+
+#: The one module allowed to call json.dumps — the exact encoder.
+ENCODER_MODULES = ("repro.gateway.protocol",)
+
+#: Serialization entry points that must not appear outside the encoder.
+JSON_ENCODERS = frozenset({"json.dumps", "json.dump"})
+
+
+class ExactFloatJsonRule(Rule):
+    """Flag bare ``json.dumps``/``json.dump`` outside the protocol encoder."""
+
+    code = "RA005"
+    summary = (
+        "serve/gateway code must serialize JSON through the exact "
+        "protocol encoder, not bare json.dumps"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Violation]:
+        """Report bare JSON serialization outside the encoder module."""
+        if not module.package.startswith(PROTOCOL_PACKAGES):
+            return []
+        if module.package in ENCODER_MODULES:
+            return []
+        found: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) in JSON_ENCODERS:
+                found.append(
+                    module.violation(
+                        self.code,
+                        node,
+                        "bare json serialization on a serving path; "
+                        "wire data must go through "
+                        "repro.gateway.protocol (pack_message / "
+                        "geometry_to_wire) so float round-tripping "
+                        "stays exact",
+                    )
+                )
+        return found
+
+
+register_rule(ExactFloatJsonRule())

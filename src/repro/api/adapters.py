@@ -20,11 +20,11 @@ frames on one geometry never recompute the delay tables.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
-from repro.backend import ArrayBackend, resolve_backend
+from repro.backend import Array, ArrayBackend, resolve_backend
 from repro.api.base import (
     Beamformer,
     dataset_tofc,
@@ -57,7 +57,8 @@ def _resolve_model(
         return model
     from repro.training.cache import get_trained_model
 
-    return get_trained_model(kind, scale=scale, seed=seed)
+    trained: Model = get_trained_model(kind, scale=scale, seed=seed)
+    return trained
 
 
 class DasBeamformer(Beamformer):
@@ -77,10 +78,10 @@ class DasBeamformer(Beamformer):
     ) -> None:
         self.f_number = f_number
         self.backend = resolve_backend(backend)
-        self._apod_key: tuple | None = None
-        self._apod: np.ndarray | None = None
+        self._apod_key: tuple[Any, ...] | None = None
+        self._apod: Array | None = None
 
-    def _apodization(self, dataset) -> np.ndarray:
+    def _apodization(self, dataset: Any) -> Array:
         key = (
             dataset.probe,
             dataset.grid.x_m.tobytes(),
@@ -92,16 +93,19 @@ class DasBeamformer(Beamformer):
                 dataset.probe, dataset.grid, f_number=self.f_number
             )
             self._apod_key = key
-        return self._apod
+        apod = self._apod
+        assert apod is not None  # set whenever _apod_key matches
+        return apod
 
-    def beamform(self, dataset) -> np.ndarray:
+    def beamform(self, dataset: Any) -> Array:
         """Apodized delay-and-sum of one dataset -> complex IQ image."""
         with self.backend_scope():
-            return das_beamform(
+            image: Array = das_beamform(
                 dataset_tofc(dataset), self._apodization(dataset)
             )
+            return image
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """Identity and knobs: ``{name, backend, f_number, ...}``."""
         return {"name": self.name, "backend": "classical",
                 "compute_backend": _backend_label(self.backend),
@@ -121,12 +125,13 @@ class MvdrBeamformer(Beamformer):
         self.config = config
         self.backend = resolve_backend(backend)
 
-    def beamform(self, dataset) -> np.ndarray:
+    def beamform(self, dataset: Any) -> Array:
         """Minimum-variance beamform of one dataset -> complex IQ."""
         with self.backend_scope():
-            return mvdr_beamform(dataset_tofc(dataset), self.config)
+            image: Array = mvdr_beamform(dataset_tofc(dataset), self.config)
+            return image
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """Identity and the effective :class:`MvdrConfig` knobs."""
         config = self.config or MvdrConfig()
         return {
@@ -163,16 +168,18 @@ class LearnedBeamformer(Beamformer):
         self.backend = resolve_backend(backend)
         self.model = _resolve_model(kind, model, scale, seed)
 
-    def _forward(self, x: np.ndarray) -> np.ndarray:
-        return self.model.forward(x, training=False)
+    def _forward(self, x: Array) -> Array:
+        y: Array = self.model.forward(x, training=False)
+        return y
 
-    def beamform(self, dataset) -> np.ndarray:
+    def beamform(self, dataset: Any) -> Array:
         """Model-predicted complex IQ image for one dataset."""
         with self.backend_scope():
             x = model_input(self.kind, normalized_tofc(dataset))
-            return stacked_to_complex(self._forward(x)[0])
+            image: Array = stacked_to_complex(self._forward(x)[0])
+            return image
 
-    def beamform_batch(self, datasets: Sequence) -> list[np.ndarray]:
+    def beamform_batch(self, datasets: Sequence[Any]) -> list[Array]:
         """Stack same-geometry frames through one model forward pass.
 
         Frames are still normalized per frame (the training convention).
@@ -183,7 +190,7 @@ class LearnedBeamformer(Beamformer):
         input order.
         """
         datasets = list(datasets)
-        images: list[np.ndarray | None] = [None] * len(datasets)
+        images: dict[int, Array] = {}
         with self.backend_scope():
             for group in group_indices_by_geometry(datasets):
                 if len(group) == 1:
@@ -195,9 +202,9 @@ class LearnedBeamformer(Beamformer):
                 iq = self._forward(model_input(self.kind, stacked))
                 for index, frame in zip(group, iq):
                     images[index] = stacked_to_complex(frame)
-        return images
+        return [images[index] for index in range(len(datasets))]
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """Identity and knobs: ``{name, backend, kind, scale, ...}``."""
         return {
             "name": self.name,
@@ -239,10 +246,11 @@ class QuantizedBeamformer(LearnedBeamformer):
         self.name = f"tiny_vbf@{scheme.name}"
         self.accelerator = TinyVbfAccelerator(self.model, scheme)
 
-    def _forward(self, x: np.ndarray) -> np.ndarray:
-        return self.accelerator.run(x)
+    def _forward(self, x: Array) -> Array:
+        y: Array = self.accelerator.run(x)
+        return y
 
-    def beamform_batch(self, datasets: Sequence) -> list[np.ndarray]:
+    def beamform_batch(self, datasets: Sequence[Any]) -> list[Array]:
         """Geometry-grouped per-frame execution (no stacked forward).
 
         The modeled FPGA is a frame-serial device — it has no batch
@@ -252,7 +260,7 @@ class QuantizedBeamformer(LearnedBeamformer):
         """
         return Beamformer.beamform_batch(self, datasets)
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """The learned description plus the fixed-point scheme name."""
         description = super().describe()
         description.update(

@@ -18,15 +18,15 @@ exactly once.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
-from repro.backend import ArrayBackend, use_backend
+from repro.backend import Array, ArrayBackend, use_backend
 from repro.beamform.tof import TofPlan, get_tof_plan, plan_cache_key
 
 
-def dataset_plan_key(dataset) -> tuple:
+def dataset_plan_key(dataset: Any) -> tuple[Any, ...]:
     """Cheap acquisition-geometry identity of a dataset (no plan build).
 
     Shares :func:`repro.beamform.tof.plan_cache_key`'s definition, so two
@@ -34,7 +34,7 @@ def dataset_plan_key(dataset) -> tuple:
     :class:`TofPlan`.  Batch execution and the serving scheduler both
     group frames by this key.
     """
-    return plan_cache_key(
+    key: tuple[Any, ...] = plan_cache_key(
         dataset.probe,
         dataset.grid,
         dataset.angle_rad,
@@ -42,18 +42,19 @@ def dataset_plan_key(dataset) -> tuple:
         getattr(dataset, "t_start_s", 0.0),
         int(np.asarray(dataset.rf).shape[0]),
     )
+    return key
 
 
-def group_indices_by_geometry(datasets: Sequence) -> list[list[int]]:
+def group_indices_by_geometry(datasets: Sequence[Any]) -> list[list[int]]:
     """Partition dataset indices into same-geometry runs, in first-seen
     order; order within each group follows the input order."""
-    groups: dict[tuple, list[int]] = {}
+    groups: dict[tuple[Any, ...], list[int]] = {}
     for index, dataset in enumerate(datasets):
         groups.setdefault(dataset_plan_key(dataset), []).append(index)
     return list(groups.values())
 
 
-def dataset_tof_plan(dataset) -> TofPlan:
+def dataset_tof_plan(dataset: Any) -> TofPlan:
     """The (cached) delay plan for a dataset's acquisition geometry."""
     return get_tof_plan(
         dataset.probe,
@@ -65,12 +66,13 @@ def dataset_tof_plan(dataset) -> TofPlan:
     )
 
 
-def dataset_tofc(dataset) -> np.ndarray:
+def dataset_tofc(dataset: Any) -> Array:
     """Analytic ToFC cube of a dataset through the cached plan."""
-    return dataset_tof_plan(dataset).apply_analytic(dataset.rf)
+    tofc: Array = dataset_tof_plan(dataset).apply_analytic(dataset.rf)
+    return tofc
 
 
-def normalized_tofc(dataset) -> np.ndarray:
+def normalized_tofc(dataset: Any) -> Array:
     """ToFC cube normalized to [-1, 1] — the learned models' convention.
 
     Raises:
@@ -83,7 +85,8 @@ def normalized_tofc(dataset) -> np.ndarray:
     if peak == 0.0:
         name = getattr(dataset, "name", "<unnamed>")
         raise ValueError(f"dataset {name} has silent ToFC data")
-    return tofc / peak
+    normalized: Array = tofc / peak
+    return normalized
 
 
 class Beamformer(abc.ABC):
@@ -113,7 +116,7 @@ class Beamformer(abc.ABC):
         return use_backend(self.backend)
 
     @abc.abstractmethod
-    def beamform(self, dataset) -> np.ndarray:
+    def beamform(self, dataset: Any) -> Array:
         """Beamform one dataset -> ``(nz, nx)`` complex IQ image.
 
         ``dataset`` is any object exposing ``rf``, ``probe``, ``grid``,
@@ -121,7 +124,7 @@ class Beamformer(abc.ABC):
         :class:`repro.ultrasound.datasets.PlaneWaveDataset`).
         """
 
-    def beamform_batch(self, datasets: Sequence) -> list[np.ndarray]:
+    def beamform_batch(self, datasets: Sequence[Any]) -> list[Array]:
         """Beamform many datasets -> list of complex IQ images.
 
         The default implementation loops over :meth:`beamform`, but
@@ -133,14 +136,14 @@ class Beamformer(abc.ABC):
         frames through one model forward) override this.
         """
         datasets = list(datasets)
-        images: list[np.ndarray | None] = [None] * len(datasets)
+        images: dict[int, Array] = {}
         for group in group_indices_by_geometry(datasets):
             for index in group:
                 images[index] = self.beamform(datasets[index])
-        return images
+        return [images[index] for index in range(len(datasets))]
 
     @abc.abstractmethod
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """Self-description: ``name``, ``backend`` and the knobs that
         select this beamformer (scheme, scale, f-number, ...)."""
 

@@ -21,7 +21,7 @@ that dispatch through :func:`create_beamformer`.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.api.adapters import (
     DasBeamformer,
@@ -78,8 +78,8 @@ def create_beamformer(
     spec: str,
     scale: str = "small",
     seed: int = 0,
-    model=None,
-    **kwargs,
+    model: Any = None,
+    **kwargs: Any,
 ) -> Beamformer:
     """Build any registered beamformer from its string spec.
 
@@ -115,8 +115,14 @@ def create_beamformer(
 # --------------------------------------------------------------------------
 
 
-def _classical_factory(cls) -> BeamformerFactory:
-    def factory(scheme=None, scale=None, seed=None, model=None, **kwargs):
+def _classical_factory(cls: type[Beamformer]) -> BeamformerFactory:
+    def factory(
+        scheme: str | None = None,
+        scale: str | None = None,
+        seed: int | None = None,
+        model: Any = None,
+        **kwargs: Any,
+    ) -> Beamformer:
         if scheme is not None:
             raise ValueError(
                 f"{cls.name!r} has no quantized datapath; '@{scheme}' "
@@ -130,7 +136,13 @@ def _classical_factory(cls) -> BeamformerFactory:
 
 
 def _learned_factory(kind: str) -> BeamformerFactory:
-    def factory(scheme=None, scale="small", seed=0, model=None, **kwargs):
+    def factory(
+        scheme: str | None = None,
+        scale: str = "small",
+        seed: int = 0,
+        model: Any = None,
+        **kwargs: Any,
+    ) -> Beamformer:
         if scheme is not None:
             if kind != "tiny_vbf":
                 raise ValueError(

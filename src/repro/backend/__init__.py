@@ -23,6 +23,7 @@ see DESIGN.md §4 for the dispatch rules and the how-to.
 """
 
 from repro.backend.base import (
+    Array,
     ArrayBackend,
     available_backends,
     backend_names_and_tolerances,
@@ -41,6 +42,7 @@ register_backend(NumpyBackend())
 register_backend(NumpyFastBackend())
 
 __all__ = [
+    "Array",
     "ArrayBackend",
     "NumpyBackend",
     "NumpyFastBackend",

@@ -45,9 +45,15 @@ from __future__ import annotations
 import abc
 import os
 import threading
-from typing import Sequence
+from typing import Any, Callable, overload
 
 import numpy as np
+from numpy.typing import NDArray
+
+#: The array type every kernel consumes and produces.  Dtypes are a
+#: backend's *policy* (float64 reference vs float32 fast), so the alias
+#: is deliberately dtype-agnostic.
+Array = NDArray[Any]
 
 
 class ArrayBackend(abc.ABC):
@@ -69,50 +75,50 @@ class ArrayBackend(abc.ABC):
     # -- dtype policy ----------------------------------------------------
 
     @abc.abstractmethod
-    def asarray(self, x: np.ndarray) -> np.ndarray:
+    def asarray(self, x: Array) -> Array:
         """Cast ``x`` to this backend's real compute dtype."""
 
     # -- GEMM-shaped kernels --------------------------------------------
 
     @abc.abstractmethod
-    def matmul(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    def matmul(self, x: Array, weight: Array) -> Array:
         """``x @ weight`` with all leading axes flattened into one GEMM."""
 
     @abc.abstractmethod
     def affine(
         self,
-        x: np.ndarray,
-        weight: np.ndarray,
-        bias: np.ndarray | None,
-    ) -> np.ndarray:
+        x: Array,
+        weight: Array,
+        bias: Array | None,
+    ) -> Array:
         """``x @ weight (+ bias)`` — the Dense/Conv2D forward kernel."""
 
     @abc.abstractmethod
     def im2col(
         self,
-        x: np.ndarray,
+        x: Array,
         kernel_size: tuple[int, int],
         in_channels: int,
-    ) -> np.ndarray:
+    ) -> Array:
         """``(B, H, W, C) -> (B, H, W, kh*kw*C)`` same-padded patches,
         ordered ``(kh, kw, C)`` along the last axis."""
 
     @abc.abstractmethod
     def attention_scores(
-        self, q: np.ndarray, k: np.ndarray, scale: float
-    ) -> np.ndarray:
+        self, q: Array, k: Array, scale: float
+    ) -> Array:
         """``(B, H, T, k) x (B, H, S, k) -> (B, H, T, S)`` scaled scores."""
 
     @abc.abstractmethod
     def attention_context(
-        self, attention: np.ndarray, v: np.ndarray
-    ) -> np.ndarray:
+        self, attention: Array, v: Array
+    ) -> Array:
         """``(B, H, T, S) x (B, H, S, k) -> (B, H, T, k)`` weighted sum."""
 
     # -- beamforming kernels --------------------------------------------
 
     @abc.abstractmethod
-    def apply_plan(self, plan, rf: np.ndarray) -> np.ndarray:
+    def apply_plan(self, plan: Any, rf: Array) -> Array:
         """Gather + linearly interpolate ``rf`` through a
         :class:`~repro.beamform.tof.TofPlan`'s tables -> ToFC cube.
 
@@ -123,12 +129,12 @@ class ArrayBackend(abc.ABC):
 
     @abc.abstractmethod
     def das_sum(
-        self, tofc: np.ndarray, apodization: np.ndarray | None
-    ) -> np.ndarray:
+        self, tofc: Array, apodization: Array | None
+    ) -> Array:
         """Aperture reduction: mean (``apodization=None``) or weighted
         sum over the last axis of ``(nz, nx, E)``."""
 
-    def prepare_mvdr_windows(self, windows: np.ndarray) -> np.ndarray:
+    def prepare_mvdr_windows(self, windows: Array) -> Array:
         """One-time per-column conversion of the subaperture window view.
 
         ``mvdr_covariance`` and ``mvdr_output`` both consume the same
@@ -139,18 +145,20 @@ class ArrayBackend(abc.ABC):
         return windows
 
     @abc.abstractmethod
-    def mvdr_covariance(self, windows: np.ndarray) -> np.ndarray:
+    def mvdr_covariance(self, windows: Array) -> Array:
         """``(nz, W, L)`` subaperture windows -> ``(nz, L, L)`` averaged
         spatial covariance."""
 
     @abc.abstractmethod
     def mvdr_output(
-        self, weights: np.ndarray, windows: np.ndarray
-    ) -> np.ndarray:
+        self, weights: Array, windows: Array
+    ) -> Array:
         """Distortionless output ``(nz,)``: conjugate-weighted window
         sum averaged over subapertures."""
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> tuple[Callable[[str], "ArrayBackend | None"], tuple[str]]:
         """Pickle by registry name, not by state.
 
         Backends carry process-local machinery (thread-local scratch
@@ -209,10 +217,18 @@ def available_backends() -> tuple[str, ...]:
 
 
 def _context_stack() -> list[ArrayBackend]:
-    stack = getattr(_tls, "stack", None)
+    stack: list[ArrayBackend] | None = getattr(_tls, "stack", None)
     if stack is None:
         stack = _tls.stack = []
     return stack
+
+
+@overload
+def resolve_backend(backend: None) -> None: ...
+
+
+@overload
+def resolve_backend(backend: "str | ArrayBackend") -> ArrayBackend: ...
 
 
 def resolve_backend(
@@ -299,7 +315,7 @@ class use_backend:
             _context_stack().append(self._backend)
         return self._backend or get_backend()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self._backend is not None:
             _context_stack().pop()
 

@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import threading
 import weakref
+from typing import Any
 
 import numpy as np
+from numpy.typing import DTypeLike
 
-from repro.backend.base import ArrayBackend
+from repro.backend.base import Array, ArrayBackend
 from repro.backend.reference import flat_matmul
 
 _SCRATCH_POOL_CAP = 32
@@ -51,28 +53,30 @@ class NumpyFastBackend(ArrayBackend):
     def __init__(self) -> None:
         self._tls = threading.local()
         self._plan_tables: (
-            "weakref.WeakKeyDictionary[object, tuple]"
+            "weakref.WeakKeyDictionary[object, tuple[Array, Array, Array, Array]]"
         ) = weakref.WeakKeyDictionary()
         self._plan_lock = threading.Lock()
-        self._im2col_indices: dict[tuple, np.ndarray] = {}
+        self._im2col_indices: dict[tuple[Any, ...], Array] = {}
         self._im2col_lock = threading.Lock()
 
     # -- dtype policy ----------------------------------------------------
 
-    def asarray(self, x: np.ndarray) -> np.ndarray:
+    def asarray(self, x: Array) -> Array:
         """Cast to float32, this backend's real compute dtype."""
         return np.asarray(x, dtype=np.float32)
 
-    def _compute_cast(self, x: np.ndarray) -> np.ndarray:
+    def _compute_cast(self, x: Array) -> Array:
         """Real -> float32, complex -> complex64, contiguous."""
         dtype = (
             np.complex64 if np.iscomplexobj(x) else np.float32
         )
         return np.ascontiguousarray(x, dtype=dtype)
 
-    def _scratch(self, shape: tuple, dtype) -> np.ndarray:
+    def _scratch(self, shape: tuple[int, ...], dtype: DTypeLike) -> Array:
         """A reusable per-thread buffer (never escapes a kernel call)."""
-        pool = getattr(self._tls, "pool", None)
+        pool: dict[tuple[tuple[int, ...], str], Array] | None = getattr(
+            self._tls, "pool", None
+        )
         if pool is None:
             pool = self._tls.pool = {}
         key = (shape, np.dtype(dtype).str)
@@ -85,7 +89,7 @@ class NumpyFastBackend(ArrayBackend):
 
     # -- GEMM-shaped kernels --------------------------------------------
 
-    def matmul(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    def matmul(self, x: Array, weight: Array) -> Array:
         """Flattened GEMM in float32/complex64."""
         # _compute_cast, not a blind float32 cast: the reference matmul
         # preserves complex inputs, so this one must too (complex64).
@@ -95,10 +99,10 @@ class NumpyFastBackend(ArrayBackend):
 
     def affine(
         self,
-        x: np.ndarray,
-        weight: np.ndarray,
-        bias: np.ndarray | None,
-    ) -> np.ndarray:
+        x: Array,
+        weight: Array,
+        bias: Array | None,
+    ) -> Array:
         """float32 GEMM with the bias added in place."""
         y = self.matmul(x, weight)
         if bias is not None:
@@ -107,10 +111,10 @@ class NumpyFastBackend(ArrayBackend):
 
     def im2col(
         self,
-        x: np.ndarray,
+        x: Array,
         kernel_size: tuple[int, int],
         in_channels: int,
-    ) -> np.ndarray:
+    ) -> Array:
         """Patch extraction as one cached-index ``take`` over scratch."""
         kh, kw = kernel_size
         pad_h, pad_w = kh // 2, kw // 2
@@ -137,7 +141,7 @@ class NumpyFastBackend(ArrayBackend):
         out_hw: tuple[int, int],
         kernel_size: tuple[int, int],
         in_channels: int,
-    ) -> np.ndarray:
+    ) -> Array:
         key = (padded_hwc, kernel_size)
         with self._im2col_lock:
             indices = self._im2col_indices.get(key)
@@ -171,10 +175,10 @@ class NumpyFastBackend(ArrayBackend):
         return indices
 
     def attention_scores(
-        self, q: np.ndarray, k: np.ndarray, scale: float
-    ) -> np.ndarray:
+        self, q: Array, k: Array, scale: float
+    ) -> Array:
         """float32 attention scores, scale applied in place."""
-        scores = np.einsum(
+        scores: Array = np.einsum(
             "bhtk,bhsk->bhts",
             np.asarray(q, dtype=np.float32),
             np.asarray(k, dtype=np.float32),
@@ -184,19 +188,22 @@ class NumpyFastBackend(ArrayBackend):
         return scores
 
     def attention_context(
-        self, attention: np.ndarray, v: np.ndarray
-    ) -> np.ndarray:
+        self, attention: Array, v: Array
+    ) -> Array:
         """float32 attention-weighted value sum."""
-        return np.einsum(
+        context: Array = np.einsum(
             "bhts,bhsk->bhtk",
             np.asarray(attention, dtype=np.float32),
             np.asarray(v, dtype=np.float32),
             optimize=True,
         )
+        return context
 
     # -- beamforming kernels --------------------------------------------
 
-    def _plan_gather_tables(self, plan) -> tuple:
+    def _plan_gather_tables(
+        self, plan: Any
+    ) -> tuple[Array, Array, Array, Array]:
         """Flattened gather indices + float32 tables, cached per plan."""
         with self._plan_lock:
             tables = self._plan_tables.get(plan)
@@ -222,7 +229,7 @@ class NumpyFastBackend(ArrayBackend):
             self._plan_tables[plan] = tables
         return tables
 
-    def apply_plan(self, plan, rf: np.ndarray) -> np.ndarray:
+    def apply_plan(self, plan: Any, rf: Array) -> Array:
         """Fused gather+lerp over per-plan cached flat indices."""
         flat_lower, flat_upper, frac, valid = self._plan_gather_tables(
             plan
@@ -241,39 +248,45 @@ class NumpyFastBackend(ArrayBackend):
         )
 
     def das_sum(
-        self, tofc: np.ndarray, apodization: np.ndarray | None
-    ) -> np.ndarray:
+        self, tofc: Array, apodization: Array | None
+    ) -> Array:
         """float32 aperture reduction (einsum for the weighted path)."""
         tofc = self._compute_cast(tofc)
         if apodization is None:
-            return tofc.mean(axis=-1)
-        return np.einsum(
+            mean: Array = tofc.mean(axis=-1)
+            return mean
+        weighted: Array = np.einsum(
             "zxe,zxe->zx",
             tofc,
             np.asarray(apodization, dtype=np.float32),
             optimize=True,
         )
+        return weighted
 
-    def prepare_mvdr_windows(self, windows: np.ndarray) -> np.ndarray:
+    def prepare_mvdr_windows(self, windows: Array) -> Array:
         """Materialize windows once in complex64 (see inline note)."""
         # Materialize the strided sliding-window view as a contiguous
         # compute-dtype array once per column; the two kernels below
         # then see their _compute_cast calls turn into no-ops.
         return self._compute_cast(windows)
 
-    def mvdr_covariance(self, windows: np.ndarray) -> np.ndarray:
+    def mvdr_covariance(self, windows: Array) -> Array:
         """complex64 subaperture-averaged covariance."""
         windows = self._compute_cast(windows)
-        return np.einsum(
+        outer: Array = np.einsum(
             "zws,zwt->zst", windows, windows.conj(), optimize=True
-        ) / windows.shape[1]
+        )
+        outer = outer / windows.shape[1]
+        return outer
 
     def mvdr_output(
-        self, weights: np.ndarray, windows: np.ndarray
-    ) -> np.ndarray:
+        self, weights: Array, windows: Array
+    ) -> Array:
         """complex64 distortionless output."""
         windows = self._compute_cast(windows)
         weights = self._compute_cast(weights)
-        return np.einsum(
+        summed: Array = np.einsum(
             "zs,zws->z", weights.conj(), windows, optimize=True
-        ) / windows.shape[1]
+        )
+        summed = summed / windows.shape[1]
+        return summed

@@ -11,12 +11,14 @@ golden-breaking change.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from repro.backend.base import ArrayBackend
+from repro.backend.base import Array, ArrayBackend
 
 
-def flat_matmul(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+def flat_matmul(x: Array, weight: Array) -> Array:
     """``x @ weight`` with all leading axes flattened into one GEMM.
 
     For rank > 2 inputs, ``x @ weight`` dispatches a *stacked* matmul —
@@ -27,10 +29,12 @@ def flat_matmul(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
     unchanged while batch execution scales linearly.
     """
     if x.ndim <= 2:
-        return x @ weight
+        out: Array = x @ weight
+        return out
     lead = x.shape[:-1]
     flat = np.ascontiguousarray(x).reshape(-1, x.shape[-1])
-    return (flat @ weight).reshape(*lead, weight.shape[-1])
+    out = (flat @ weight).reshape(*lead, weight.shape[-1])
+    return out
 
 
 class NumpyBackend(ArrayBackend):
@@ -40,32 +44,32 @@ class NumpyBackend(ArrayBackend):
     rtol = 0.0
     atol = 0.0
 
-    def asarray(self, x: np.ndarray) -> np.ndarray:
+    def asarray(self, x: Array) -> Array:
         """Cast to float64, the reference compute dtype."""
         return np.asarray(x, dtype=float)
 
-    def matmul(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    def matmul(self, x: Array, weight: Array) -> Array:
         """Flattened GEMM at the inputs' own (float64) precision."""
         return flat_matmul(x, weight)
 
     def affine(
         self,
-        x: np.ndarray,
-        weight: np.ndarray,
-        bias: np.ndarray | None,
-    ) -> np.ndarray:
+        x: Array,
+        weight: Array,
+        bias: Array | None,
+    ) -> Array:
         """``x @ weight (+ bias)`` exactly as Dense/Conv2D always did."""
-        y = flat_matmul(x, weight)
+        y: Array = flat_matmul(x, weight)
         if bias is not None:
             y = y + bias
         return y
 
     def im2col(
         self,
-        x: np.ndarray,
+        x: Array,
         kernel_size: tuple[int, int],
         in_channels: int,
-    ) -> np.ndarray:
+    ) -> Array:
         """Same-padded sliding-window patches via stride tricks."""
         kh, kw = kernel_size
         pad_h, pad_w = kh // 2, kw // 2
@@ -79,55 +83,63 @@ class NumpyBackend(ArrayBackend):
         )  # (B, H, W, C, kh, kw)
         batch, height, width = x.shape[:3]
         # Order as (kh, kw, C) to match the weight layout.
-        return windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+        patches: Array = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
             batch, height, width, kh * kw * in_channels
         )
+        return patches
 
     def attention_scores(
-        self, q: np.ndarray, k: np.ndarray, scale: float
-    ) -> np.ndarray:
+        self, q: Array, k: Array, scale: float
+    ) -> Array:
         """Scaled attention scores via the historical einsum."""
-        return (
-            np.einsum("bhtk,bhsk->bhts", q, k, optimize=True) * scale
+        scores: Array = np.einsum(
+            "bhtk,bhsk->bhts", q, k, optimize=True
         )
+        scores = scores * scale
+        return scores
 
     def attention_context(
-        self, attention: np.ndarray, v: np.ndarray
-    ) -> np.ndarray:
+        self, attention: Array, v: Array
+    ) -> Array:
         """Attention-weighted value sum via the historical einsum."""
-        return np.einsum("bhts,bhsk->bhtk", attention, v, optimize=True)
+        context: Array = np.einsum(
+            "bhts,bhsk->bhtk", attention, v, optimize=True
+        )
+        return context
 
-    def apply_plan(self, plan, rf: np.ndarray) -> np.ndarray:
+    def apply_plan(self, plan: Any, rf: Array) -> Array:
         """Fancy-indexed gather + lerp, the original ``tof_correct`` body."""
         element_idx = np.broadcast_to(
             np.arange(plan.probe.n_elements), plan.idx0.shape
         )
-        lower = rf[plan.idx0, element_idx]
-        upper = rf[plan.idx0 + 1, element_idx]
-        samples = lower + plan.frac * (upper - lower)
+        lower: Array = rf[plan.idx0, element_idx]
+        upper: Array = rf[plan.idx0 + 1, element_idx]
+        samples: Array = lower + plan.frac * (upper - lower)
         samples = np.where(plan.valid, samples, 0)
         return samples.reshape(
             plan.grid.nz, plan.grid.nx, plan.probe.n_elements
         )
 
     def das_sum(
-        self, tofc: np.ndarray, apodization: np.ndarray | None
-    ) -> np.ndarray:
+        self, tofc: Array, apodization: Array | None
+    ) -> Array:
         """Aperture mean / apodization-weighted sum, float64."""
         if apodization is None:
-            return tofc.mean(axis=-1)
-        return (tofc * apodization).sum(axis=-1)
+            mean: Array = tofc.mean(axis=-1)
+            return mean
+        weighted: Array = (tofc * apodization).sum(axis=-1)
+        return weighted
 
-    def mvdr_covariance(self, windows: np.ndarray) -> np.ndarray:
+    def mvdr_covariance(self, windows: Array) -> Array:
         """Subaperture-averaged spatial covariance (complex128)."""
-        return np.einsum(
-            "zws,zwt->zst", windows, windows.conj()
-        ) / windows.shape[1]
+        outer: Array = np.einsum("zws,zwt->zst", windows, windows.conj())
+        outer = outer / windows.shape[1]
+        return outer
 
     def mvdr_output(
-        self, weights: np.ndarray, windows: np.ndarray
-    ) -> np.ndarray:
+        self, weights: Array, windows: Array
+    ) -> Array:
         """Conjugate-weighted distortionless output (complex128)."""
-        return np.einsum(
-            "zs,zws->z", weights.conj(), windows
-        ) / windows.shape[1]
+        summed: Array = np.einsum("zs,zws->z", weights.conj(), windows)
+        summed = summed / windows.shape[1]
+        return summed

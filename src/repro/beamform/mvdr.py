@@ -124,11 +124,15 @@ def mvdr_beamform(
         )  # (nz, n_windows, sub)
         cov = backend.mvdr_covariance(windows)
         cov = _smooth_axially(cov, config.axial_smoothing)
-        trace = np.einsum("zss->z", cov).real
+        trace = np.trace(cov, axis1=1, axis2=2).real
         loading = config.diagonal_loading * np.maximum(trace, 1e-30) / sub
         cov = cov + loading[:, np.newaxis, np.newaxis] * identity
 
-        solved = np.linalg.solve(cov, steering)[..., 0]  # R^-1 a: (nz, sub)
+        # R^-1 a: (nz, sub).  The batched Hermitian solve stays on the
+        # LAPACK reference path on purpose: conditioning of the loaded
+        # covariance is part of MVDR's numerics contract, and no
+        # registered backend provides a certified batched solve.
+        solved = np.linalg.solve(cov, steering)[..., 0]  # repro: noqa[RA001] -- LAPACK reference solve by design; no backend offers a certified batched Hermitian solve
         weights = solved / solved.sum(axis=1, keepdims=True)
         # Distortionless output, averaged across subaperture windows.
         out[:, col] = backend.mvdr_output(weights, windows)

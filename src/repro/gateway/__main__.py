@@ -147,7 +147,7 @@ def run_gateway(args: argparse.Namespace) -> int:
         close = getattr(engine, "close", None)
         if close is not None:
             close()
-    print(json.dumps(server.stats(), indent=2))
+    print(json.dumps(server.stats(), indent=2))  # repro: noqa[RA005] -- operator-facing CLI stats, not wire data
     return 0
 
 

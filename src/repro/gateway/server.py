@@ -700,15 +700,21 @@ class GatewayServer:
             self._stats["results_orphaned"] += 1
             return
         session.inflight -= 1
+        # Count before the write: result bytes can reach the client
+        # before drain() returns, and a client that has *seen* result N
+        # must also see results_out >= N in an immediately-following
+        # stats snapshot.  A failed send is rolled back — that client
+        # stopped reading, so it cannot observe the transient.
+        session.results_out += 1
+        self._stats["results_delivered"] += 1
         delivered = await self._send(
             session,
             array_header("result", image, seq=frame.client_seq),
             array_payload(image),
         )
-        if delivered:
-            session.results_out += 1
-            self._stats["results_delivered"] += 1
-        else:
+        if not delivered:
+            session.results_out -= 1
+            self._stats["results_delivered"] -= 1
             self._stats["results_orphaned"] += 1
         await self._maybe_finish_bye(session)
 

@@ -324,7 +324,7 @@ def main(argv: list[str] | None = None) -> int:
         "dropped": report.dropped,
         "stats": report.stats,
     }
-    print(json.dumps(payload, indent=2))
+    print(json.dumps(payload, indent=2))  # repro: noqa[RA005] -- operator-facing CLI report, not wire data
     return 0
 
 

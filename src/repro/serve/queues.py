@@ -50,7 +50,7 @@ class BoundedQueue:
             )
         self.capacity = capacity
         self.policy = policy
-        self._items: deque[Any] = deque()
+        self._items: deque[Any] = deque()  # repro: noqa[RA002] -- BoundedQueue IS the bound: put() enforces self.capacity under _lock
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)

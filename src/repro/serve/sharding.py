@@ -403,7 +403,16 @@ class ShardedServeEngine:
         blob = pickle.dumps(self.beamformer)
         self._beamformer_blob = blob
         self._backend_name = default_backend_name()
-        self._result_queue = self._ctx.Queue()
+        # Bounded like every other serving queue (RA002): outstanding
+        # result messages are capped by admitted frames (input_slots)
+        # and the per-shard task depth, plus a handful of lifecycle
+        # ("ready"/"error") messages per worker across restarts.
+        result_depth = (
+            self.input_slots
+            + self.n_workers * (TASK_QUEUE_DEPTH + 2)
+            + 8
+        )
+        self._result_queue = self._ctx.Queue(maxsize=result_depth)
         self._task_queues = [
             self._ctx.Queue(maxsize=TASK_QUEUE_DEPTH)
             for _ in range(self.n_workers)

@@ -119,7 +119,7 @@ class LocalFreeList:
     """
 
     def __init__(self, slots: int) -> None:
-        self._free = deque(range(slots))
+        self._free = deque(range(slots))  # repro: noqa[RA002] -- free list holds at most the fixed slot ids it was created with
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._closed = False

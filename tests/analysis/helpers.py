@@ -1,0 +1,29 @@
+"""Shared helpers for the repro.analysis test suite."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.engine import ModuleContext
+
+
+def make_module(
+    source: str, package: str = "repro.example", relative: str | None = None
+) -> ModuleContext:
+    """A ModuleContext from inline source, with a chosen package path.
+
+    Lets a rule test claim any scope (``repro.serve.thing``,
+    ``repro.beamform.thing``, ...) without writing files to disk.
+    """
+    relative = relative or package.replace(".", "/") + ".py"
+    return ModuleContext(
+        path=Path(relative),
+        relative=relative,
+        package=package,
+        source=source,
+        tree=ast.parse(source),
+    )
+
+
+def codes(violations) -> list[str]:
+    """The rule codes of ``violations``, in order."""
+    return [violation.rule for violation in violations]

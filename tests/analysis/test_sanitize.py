@@ -1,0 +1,241 @@
+"""Sanitizer tests: lock-order cycles, deliberate leaks, fixtures."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.analysis.sanitize import (
+    LeakGuard,
+    LockOrderGraph,
+    TrackedLock,
+    lock_order_monitor,
+)
+
+
+class TestLockOrderGraph:
+    def test_consistent_order_has_no_cycle(self):
+        graph = LockOrderGraph()
+        graph.register(1, "a"), graph.register(2, "b")
+        for _ in range(3):
+            graph.note_acquired(1)
+            graph.note_acquired(2)
+            graph.note_released(2)
+            graph.note_released(1)
+        assert graph.cycles() == []
+
+    def test_inverted_order_is_a_cycle(self):
+        graph = LockOrderGraph()
+        graph.register(1, "lock-a"), graph.register(2, "lock-b")
+        graph.note_acquired(1)
+        graph.note_acquired(2)  # a -> b
+        graph.note_released(2)
+        graph.note_released(1)
+        graph.note_acquired(2)
+        graph.note_acquired(1)  # b -> a: inversion
+        graph.note_released(1)
+        graph.note_released(2)
+        cycles = graph.cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"lock-a", "lock-b"}
+
+    def test_three_lock_cycle(self):
+        graph = LockOrderGraph()
+        for lock_id, site in [(1, "a"), (2, "b"), (3, "c")]:
+            graph.register(lock_id, site)
+        for held, acquired in [(1, 2), (2, 3), (3, 1)]:
+            graph.note_acquired(held)
+            graph.note_acquired(acquired)
+            graph.note_released(acquired)
+            graph.note_released(held)
+        assert len(graph.cycles()) == 1
+
+    def test_reentrant_acquire_is_not_a_self_edge(self):
+        graph = LockOrderGraph()
+        graph.register(1, "rlock")
+        graph.note_acquired(1)
+        graph.note_acquired(1)  # re-entry
+        graph.note_released(1)
+        graph.note_released(1)
+        assert graph.cycles() == []
+
+    def test_stacks_are_per_thread(self):
+        graph = LockOrderGraph()
+        graph.register(1, "a"), graph.register(2, "b")
+        graph.note_acquired(1)
+
+        def other_thread():
+            # This thread holds nothing, so acquiring b draws no edge
+            # from a (held by the main thread, not us).
+            graph.note_acquired(2)
+            graph.note_released(2)
+
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        worker.join()
+        graph.note_released(1)
+        assert graph.edges() == {}
+
+
+class TestLockOrderMonitor:
+    def test_detects_sequential_inversion(self):
+        with lock_order_monitor() as graph:
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        assert len(graph.cycles()) == 1
+
+    def test_clean_code_stays_clean(self):
+        with lock_order_monitor() as graph:
+            a = threading.Lock()
+            b = threading.Lock()
+            for _ in range(5):
+                with a:
+                    with b:
+                        pass
+        assert graph.cycles() == []
+
+    def test_condition_built_on_tracked_lock_works(self):
+        with lock_order_monitor() as graph:
+            lock = threading.Lock()
+            assert isinstance(lock, TrackedLock)
+            condition = threading.Condition(lock)
+            ready = []
+
+            def waiter():
+                with condition:
+                    condition.wait_for(lambda: ready, timeout=5.0)
+
+            worker = threading.Thread(target=waiter)
+            worker.start()
+            time.sleep(0.05)
+            with condition:
+                ready.append(1)
+                condition.notify_all()
+            worker.join()
+        assert graph.cycles() == []
+
+    def test_event_and_rlock_under_monitor(self):
+        with lock_order_monitor() as graph:
+            event = threading.Event()
+            event.set()
+            assert event.wait(timeout=1.0)
+            rlock = threading.RLock()
+            with rlock:
+                with rlock:  # re-entry must not deadlock or cycle
+                    pass
+        assert graph.cycles() == []
+
+    def test_factories_are_restored(self):
+        original = threading.Lock
+        with lock_order_monitor():
+            assert threading.Lock is not original
+        assert threading.Lock is original
+
+    def test_monitor_is_not_reentrant(self):
+        with lock_order_monitor():
+            with pytest.raises(RuntimeError):
+                lock_order_monitor_inner = lock_order_monitor()
+                lock_order_monitor_inner.__enter__()
+
+
+class TestLeakGuard:
+    def test_clean_block_passes(self):
+        with LeakGuard(grace_s=0.5) as guard:
+            worker = threading.Thread(target=lambda: None)
+            worker.start()
+            worker.join()
+        assert guard.check().ok
+
+    def test_deliberate_thread_leak_is_caught(self):
+        release = threading.Event()
+        try:
+            with LeakGuard(grace_s=0.2, include_daemon=True) as guard:
+                leaker = threading.Thread(
+                    target=release.wait, name="deliberate-leak", daemon=True
+                )
+                leaker.start()
+            report = guard.check()
+            assert not report.ok
+            assert any(
+                "deliberate-leak" in name for name in report.leaked_threads
+            )
+        finally:
+            release.set()
+            leaker.join()
+
+    def test_deliberate_fd_leak_is_caught(self, tmp_path):
+        target = tmp_path / "leak.bin"
+        target.write_bytes(b"x" * 64)
+        handles = []
+        try:
+            with LeakGuard(grace_s=0.2, fd_tolerance=4) as guard:
+                handles = [open(target, "rb") for _ in range(32)]
+            report = guard.check()
+            assert not report.ok
+            assert report.fd_delta > 4
+        finally:
+            for handle in handles:
+                handle.close()
+
+    def test_fd_tolerance_absorbs_noise(self, tmp_path):
+        target = tmp_path / "ok.bin"
+        target.write_bytes(b"x")
+        with LeakGuard(grace_s=0.2, fd_tolerance=16) as guard:
+            with open(target, "rb") as handle:
+                handle.read()
+        assert guard.check().ok
+
+    def test_grace_period_forgives_slow_shutdown(self):
+        with LeakGuard(grace_s=5.0, include_daemon=True) as guard:
+            worker = threading.Thread(target=lambda: time.sleep(0.3))
+            worker.start()
+            # Deliberately no join: the thread is still running when
+            # the block exits, but dies well inside the grace window.
+        assert guard.check().ok
+
+    def test_whitelisted_thread_names_are_ignored(self):
+        release = threading.Event()
+        try:
+            with LeakGuard(
+                grace_s=0.2,
+                include_daemon=True,
+                thread_whitelist=("tolerated-",),
+            ) as guard:
+                leaker = threading.Thread(
+                    target=release.wait, name="tolerated-helper", daemon=True
+                )
+                leaker.start()
+            assert guard.check().ok
+        finally:
+            release.set()
+            leaker.join()
+
+
+class TestLeakGuardFixtureWiring:
+    """The autouse fixture in the root conftest is live in this suite."""
+
+    def test_marker_opt_out_exists(self, request):
+        marker = request.node.get_closest_marker("no_leak_check")
+        assert marker is None  # default: the guard is on
+
+    @pytest.mark.no_leak_check
+    def test_opt_out_marker_is_honored(self):
+        # Nothing leaks here; the point is that the marker is accepted
+        # without an "unknown marker" warning (registered in conftest).
+        assert True
+
+
+def test_proc_fd_counting_available_on_linux():
+    if not os.path.isdir("/proc/self/fd"):
+        pytest.skip("no /proc on this platform")
+    from repro.analysis.sanitize import _fd_count
+
+    count = _fd_count()
+    assert count is not None and count > 0

@@ -1,12 +1,33 @@
-"""Shared gateway-test helpers: gated beamformer, raw-socket access."""
+"""Shared gateway-test helpers: gated beamformer, raw-socket access.
+
+Gateway tests also run under the lock-order monitor (like
+``tests/serve``): locks created during a test are tracked and the test
+fails if their acquisition order ever forms a cycle.
+"""
 
 import socket
 import threading
 
 import pytest
 
+from repro.analysis.sanitize import lock_order_monitor
 from repro.api import Beamformer, create_beamformer
 from repro.ultrasound import stream_gain_drift
+
+
+@pytest.fixture(autouse=True)
+def lock_order_guard():
+    """Record lock orders for the test; fail on a potential deadlock."""
+    with lock_order_monitor() as graph:
+        yield graph
+    cycles = graph.cycles()
+    if cycles:
+        rendered = "\n".join(" -> ".join(cycle) for cycle in cycles)
+        pytest.fail(
+            f"lock-order cycle (potential deadlock) detected by "
+            f"repro.analysis.sanitize:\n{rendered}",
+            pytrace=False,
+        )
 
 
 class GatedBeamformer(Beamformer):

@@ -1,0 +1,29 @@
+"""Serve-suite concurrency sanitization.
+
+Every test in this directory runs under the lock-order monitor from
+:mod:`repro.analysis.sanitize`: all locks *created* during the test
+(BoundedQueue mutexes, free-list conditions, engine state locks —
+anything built from ``threading.Lock``/``RLock``) are tracked, and the
+test fails if the recorded acquisition order contains a cycle.  A
+cycle means two code paths take the same locks in opposite orders — a
+deadlock waiting for the right scheduling, even if this run got lucky.
+"""
+
+import pytest
+
+from repro.analysis.sanitize import lock_order_monitor
+
+
+@pytest.fixture(autouse=True)
+def lock_order_guard():
+    """Record lock orders for the test; fail on a potential deadlock."""
+    with lock_order_monitor() as graph:
+        yield graph
+    cycles = graph.cycles()
+    if cycles:
+        rendered = "\n".join(" -> ".join(cycle) for cycle in cycles)
+        pytest.fail(
+            f"lock-order cycle (potential deadlock) detected by "
+            f"repro.analysis.sanitize:\n{rendered}",
+            pytrace=False,
+        )
