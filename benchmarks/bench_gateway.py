@@ -21,6 +21,15 @@ that the runner was slow.  Loopback serialization costs a few percent
 at small scale; substantially lower usually points at lost pipelining
 (e.g. the client window shrank) or per-message overhead growth.
 
+A third leg re-runs the gateway with every frame traced
+(``repro.obs``, ``sample_rate=1.0``) and reports
+``traced_vs_untraced`` — untraced gateway time over traced time.
+``compare_bench.py`` gates that ratio with a tight 5 % budget
+(:data:`~compare_bench.RATIO_TOLERANCES`): full-fidelity tracing must
+stay within a few percent of free, or the "observability costs
+~nothing until you turn a knob" contract in ``docs/observability.md``
+is broken.
+
 Writes ``benchmarks/BENCH_gateway.json``.
 
 Usage:
@@ -42,6 +51,7 @@ from repro.api import create_beamformer
 from repro.gateway import GatewayClient, GatewayServer
 from repro.gateway.protocol import dataset_geometry
 from repro.models.registry import build_model
+from repro.obs import Observability
 from repro.serve import ReplaySource, ServeEngine
 from repro.ultrasound import simulation_contrast, stream_gain_drift
 
@@ -57,7 +67,9 @@ def make_beamformer(spec: str):
     return create_beamformer(spec, model=model)
 
 
-def make_engine(beamformer, max_batch: int, keep_images: bool):
+def make_engine(
+    beamformer, max_batch: int, keep_images: bool, sample_rate: float = 0.0
+):
     return ServeEngine(
         beamformer,
         max_batch=max_batch,
@@ -65,6 +77,7 @@ def make_engine(beamformer, max_batch: int, keep_images: bool):
         n_workers=2,
         keep_images=keep_images,
         log_every_s=0,
+        observability=Observability.create(sample_rate=sample_rate),
     )
 
 
@@ -79,10 +92,17 @@ def bench_inprocess(beamformer, frames, max_batch: int) -> float:
 
 
 def bench_gateway(
-    beamformer, frames, clients: int, max_batch: int, expected
+    beamformer,
+    frames,
+    clients: int,
+    max_batch: int,
+    expected,
+    sample_rate: float = 0.0,
 ) -> float:
     """Time ``clients`` concurrent sessions splitting ``frames``."""
-    engine = make_engine(beamformer, max_batch, keep_images=False)
+    engine = make_engine(
+        beamformer, max_batch, keep_images=False, sample_rate=sample_rate
+    )
     shares = [frames[index::clients] for index in range(clients)]
     results: list = [None] * clients
     errors: list = []
@@ -145,15 +165,23 @@ def bench_spec(
     gateway_s = bench_gateway(
         beamformer, frames, clients, max_batch, expected
     )
+    traced_s = bench_gateway(
+        beamformer, frames, clients, max_batch, expected,
+        sample_rate=1.0,
+    )
     row = {
         "inprocess_fps": n / inprocess_s,
         "gateway_fps": n / gateway_s,
+        "gateway_traced_fps": n / traced_s,
         "gateway_efficiency": inprocess_s / gateway_s,
+        "traced_vs_untraced": gateway_s / traced_s,
     }
     print(
         f"{spec:>18} | in-process {row['inprocess_fps']:6.2f} fps | "
         f"gateway({clients} clients) {row['gateway_fps']:6.2f} fps "
-        f"({row['gateway_efficiency']:.2f}x)"
+        f"({row['gateway_efficiency']:.2f}x) | traced "
+        f"{row['gateway_traced_fps']:6.2f} fps "
+        f"({row['traced_vs_untraced']:.3f}x)"
     )
     return row
 

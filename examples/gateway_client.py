@@ -8,6 +8,14 @@ from a :class:`~repro.serve.ReplaySource` through two concurrent
 IQ images are bitwise identical to offline ``beamform``, and prints
 the gateway's telemetry snapshot.
 
+It then opens a third, *observer* session (``connect(None)`` — no
+geometry, exempt from the session cap) and scrapes the ``metrics``
+verb the way ``python -m repro.obs metrics`` would: the Prometheus
+payload is validated with :func:`repro.obs.validate_exposition`
+(parses, no NaN samples, every expected family present) and one
+completed frame trace is rendered.  CI runs this example in the
+gateway job, so a broken exposition fails the build.
+
 This is the in-process miniature of the real deployment shape — the
 server side is exactly what ``python -m repro.gateway --port 7355``
 runs, and the client side works unchanged against a remote host.
@@ -25,8 +33,24 @@ import numpy as np
 from repro.api import create_beamformer
 from repro.gateway import GatewayClient, GatewayServer
 from repro.gateway.protocol import dataset_geometry
+from repro.obs import Observability, render_trace, validate_exposition
 from repro.serve import ReplaySource, ServeEngine
 from repro.ultrasound import simulation_contrast, stream_gain_drift
+
+#: Metric families the live scrape must expose — the serving-path and
+#: gateway-path registrations plus the tracer's lifecycle counter.
+#: (``repro_kernel_seconds`` is absent here: kernel profiling is a
+#: separate opt-in, exercised by ``--profile-kernels``.)
+EXPECTED_FAMILIES = (
+    "repro_serve_frames_total",
+    "repro_serve_stage_seconds",
+    "repro_serve_batch_size",
+    "repro_serve_queue_depth",
+    "repro_gateway_sessions_total",
+    "repro_gateway_frames_total",
+    "repro_gateway_results_total",
+    "repro_traces_total",
+)
 
 
 def run_session(port: int, dataset, frames, results, index) -> None:
@@ -53,6 +77,9 @@ def main(n_frames: int = 8) -> None:
         max_latency_ms=10.0,
         keep_images=False,  # the gateway retains nothing per frame
         log_every_s=0,
+        # Trace every frame so the observer scrape below has complete
+        # span trees to show; production defaults to sampling off.
+        observability=Observability.create(sample_rate=1.0),
     )
     with GatewayServer(engine, port=0, max_sessions=4) as gateway:
         print(f"  listening on 127.0.0.1:{gateway.port}")
@@ -80,6 +107,24 @@ def main(n_frames: int = 8) -> None:
                     "gateway image diverged from offline beamform"
                 )
         print("  bitwise parity with offline beamform: OK")
+
+        print("Scraping metrics over an observer session...")
+        with GatewayClient("127.0.0.1", gateway.port) as observer:
+            observer.connect(None)  # observer: no geometry, no frames
+            scrape = observer.metrics()
+            traces = observer.traces(n=4)
+        validate_exposition(
+            scrape["prometheus"], required=EXPECTED_FAMILIES
+        )
+        print(
+            f"  Prometheus exposition OK: "
+            f"{len(scrape['prometheus'])} bytes, "
+            f"{len(scrape['json'])} metric families, no NaN samples"
+        )
+        assert traces, "tracing at sample_rate=1.0 produced no traces"
+        print("  one completed frame trace:")
+        for line in render_trace(traces[-1]).splitlines():
+            print(f"    {line}")
 
         stats = gateway.stats()
 

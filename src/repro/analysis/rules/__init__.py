@@ -13,6 +13,7 @@ RA004     spawn_safety                import-pure modules, registry pickling
 RA005     exact_json                  protocol JSON uses the exact encoder
 RA006     lock_discipline             _lock owners mutate under the lock
 RA007     docs_consistency            docs track the code tree
+RA008     span_discipline             tracing spans close on every path
 ========  ==========================  =====================================
 
 (RA000 is reserved for pragma misuse, reported by the engine itself.)
@@ -25,5 +26,6 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     docs_consistency,
     exact_json,
     lock_discipline,
+    span_discipline,
     spawn_safety,
 )

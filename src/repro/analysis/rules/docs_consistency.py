@@ -34,7 +34,9 @@ from repro.analysis.engine import (
 )
 
 #: Packages whose public surface must be fully docstring'd.
-DOCSTRING_PACKAGES = ("api", "backend", "serve", "gateway", "analysis")
+DOCSTRING_PACKAGES = (
+    "api", "backend", "serve", "gateway", "analysis", "obs",
+)
 
 #: Core docs pages that must exist and be linked from the README.
 DOCS_PAGES = (
@@ -42,6 +44,7 @@ DOCS_PAGES = (
     "serving.md",
     "protocol.md",
     "benchmarking.md",
+    "observability.md",
 )
 
 

@@ -1,0 +1,112 @@
+"""RA008 — tracing spans in serving code are closed on every path.
+
+A :class:`repro.obs.tracing.Span` that is opened but never closed
+poisons the whole observability chain: the trace it belongs to renders
+as ``open`` in the CLI, its duration is unusable in the histograms,
+and the flight recorder accumulates half-finished trees that read like
+crashes.  The tracing API makes leak-free usage the easy path — and
+this rule makes it the *only* path in serving code:
+
+* ``trace.span(...)`` returns a context-manager scope whose ``__exit__``
+  closes the span (success or exception).  Calling it any way other
+  than as the context expression of a ``with`` statement detaches the
+  scope from the guarantee, so that is flagged.
+* ``Span(...)`` constructed directly bypasses the trace's bookkeeping
+  entirely (no id allocation, no close) and is flagged outright —
+  retroactive records with both endpoints known go through
+  ``trace.add_span(name, start, end)``, which can never leak.
+* ``.start_span(...)`` — the begin-half of a begin/end pair that this
+  codebase deliberately does not offer — is flagged so the pattern
+  cannot creep in via review momentum from other tracing libraries.
+
+Scope: ``repro.serve`` and ``repro.gateway``, the tiers that attach
+spans on the frame path.  :mod:`repro.obs` itself is exempt — it is
+the implementation being disciplined, not a consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+import ast
+
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    Violation,
+    register_rule,
+)
+
+#: Packages whose span usage this rule polices.
+SPAN_PACKAGES = ("repro.serve", "repro.gateway")
+
+
+def _with_item_calls(tree: ast.AST) -> set[int]:
+    """Ids of Call nodes used as a ``with`` item's context expression."""
+    used: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            if isinstance(item.context_expr, ast.Call):
+                used.add(id(item.context_expr))
+    return used
+
+
+class SpanDisciplineRule(Rule):
+    """Flag span usage that can leave a span open on some path."""
+
+    code = "RA008"
+    summary = (
+        "serve/gateway code opens live spans only as "
+        "`with trace.span(...):` (add_span for retroactive records; "
+        "no bare Span()/start_span)"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Violation]:
+        """Report span calls outside the context-manager discipline."""
+        if not module.package.startswith(SPAN_PACKAGES):
+            return []
+        found: list[Violation] = []
+        with_items = _with_item_calls(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "Span":
+                found.append(
+                    module.violation(
+                        self.code,
+                        node,
+                        "Span() constructed directly is never closed "
+                        "by its trace; use `with trace.span(...):` "
+                        "for live scopes or trace.add_span(name, "
+                        "start, end) for completed records",
+                    )
+                )
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "start_span":
+                    found.append(
+                        module.violation(
+                            self.code,
+                            node,
+                            "start_span() begin/end pairs leak the "
+                            "span on any path that skips the end; "
+                            "use `with trace.span(...):` instead",
+                        )
+                    )
+                elif func.attr == "span" and id(node) not in with_items:
+                    found.append(
+                        module.violation(
+                            self.code,
+                            node,
+                            ".span(...) called outside a `with` "
+                            "statement detaches the scope from its "
+                            "guaranteed close; write `with "
+                            "trace.span(...):` so the span ends on "
+                            "every path",
+                        )
+                    )
+        return found
+
+
+register_rule(SpanDisciplineRule())

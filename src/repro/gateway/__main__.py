@@ -36,7 +36,9 @@ from repro.serve.__main__ import (
     add_beamformer_args,
     add_engine_args,
     add_gateway_args,
+    add_obs_args,
     make_beamformer,
+    make_observability,
 )
 from repro.serve.engine import ServeEngine
 from repro.serve.sharding import ShardedServeEngine
@@ -54,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_beamformer_args(parser)
     add_engine_args(parser)
     add_gateway_args(parser)
+    add_obs_args(parser)
     parser.add_argument(
         "--port",
         type=int,
@@ -64,7 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def make_engine(args: argparse.Namespace):
-    """Build the serving engine the gateway fronts (no image retention)."""
+    """Build the serving engine the gateway fronts (no image retention).
+
+    The engine carries the CLI's :class:`repro.obs.Observability`
+    bundle; :class:`GatewayServer` adopts it from ``engine.obs``, so
+    one registry/tracer/event-log spans gateway and engine.
+    """
+    obs = make_observability(args)
+    if args.profile_kernels and args.engine != "sharded":
+        from repro.obs.profile import enable_kernel_profiling
+
+        enable_kernel_profiling(obs.metrics, backend=args.backend)
     beamformer = make_beamformer(args)
     if args.engine == "sharded":
         return ShardedServeEngine(
@@ -79,6 +92,8 @@ def make_engine(args: argparse.Namespace):
             restart_workers=args.restart_workers,
             log_every_s=args.log_every,
             keep_images=False,
+            observability=obs,
+            profile_kernels=args.profile_kernels,
         )
     return ServeEngine(
         beamformer,
@@ -89,6 +104,7 @@ def make_engine(args: argparse.Namespace):
         n_workers=args.workers,
         log_every_s=args.log_every,
         keep_images=False,
+        observability=obs,
     )
 
 

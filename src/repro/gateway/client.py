@@ -91,18 +91,24 @@ class GatewayClient:
         self._results: dict[int, np.ndarray] = {}
         self._rejects: dict[int, tuple[str, str]] = {}
         self._stats: dict | None = None
+        self._metrics: tuple[dict, str] | None = None
+        self._traces: list | None = None
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------
 
-    def connect(self, geometry: dict) -> "GatewayClient":
+    def connect(self, geometry: dict | None = None) -> "GatewayClient":
         """Open the connection and negotiate the session geometry.
 
         Args:
             geometry: the wire geometry dict — build it with
                 :func:`repro.gateway.protocol.dataset_geometry` (from a
                 dataset) or :func:`~repro.gateway.protocol.geometry_to_wire`
-                (from raw probe/grid parts).
+                (from raw probe/grid parts).  ``None`` opens an
+                *observer* session instead: no geometry, no frame
+                credit — only the control verbs (``stats``,
+                ``metrics``, ``traces``) work.  The obs CLI
+                (``python -m repro.obs``) tails gateways this way.
 
         Returns:
             ``self``, with :attr:`session` and :attr:`max_inflight` set
@@ -118,14 +124,12 @@ class GatewayClient:
         self._sock = socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         )
-        send_message(
-            self._sock,
-            {
-                "type": "hello",
-                "v": PROTOCOL_VERSION,
-                "geometry": geometry,
-            },
-        )
+        hello: dict = {"type": "hello", "v": PROTOCOL_VERSION}
+        if geometry is None:
+            hello["observe"] = True
+        else:
+            hello["geometry"] = geometry
+        send_message(self._sock, hello)
         header, _ = recv_message(self._sock)
         if header["type"] == "error":
             raise GatewayError(header["code"], header.get("message", ""))
@@ -262,6 +266,39 @@ class GatewayClient:
             self._pump()
         return self._stats
 
+    def metrics(self) -> dict:
+        """Fetch the server's metric registry (both export formats).
+
+        Returns:
+            ``{"json": <MetricsRegistry.as_dict()>, "prometheus":
+            <text exposition str>}`` — the JSON rides in the
+            ``metrics_ok`` header, the Prometheus text in its payload.
+        """
+        self._require_session()
+        self._metrics = None
+        send_message(self._sock, {"type": "metrics"})
+        while self._metrics is None:
+            self._pump()
+        json_view, text = self._metrics
+        return {"json": json_view, "prometheus": text}
+
+    def traces(self, n: int = 16) -> list:
+        """Fetch the server's most recently completed traces.
+
+        Args:
+            n: maximum number of traces to return (newest last).
+
+        Returns:
+            A list of trace dicts (:meth:`repro.obs.Trace.as_dict`
+            shape) — render with :func:`repro.obs.render_trace`.
+        """
+        self._require_session()
+        self._traces = None
+        send_message(self._sock, {"type": "traces", "n": n})
+        while self._traces is None:
+            self._pump()
+        return self._traces
+
     # -- internals -------------------------------------------------------
 
     def _require_session(self) -> None:
@@ -290,6 +327,13 @@ class GatewayClient:
             )
         elif kind == "stats_ok":
             self._stats = header.get("stats", {})
+        elif kind == "metrics_ok":
+            self._metrics = (
+                header.get("metrics", {}),
+                payload.decode("utf-8"),
+            )
+        elif kind == "traces_ok":
+            self._traces = header.get("traces", [])
         elif kind == "error":
             raise GatewayError(
                 header.get("code", "internal"),

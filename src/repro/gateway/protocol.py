@@ -30,10 +30,17 @@ existing header fields, or to the meaning of a message type do.
 Message types (client → server):
 
 * ``hello`` — opens the session; carries ``v`` and the session
-  ``geometry`` (see :func:`geometry_to_wire`).
+  ``geometry`` (see :func:`geometry_to_wire`).  An optional
+  ``"observe": true`` opens a read-only *observer* session instead
+  (no geometry, no frames, exempt from the session cap) — what the
+  ``python -m repro.obs`` monitoring CLI speaks.
 * ``frame`` — one RF frame: ``seq`` (client-chosen id echoed back on
   the result), ``shape``/``dtype``/``nbytes`` + payload.
 * ``stats`` — request a telemetry snapshot.
+* ``metrics`` — request the metrics registry: the reply header
+  carries the JSON form, the payload the Prometheus text exposition.
+* ``traces`` — request recently completed traces (optional ``n``,
+  default 16).
 * ``bye`` — graceful goodbye; the server answers ``bye_ok`` after the
   session's in-flight frames have completed.
 
@@ -47,6 +54,9 @@ Message types (server → client):
 * ``reject`` — frame ``seq`` was *not* admitted (``code`` one of
   :data:`REJECT_CODES`); the stream stays usable.
 * ``stats_ok`` — telemetry snapshot (``stats`` object).
+* ``metrics_ok`` — metrics snapshot: ``metrics`` object in the header
+  plus the UTF-8 Prometheus exposition as the payload.
+* ``traces_ok`` — completed traces (``traces`` list of span trees).
 * ``bye_ok`` — goodbye acknowledged; the server closes after sending.
 * ``error`` — fatal session error (``code`` one of
   :data:`ERROR_CODES`); the server closes the connection after

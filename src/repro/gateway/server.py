@@ -66,6 +66,7 @@ from repro.gateway.protocol import (
     pack_message,
     parse_header,
 )
+from repro.obs import Observability
 from repro.serve.queues import BoundedQueue, QueueClosed, QueueTimeout
 from repro.serve.telemetry import ServeTelemetry
 
@@ -94,6 +95,11 @@ class GatewayFrame:
     rf: np.ndarray
     session: int
     client_seq: int
+    #: the frame's :class:`repro.obs.Trace` when sampled at ingress
+    #: (``None`` otherwise).  The engines see it via the generic
+    #: ``trace`` attribute and attach their spans; the gateway owns the
+    #: trace and finishes it at response delivery.
+    trace: object = None
 
 
 class _Session:
@@ -105,11 +111,19 @@ class _Session:
         writer: asyncio.StreamWriter,
         geometry,
         max_inflight: int,
+        observer: bool = False,
     ) -> None:
-        """Bind the session to its socket writer and geometry."""
+        """Bind the session to its socket writer and geometry.
+
+        An *observer* session (``geometry`` is ``None``) may only read
+        — ``stats``/``metrics``/``traces``/``bye`` — and does not count
+        against the session cap, so the monitoring CLI can always
+        scrape a saturated gateway.
+        """
         self.id = session_id
         self.writer = writer
         self.geometry = geometry
+        self.observer = observer
         self.max_inflight = max_inflight
         self.inflight = 0
         self.frames_in = 0
@@ -165,6 +179,13 @@ class GatewayServer:
             instead of parking deliveries (and the shutdown drain)
             behind its full socket buffer.
         name: server identity echoed in ``hello_ok``.
+        observability: the :class:`repro.obs.Observability` bundle
+            (metrics registry, tracer, event log, flight recorder).
+            Defaults to the *engine's* bundle when it has one, so
+            gateway counters, engine histograms and worker kernel
+            timings all land in one registry and one ``metrics``
+            scrape; frames sampled by the tracer get a gateway-owned
+            trace spanning ingress → engine → response.
 
     The server is a context manager::
 
@@ -183,6 +204,7 @@ class GatewayServer:
         feed_capacity: int = 64,
         send_timeout_s: float = 30.0,
         name: str = "tiny-vbf-gateway",
+        observability: Observability | None = None,
     ) -> None:
         """Validate the knobs; nothing binds until :meth:`start`."""
         if max_sessions < 1:
@@ -205,6 +227,26 @@ class GatewayServer:
         self.feed_capacity = feed_capacity
         self.send_timeout_s = send_timeout_s
         self.name = name
+        self.obs = (
+            observability
+            or getattr(engine, "obs", None)
+            or Observability.create(clock=engine.clock)
+        )
+        self._m_sessions = self.obs.metrics.counter(
+            "repro_gateway_sessions_total",
+            "Gateway sessions by lifecycle event.",
+            labels=("event",),
+        )
+        self._m_frames = self.obs.metrics.counter(
+            "repro_gateway_frames_total",
+            "Gateway wire frames by admission outcome.",
+            labels=("event",),
+        )
+        self._m_results = self.obs.metrics.counter(
+            "repro_gateway_results_total",
+            "Gateway result deliveries by outcome.",
+            labels=("event",),
+        )
 
         self._feed: BoundedQueue | None = None
         self._telemetry: ServeTelemetry | None = None
@@ -253,7 +295,9 @@ class GatewayServer:
         if self._started:
             return self
         self._feed = BoundedQueue(self.feed_capacity, "block")
-        self._telemetry = ServeTelemetry(clock=self.engine.clock)
+        self._telemetry = ServeTelemetry(
+            clock=self.engine.clock, metrics=self.obs.metrics
+        )
         self._loop = asyncio.new_event_loop()
         self._loop_thread = threading.Thread(
             target=self._run_loop, name="gateway-loop", daemon=True
@@ -312,6 +356,11 @@ class GatewayServer:
         except BaseException as exc:
             self._engine_error = exc
             self._broken = True
+            self.obs.events.emit(
+                "engine_broken",
+                engine="gateway",
+                error=type(exc).__name__,
+            )
             logger.exception("gateway engine failed; failing sessions")
             if self._loop is not None and not self._loop.is_closed():
                 asyncio.run_coroutine_threadsafe(
@@ -379,6 +428,11 @@ class GatewayServer:
             or self._stopped_loop.set_result(None)
         )
         self._loop_thread.join()
+        self.obs.events.emit(
+            "drain_complete",
+            results_delivered=self._stats["results_delivered"],
+            results_orphaned=self._stats["results_orphaned"],
+        )
         logger.info(
             "gateway stopped: %d sessions served, %d results delivered",
             self._stats["sessions_opened"],
@@ -395,6 +449,13 @@ class GatewayServer:
     async def _begin_drain(self) -> None:
         self._draining = True
         self._server.close()
+        self.obs.events.emit(
+            "drain_begin",
+            active_sessions=sum(
+                not session.closed
+                for session in self._sessions.values()
+            ),
+        )
         # Observable from other threads (tests synchronize on it).
         self._drain_begun.set()
 
@@ -442,6 +503,12 @@ class GatewayServer:
             "engine": self._telemetry.stats() if self._telemetry else {},
             "gateway": gateway,
         }
+
+    def _reject_session(self, code: str) -> None:
+        """Count one refused handshake (stats, metrics, event log)."""
+        self._stats["sessions_rejected"] += 1
+        self._m_sessions.inc(event="rejected")
+        self.obs.events.emit("session_rejected", code=code)
 
     # -- connection handling (loop thread) -------------------------------
 
@@ -502,7 +569,7 @@ class GatewayServer:
                 f"expected hello, got {header.get('type')!r}",
             )
         if header.get("v") != PROTOCOL_VERSION:
-            self._stats["sessions_rejected"] += 1
+            self._reject_session("version_mismatch")
             await self._send_raw(
                 writer,
                 {
@@ -516,7 +583,9 @@ class GatewayServer:
             )
             return None
         if self._draining or self._broken:
-            self._stats["sessions_rejected"] += 1
+            self._reject_session(
+                "internal" if self._broken else "draining"
+            )
             await self._send_raw(
                 writer,
                 {
@@ -530,11 +599,13 @@ class GatewayServer:
                 },
             )
             return None
+        observer = bool(header.get("observe"))
         active = sum(
-            not session.closed for session in self._sessions.values()
+            not session.closed and not session.observer
+            for session in self._sessions.values()
         )
-        if active >= self.max_sessions:
-            self._stats["sessions_rejected"] += 1
+        if not observer and active >= self.max_sessions:
+            self._reject_session("session_cap")
             await self._send_raw(
                 writer,
                 {
@@ -547,13 +618,25 @@ class GatewayServer:
                 },
             )
             return None
-        geometry = geometry_from_wire(header.get("geometry") or {})
+        geometry = (
+            None
+            if observer
+            else geometry_from_wire(header.get("geometry") or {})
+        )
         self._session_counter += 1
         session = _Session(
-            self._session_counter, writer, geometry, self.max_inflight
+            self._session_counter,
+            writer,
+            geometry,
+            self.max_inflight,
+            observer=observer,
         )
         self._sessions[session.id] = session
         self._stats["sessions_opened"] += 1
+        self._m_sessions.inc(event="opened")
+        self.obs.events.emit(
+            "session_admitted", session=session.id, observer=observer
+        )
         await self._send(
             session,
             {
@@ -574,10 +657,36 @@ class GatewayServer:
             header, payload = await _read_message(reader)
             kind = header.get("type")
             if kind == "frame":
+                if session.observer:
+                    raise ProtocolError(
+                        "malformed",
+                        "observer sessions cannot send frames",
+                    )
                 await self._on_frame(session, header, payload)
             elif kind == "stats":
                 await self._send(
                     session, {"type": "stats_ok", "stats": self.stats()}
+                )
+            elif kind == "metrics":
+                # Header carries the JSON form, payload the Prometheus
+                # text exposition — one scrape serves both formats.
+                await self._send(
+                    session,
+                    {
+                        "type": "metrics_ok",
+                        "metrics": self.obs.metrics.as_dict(),
+                    },
+                    self.obs.metrics.render_prometheus().encode("utf-8"),
+                )
+            elif kind == "traces":
+                await self._send(
+                    session,
+                    {
+                        "type": "traces_ok",
+                        "traces": self.obs.tracer.recent(
+                            int(header.get("n", 16))
+                        ),
+                    },
                 )
             elif kind == "bye":
                 # Stop reading; if frames are still in flight their
@@ -596,40 +705,60 @@ class GatewayServer:
     async def _on_frame(
         self, session: _Session, header: dict, payload: bytes
     ) -> None:
-        """Validate, admit (or reject) one RF frame."""
+        """Validate, admit (or reject) one RF frame.
+
+        For sampled frames a *gateway-owned* trace opens here, covering
+        the full network round trip; every exit path settles it —
+        ``ingress`` span + admit, or ``finish(status=...)`` on reject —
+        so the completed-trace store never sees an open root.
+        """
         self._stats["frames_received"] += 1
+        self._m_frames.inc(event="received")
         seq = header.get("seq")
         if not isinstance(seq, int):
             raise ProtocolError(
                 "malformed", f"frame needs an integer seq, got {seq!r}"
             )
-        rf = decode_array(header, payload)
-        geometry = session.geometry
-        if (
-            rf.shape != geometry.rf_shape
-            or rf.dtype != geometry.rf_dtype
-        ):
-            raise ProtocolError(
-                "bad_frame",
-                f"frame {seq} is {rf.shape}/{rf.dtype.str}; session "
-                f"negotiated {geometry.rf_shape}/"
-                f"{geometry.rf_dtype.str}",
-            )
-        if self._broken:
-            raise ProtocolError(
-                "internal", "engine failed; gateway cannot serve"
-            )
+        ingress_start = self.engine.clock.now()
+        trace = self.obs.tracer.start_trace(
+            "frame",
+            start=ingress_start,
+            owner="gateway",
+            session=session.id,
+            client_seq=seq,
+        )
+        try:
+            rf = decode_array(header, payload)
+            geometry = session.geometry
+            if (
+                rf.shape != geometry.rf_shape
+                or rf.dtype != geometry.rf_dtype
+            ):
+                raise ProtocolError(
+                    "bad_frame",
+                    f"frame {seq} is {rf.shape}/{rf.dtype.str}; "
+                    f"session negotiated {geometry.rf_shape}/"
+                    f"{geometry.rf_dtype.str}",
+                )
+            if self._broken:
+                raise ProtocolError(
+                    "internal", "engine failed; gateway cannot serve"
+                )
+        except ProtocolError as exc:
+            if trace is not None:
+                trace.finish(status=exc.code)
+            raise
         if self._draining:
-            await self._reject(session, seq, "draining")
+            await self._reject(session, seq, "draining", trace)
             return
         if session.inflight >= session.max_inflight:
-            await self._reject(session, seq, "inflight_cap")
+            await self._reject(session, seq, "inflight_cap", trace)
             return
         if not np.isfinite(rf).all() or not rf.any():
             # A silent/non-finite frame can poison a learned pipeline
             # (and kills the shared engine run with it); refuse it at
             # the door instead.
-            await self._reject(session, seq, "bad_frame")
+            await self._reject(session, seq, "bad_frame", trace)
             return
         frame = GatewayFrame(
             name=f"session-{session.id}/frame-{seq}",
@@ -641,24 +770,36 @@ class GatewayServer:
             rf=rf,
             session=session.id,
             client_seq=seq,
+            trace=trace,
         )
         try:
             self._feed.put(frame, timeout=0.0)
         except QueueTimeout:
-            await self._reject(session, seq, "overloaded")
+            await self._reject(session, seq, "overloaded", trace)
             return
         except QueueClosed:
-            await self._reject(session, seq, "draining")
+            await self._reject(session, seq, "draining", trace)
             return
+        if trace is not None:
+            trace.add_span(
+                "ingress",
+                ingress_start,
+                self.engine.clock.now(),
+                nbytes=len(payload),
+            )
         session.inflight += 1
         session.frames_in += 1
         self._stats["frames_admitted"] += 1
+        self._m_frames.inc(event="admitted")
 
     async def _reject(
-        self, session: _Session, seq: int, code: str
+        self, session: _Session, seq: int, code: str, trace=None
     ) -> None:
         session.rejected += 1
         self._stats["frames_rejected"] += 1
+        self._m_frames.inc(event="rejected")
+        if trace is not None:
+            trace.finish(status=code)
         await self._send(
             session,
             {
@@ -694,10 +835,18 @@ class GatewayServer:
             logger.warning("result delivery failed: %r", exc)
 
     async def _deliver(self, frame: GatewayFrame, image) -> None:
-        """Write one ``result`` message on the owning session."""
+        """Write one ``result`` message on the owning session.
+
+        This is where a gateway-owned trace ends: a ``respond`` span
+        around the socket write, then ``finish`` — or an ``orphaned``
+        finish when the session is already gone.
+        """
         session = self._sessions.get(frame.session)
         if session is None or session.closed:
             self._stats["results_orphaned"] += 1
+            self._m_results.inc(event="orphaned")
+            if frame.trace is not None:
+                frame.trace.finish(status="orphaned")
             return
         session.inflight -= 1
         # Count before the write: result bytes can reach the client
@@ -707,15 +856,29 @@ class GatewayServer:
         # stopped reading, so it cannot observe the transient.
         session.results_out += 1
         self._stats["results_delivered"] += 1
+        respond_start = self.engine.clock.now()
         delivered = await self._send(
             session,
             array_header("result", image, seq=frame.client_seq),
             array_payload(image),
         )
-        if not delivered:
+        if delivered:
+            self._m_results.inc(event="delivered")
+        else:
             session.results_out -= 1
             self._stats["results_delivered"] -= 1
             self._stats["results_orphaned"] += 1
+            self._m_results.inc(event="orphaned")
+        if frame.trace is not None:
+            frame.trace.add_span(
+                "respond",
+                respond_start,
+                self.engine.clock.now(),
+                delivered=delivered,
+            )
+            frame.trace.finish(
+                status="ok" if delivered else "orphaned"
+            )
         await self._maybe_finish_bye(session)
 
     async def _maybe_finish_bye(self, session: _Session) -> None:
@@ -773,6 +936,12 @@ class GatewayServer:
         session.closed = True
         session.done.set()
         self._stats["sessions_closed"] += 1
+        self._m_sessions.inc(event="closed")
+        self.obs.events.emit(
+            "session_closed",
+            session=session.id,
+            results_out=session.results_out,
+        )
         self._sessions.pop(session.id, None)
         await self._close_writer(session.writer)
 

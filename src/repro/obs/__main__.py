@@ -1,0 +1,140 @@
+"""``python -m repro.obs`` — tail a live gateway's metrics and traces.
+
+Two subcommands, both speaking the gateway wire protocol over an
+*observer* session (no geometry, no frame credit — pure control
+plane):
+
+``metrics``
+    Scrape the gateway's metric registry once (or every ``--watch N``
+    seconds) and print it as Prometheus text (default) or JSON.  The
+    scrape is validated with the in-repo promtext parser, so a
+    malformed exposition is an error here before it is one in
+    Prometheus.
+
+``traces``
+    Fetch the most recently completed frame traces and render each
+    span tree (name, duration, pid, attributes) — the quickest way to
+    see where a frame's microseconds went, e.g.::
+
+        python -m repro.obs traces --port 7001
+
+Exit codes: 0 on success, 1 on connection/protocol failure, 2 on a
+metrics exposition that fails validation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.obs.metrics import validate_exposition
+from repro.obs.tracing import render_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The obs CLI argument parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Tail a live repro.gateway: metrics and frame traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    metrics = sub.add_parser(
+        "metrics", help="scrape the gateway metric registry"
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, required=True)
+    metrics.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="output format (default: prometheus text exposition)",
+    )
+    metrics.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-scrape every SECONDS until interrupted",
+    )
+
+    traces = sub.add_parser(
+        "traces", help="dump recently completed frame traces"
+    )
+    traces.add_argument("--host", default="127.0.0.1")
+    traces.add_argument("--port", type=int, required=True)
+    traces.add_argument(
+        "-n", type=int, default=16, help="max traces to fetch (default 16)"
+    )
+    traces.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw trace dicts instead of rendered trees",
+    )
+    return parser
+
+
+def _scrape_metrics(args: argparse.Namespace) -> int:
+    from repro.gateway.client import GatewayClient, GatewayError
+
+    try:
+        with GatewayClient(args.host, args.port) as client:
+            client.connect()
+            while True:
+                reply = client.metrics()
+                try:
+                    validate_exposition(reply["prometheus"])
+                except ValueError as exc:
+                    print(f"invalid exposition: {exc}", file=sys.stderr)
+                    return 2
+                if args.format == "json":
+                    print(json.dumps(reply["json"], indent=2, sort_keys=True))
+                else:
+                    sys.stdout.write(reply["prometheus"])
+                sys.stdout.flush()
+                if args.watch is None:
+                    return 0
+                time.sleep(args.watch)
+    except (ConnectionError, OSError, GatewayError) as exc:
+        print(f"gateway unreachable: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+
+
+def _dump_traces(args: argparse.Namespace) -> int:
+    from repro.gateway.client import GatewayClient, GatewayError
+
+    try:
+        with GatewayClient(args.host, args.port) as client:
+            client.connect()
+            traces = client.traces(n=args.n)
+    except (ConnectionError, OSError, GatewayError) as exc:
+        print(f"gateway unreachable: {exc}", file=sys.stderr)
+        return 1
+    if not traces:
+        print(
+            "no completed traces (is --trace-sample-rate > 0 on the "
+            "server?)"
+        )
+        return 0
+    for trace_dict in traces:
+        if args.json:
+            print(json.dumps(trace_dict, sort_keys=True))
+        else:
+            print(render_trace(trace_dict))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "metrics":
+        return _scrape_metrics(args)
+    return _dump_traces(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

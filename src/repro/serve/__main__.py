@@ -176,6 +176,42 @@ def add_source_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Add the observability flags (shared with the gateway CLI)."""
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="fraction of frames to trace end to end (0 disables "
+        "tracing entirely, 1 traces every frame; see repro.obs)",
+    )
+    parser.add_argument(
+        "--profile-kernels",
+        action="store_true",
+        help="time every dispatched backend kernel into the "
+        "repro_kernel_seconds histogram (adds a per-call "
+        "clock read; off by default)",
+    )
+    parser.add_argument(
+        "--event-log",
+        default=None,
+        metavar="PATH",
+        help="append lifecycle events (session admit, worker restart, "
+        "drain, ...) to this JSON-lines file",
+    )
+
+
+def make_observability(args: argparse.Namespace):
+    """Build the :class:`repro.obs.Observability` bundle for the CLI flags."""
+    from repro.obs import Observability
+
+    return Observability.create(
+        sample_rate=args.trace_sample_rate,
+        event_path=args.event_log,
+    )
+
+
 def add_gateway_args(parser: argparse.ArgumentParser) -> None:
     """Add the gateway network knobs (shared with the gateway CLI)."""
     parser.add_argument(
@@ -216,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_beamformer_args(parser)
     add_source_args(parser)
     add_engine_args(parser)
+    add_obs_args(parser)
     parser.add_argument(
         "--gateway",
         type=int,
@@ -282,6 +319,15 @@ def main(argv: list[str] | None = None) -> int:
         level=logging.INFO,
         format="%(asctime)s %(name)s: %(message)s",
     )
+    obs = make_observability(args)
+    if args.profile_kernels and args.engine != "sharded":
+        # Wrap the registered backend *before* the beamformer resolves
+        # it, so every kernel the in-process workers dispatch is timed.
+        # (The sharded engine profiles inside its worker processes via
+        # profile_kernels= instead.)
+        from repro.obs.profile import enable_kernel_profiling
+
+        enable_kernel_profiling(obs.metrics, backend=args.backend)
     beamformer = make_beamformer(args)
     source = make_source(args)
     if args.engine == "sharded":
@@ -296,6 +342,8 @@ def main(argv: list[str] | None = None) -> int:
             shard_policy=args.shard_policy,
             restart_workers=args.restart_workers,
             log_every_s=args.log_every,
+            observability=obs,
+            profile_kernels=args.profile_kernels,
         )
         with engine:
             report = engine.serve(source)
@@ -308,6 +356,7 @@ def main(argv: list[str] | None = None) -> int:
             backpressure=args.backpressure,
             n_workers=args.workers,
             log_every_s=args.log_every,
+            observability=obs,
         )
         report = engine.serve(source)
     payload = {

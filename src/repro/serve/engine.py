@@ -42,6 +42,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.api.base import Beamformer
+from repro.obs import Observability
 from repro.serve.clock import Clock, MonotonicClock
 from repro.serve.queues import (
     BACKPRESSURE_POLICIES,
@@ -115,6 +116,8 @@ def pump_source(
     ingest: BoundedQueue,
     telemetry: ServeTelemetry,
     dropped: list[int],
+    tracer=None,
+    events=None,
 ) -> int:
     """Feed ``source`` into the ingest queue; the producer half of serve.
 
@@ -125,12 +128,24 @@ def pump_source(
     number of frames submitted.  The caller still owns ``ingest.close``
     — typically in a ``finally`` so shutdown happens on source errors
     too.
+
+    Tracing: a dataset that already carries a ``trace`` attribute (the
+    gateway attaches one at ingress) keeps it; otherwise ``tracer``
+    (when given) decides per frame whether to sample a fresh
+    engine-owned trace.  Evicted frames' traces finish immediately
+    with ``status="dropped"`` and the eviction lands in ``events``.
     """
     seq = 0
     for dataset in source:
         submitted_at = telemetry.frame_submitted()
+        trace = getattr(dataset, "trace", None)
+        if trace is None and tracer is not None:
+            trace = tracer.start_trace(
+                "frame", start=submitted_at, owner="engine", seq=seq
+            )
         frame = PendingFrame(
-            seq=seq, dataset=dataset, submitted_at=submitted_at
+            seq=seq, dataset=dataset, submitted_at=submitted_at,
+            trace=trace,
         )
         seq += 1
         try:
@@ -138,10 +153,16 @@ def pump_source(
         except QueueClosed:
             # The consumer side failed and closed the queue; stop
             # ingesting and let the caller surface its exception.
+            if trace is not None:
+                trace.finish(status="queue_closed")
             break
         if evicted is not None:
             dropped.append(evicted.seq)
             telemetry.frame_dropped()
+            if events is not None:
+                events.emit("drop_oldest", seq=evicted.seq)
+            if evicted.trace is not None:
+                evicted.trace.finish(status="dropped")
         telemetry.observe_queue_depth("ingest", len(ingest))
     return seq
 
@@ -192,6 +213,12 @@ class ServeEngine:
             gateway — set this ``False`` so an unbounded run holds no
             per-frame state: images are delivered to the sink only and
             the report's ``images`` entries stay ``None``.
+        observability: optional :class:`repro.obs.Observability` bundle
+            (metrics registry, tracer, event log, flight recorder).
+            Default: a private bundle on the engine clock with tracing
+            disabled — always wired, near-zero cost.  Share one bundle
+            between the engine and a gateway so both publish into the
+            same exported registry.
     """
 
     def __init__(
@@ -205,6 +232,7 @@ class ServeEngine:
         clock: Clock | None = None,
         log_every_s: float = 10.0,
         keep_images: bool = True,
+        observability: Observability | None = None,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ValueError(
@@ -222,6 +250,7 @@ class ServeEngine:
         self.clock = clock or MonotonicClock()
         self.log_every_s = log_every_s
         self.keep_images = keep_images
+        self.obs = observability or Observability.create(clock=self.clock)
         self._run_errors: list[BaseException] = []
 
     @property
@@ -321,9 +350,26 @@ class ServeEngine:
                     dispatch_time,
                     done_time,
                 )
+                for frame in batch.frames:
+                    if frame.trace is not None:
+                        frame.trace.add_span(
+                            "queue_wait", frame.submitted_at, dispatch_time
+                        )
+                        frame.trace.add_span(
+                            "execute", dispatch_time, done_time,
+                            batch_size=len(batch.frames),
+                        )
                 if sink is not None:
                     for frame, image in zip(batch.frames, images):
                         sink(frame.seq, frame.dataset, image)
+                for frame in batch.frames:
+                    # The gateway finishes its own traces at response
+                    # delivery; engine-owned ones end with the sink.
+                    if (
+                        frame.trace is not None
+                        and frame.trace.owner == "engine"
+                    ):
+                        frame.trace.finish(status="ok")
             except BaseException as exc:  # propagated after join
                 with results_lock:
                     errors.append(exc)
@@ -368,7 +414,9 @@ class ServeEngine:
         Raises:
             The first worker/sink exception, if any stage failed.
         """
-        telemetry = telemetry or ServeTelemetry(clock=self.clock)
+        telemetry = telemetry or ServeTelemetry(
+            clock=self.clock, metrics=self.obs.metrics
+        )
         ingest = BoundedQueue(self.queue_capacity, self.backpressure)
         batches = BoundedQueue(
             max(2, 2 * self.n_workers), "block"
@@ -410,7 +458,10 @@ class ServeEngine:
 
         seq = 0
         try:
-            seq = pump_source(source, ingest, telemetry, dropped)
+            seq = pump_source(
+                source, ingest, telemetry, dropped,
+                tracer=self.obs.tracer, events=self.obs.events,
+            )
         finally:
             ingest.close()
             batcher.join()
@@ -418,6 +469,10 @@ class ServeEngine:
                 worker.join()
 
         if errors:
+            self.obs.events.emit(
+                "engine_broken", engine="threaded",
+                error=type(errors[0]).__name__,
+            )
             raise errors[0]
 
         images: list[np.ndarray | None] = [

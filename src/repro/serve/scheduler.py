@@ -36,11 +36,21 @@ from repro.serve.clock import Clock, MonotonicClock
 
 @dataclass(frozen=True)
 class PendingFrame:
-    """One submitted frame awaiting batch dispatch."""
+    """One submitted frame awaiting batch dispatch.
+
+    ``trace`` is the frame's :class:`repro.obs.Trace` when the frame
+    was sampled for tracing (``None`` otherwise — the common case);
+    it rides the frame through the scheduler so downstream stages can
+    attach their spans.  Equality/hashing stay identity-free of it:
+    the dataclass compares by field values and traces are per-frame
+    objects, which is fine — frames are never compared in the
+    pipeline.
+    """
 
     seq: int
     dataset: Any
     submitted_at: float
+    trace: Any = None
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,7 @@ full protocol walk-through and the parity argument.
 from __future__ import annotations
 
 import logging
+import os
 import pickle
 import queue as _queue
 import threading
@@ -64,6 +65,7 @@ import numpy as np
 
 from repro.api.base import Beamformer
 from repro.backend import default_backend_name
+from repro.obs import Observability, pack_context
 from repro.serve.clock import Clock, MonotonicClock
 from repro.serve.engine import ServeReport, Sink, pump_source, run_batcher
 from repro.serve.queues import BACKPRESSURE_POLICIES, BoundedQueue
@@ -148,18 +150,33 @@ def _worker_main(
     task_queue,
     result_queue,
     output_free_queue,
+    profile_kernels: bool = False,
 ) -> None:
     """Entry point of one shard (runs in a spawned child process).
 
     Protocol (task queue in, result queue out):
 
-    * ``("batch", batch_id, template, [(seq, payload), ...])`` →
+    * ``("batch", batch_id, template, [(seq, payload, ctx), ...])`` →
       ``("done", worker_id, generation, batch_id,
-      [(seq, payload), ...], execute_s)`` or
-      ``("error", worker_id, generation, batch_id, traceback_str)``,
-    * ``("end_run",)`` → ``("run_done", worker_id, plan_cache_delta)``
-      where the delta covers plan-cache traffic since the previous
-      ``end_run`` (so multi-run engines don't double-count),
+      [(seq, payload), ...], execute_s, span_blob, metrics_state)`` or
+      ``("error", worker_id, generation, batch_id, traceback_str)``.
+      ``ctx`` is the frame's 17-byte trace context
+      (:func:`repro.obs.pack_context`) or ``None`` when unsampled — a
+      fixed-size struct, never a pickled span object.  When any frame
+      of the batch is sampled, ``span_blob`` is ``(worker_pid,
+      ((name, start_offset_s, end_offset_s), ...))`` with offsets
+      relative to the batch's start on the *worker's* clock (worker
+      and parent monotonic clocks share no epoch; the collector
+      rebases).  ``execute_s`` stays the whole-batch wall duration.
+      ``metrics_state`` is the worker's kernel-profiling registry
+      delta since its previous report (``None`` unless
+      ``profile_kernels``) — shipped per batch so a live ``metrics``
+      scrape on the parent sees worker kernel timings mid-run.
+    * ``("end_run",)`` → ``("run_done", worker_id, plan_cache_delta,
+      metrics_state)`` where the delta covers plan-cache traffic since
+      the previous ``end_run`` (so multi-run engines don't
+      double-count) and ``metrics_state`` is the tail of the worker's
+      kernel-profiling delta (``None`` unless ``profile_kernels``).
     * ``("stop",)`` → ``("stopped", worker_id)`` and exit.
 
     ``generation`` counts respawns of this shard slot; the collector
@@ -175,6 +192,16 @@ def _worker_main(
         from repro.beamform.tof import tof_plan_cache_stats
 
         set_backend(backend_name)
+        profile_registry = None
+        if profile_kernels:
+            # Wrap *before* unpickling: the beamformer's backend
+            # resolves by registry name at load time, so it must find
+            # the timing wrapper already registered under that name.
+            from repro.obs.metrics import MetricsRegistry
+            from repro.obs.profile import enable_kernel_profiling
+
+            profile_registry = MetricsRegistry()
+            enable_kernel_profiling(profile_registry)
         beamformer: Beamformer = pickle.loads(beamformer_blob)
         writer = FrameTransport(
             transport,
@@ -184,6 +211,7 @@ def _worker_main(
         attachments: dict = {}
         parent = multiprocessing.parent_process()
         cache_baseline = tof_plan_cache_stats()
+        pid = os.getpid()
     except BaseException:
         result_queue.put(("fatal", worker_id, traceback.format_exc()))
         return
@@ -209,20 +237,51 @@ def _worker_main(
                 ),
             }
             cache_baseline = cache_now
-            result_queue.put(("run_done", worker_id, delta))
+            metrics_state = None
+            if profile_registry is not None:
+                metrics_state = profile_registry.state()
+                profile_registry.reset()
+            result_queue.put(
+                ("run_done", worker_id, delta, metrics_state)
+            )
             continue
         _, batch_id, template, frames = message
         started = time.monotonic()
         try:
             datasets = [
                 replace(template, rf=unpack(payload, attachments))
-                for _, payload in frames
+                for _, payload, _ in frames
             ]
+            t_unpacked = time.monotonic()
             images = beamformer.beamform_batch(datasets)
+            t_executed = time.monotonic()
             out = [
                 (seq, writer.pack(np.ascontiguousarray(image)))
-                for (seq, _), image in zip(frames, images)
+                for (seq, _, _), image in zip(frames, images)
             ]
+            t_packed = time.monotonic()
+            span_blob = None
+            if any(ctx is not None for _, _, ctx in frames):
+                span_blob = (
+                    pid,
+                    (
+                        ("unpack", 0.0, t_unpacked - started),
+                        (
+                            "execute",
+                            t_unpacked - started,
+                            t_executed - started,
+                        ),
+                        (
+                            "pack",
+                            t_executed - started,
+                            t_packed - started,
+                        ),
+                    ),
+                )
+            metrics_state = None
+            if profile_registry is not None:
+                metrics_state = profile_registry.state()
+                profile_registry.reset()
             result_queue.put(
                 (
                     "done",
@@ -230,7 +289,9 @@ def _worker_main(
                     generation,
                     batch_id,
                     out,
-                    time.monotonic() - started,
+                    t_packed - started,
+                    span_blob,
+                    metrics_state,
                 )
             )
         except BaseException:
@@ -322,6 +383,17 @@ class ShardedServeEngine:
             (default).  ``False`` delivers images to the sink only —
             the memory contract long-running push consumers (the
             network gateway) need.
+        observability: optional :class:`repro.obs.Observability`
+            bundle shared with the caller (metrics, tracer, events,
+            flight recorder); default a private tracing-off bundle on
+            the engine clock.  Sampled frames' trace contexts ride the
+            batch envelope to workers as 17-byte structs and come back
+            as span offsets the collector rebases (see
+            :func:`_worker_main`).
+        profile_kernels: time every ArrayBackend kernel call *inside
+            each worker process* into a worker-local registry whose
+            state is folded into ``observability.metrics`` at end of
+            run (``repro_kernel_seconds{kernel=...,backend=...}``).
     """
 
     def __init__(
@@ -342,6 +414,8 @@ class ShardedServeEngine:
         clock: Clock | None = None,
         log_every_s: float = 10.0,
         keep_images: bool = True,
+        observability: Observability | None = None,
+        profile_kernels: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -376,6 +450,8 @@ class ShardedServeEngine:
         self.clock = clock or MonotonicClock()
         self.log_every_s = log_every_s
         self.keep_images = keep_images
+        self.obs = observability or Observability.create(clock=self.clock)
+        self.profile_kernels = profile_kernels
 
         import multiprocessing
 
@@ -442,11 +518,18 @@ class ShardedServeEngine:
                 self._task_queues[shard],
                 self._result_queue,
                 self._output_free_lists[shard].raw,
+                self.profile_kernels,
             ),
             name=f"serve-shard-{shard}",
             daemon=True,
         )
         process.start()
+        self.obs.events.emit(
+            "worker_spawned",
+            shard=shard,
+            generation=self._generations[shard],
+            pid=process.pid,
+        )
         return process
 
     def _await_ready(self) -> None:
@@ -585,7 +668,9 @@ class ShardedServeEngine:
                 )
             self.start()
             run = _RunState(
-                telemetry=telemetry or ServeTelemetry(clock=self.clock),
+                telemetry=telemetry or ServeTelemetry(
+                    clock=self.clock, metrics=self.obs.metrics
+                ),
                 ingest=BoundedQueue(
                     self.queue_capacity, self.backpressure
                 ),
@@ -609,7 +694,8 @@ class ShardedServeEngine:
             seq = 0
             try:
                 seq = pump_source(
-                    source, run.ingest, run.telemetry, run.dropped
+                    source, run.ingest, run.telemetry, run.dropped,
+                    tracer=self.obs.tracer, events=self.obs.events,
                 )
             finally:
                 run.ingest.close()
@@ -675,7 +761,15 @@ class ShardedServeEngine:
             batch_id,
             template,
             [
-                (frame.seq, payload)
+                (
+                    frame.seq,
+                    payload,
+                    # Sampled frames ship their trace context as the
+                    # fixed 17-byte struct (never a pickled Trace).
+                    None if frame.trace is None else pack_context(
+                        frame.trace.trace_id, 0
+                    ),
+                )
                 for frame, payload in zip(batch.frames, payloads)
             ],
         )
@@ -742,10 +836,14 @@ class ShardedServeEngine:
             elif kind == "error":
                 self._on_error(run, message)
             elif kind == "run_done":
-                _, shard, cache_stats = message
+                _, shard, cache_stats, metrics_state = message
                 with run.lock:
                     run.run_done.add(shard)
                 run.telemetry.shard_plan_cache(shard, cache_stats)
+                if metrics_state:
+                    # Fold the worker's kernel-profiling histograms
+                    # into the exported registry.
+                    self.obs.metrics.merge(metrics_state)
             elif kind == "fatal":
                 _, shard, tb = message
                 with run.lock:
@@ -772,12 +870,19 @@ class ShardedServeEngine:
     def _on_done(
         self, run: _RunState, message: tuple, sink: Sink | None
     ) -> None:
-        _, shard, generation, batch_id, out_payloads, execute_s = message
+        (
+            _, shard, generation, batch_id, out_payloads, execute_s,
+            span_blob, metrics_state,
+        ) = message
         if generation != self._generations[shard]:
             # A dead incarnation's parting words: its batches were
             # requeued and its slot pool rebuilt wholesale, so neither
             # the result nor the slots are ours to consume/release.
             return
+        if metrics_state:
+            # Fold the worker's per-batch kernel-profiling delta into
+            # the exported registry while the run is still live.
+            self.obs.metrics.merge(metrics_state)
         with run.lock:
             entry = run.pending.pop(batch_id, None)
         if entry is None:
@@ -793,6 +898,7 @@ class ShardedServeEngine:
             self._release_output(shard, payload)
         for payload in entry.frame_payloads:
             self._frames.release(payload)
+        collected_time = self.clock.now()
         if self.keep_images:
             with run.lock:
                 run.results.update(images)
@@ -803,9 +909,60 @@ class ShardedServeEngine:
             shard=shard,
             execute_s=execute_s,
         )
+        for frame in entry.batch.frames:
+            if frame.trace is not None:
+                self._record_frame_spans(
+                    frame, entry, shard, done_time, collected_time,
+                    execute_s, span_blob,
+                )
         if sink is not None:
             for frame in entry.batch.frames:
                 sink(frame.seq, frame.dataset, images[frame.seq])
+        for frame in entry.batch.frames:
+            # Gateway-owned traces finish at response delivery;
+            # engine-owned ones are complete once collected.
+            if frame.trace is not None and frame.trace.owner == "engine":
+                frame.trace.finish(status="ok")
+
+    def _record_frame_spans(
+        self,
+        frame,
+        entry: "_Pending",
+        shard: int,
+        done_time: float,
+        collected_time: float,
+        execute_s: float,
+        span_blob,
+    ) -> None:
+        """Attach this batch's pipeline spans to one sampled frame.
+
+        Worker spans arrive as offsets on the worker's clock; they are
+        rebased onto the parent clock by anchoring the worker's window
+        to ``done_time - execute_s`` (the two monotonic clocks share
+        durations, not epochs — same convention telemetry uses for the
+        per-shard ``execute`` stage).
+        """
+        trace = frame.trace
+        trace.add_span(
+            "queue_wait", frame.submitted_at, entry.dispatch_time
+        )
+        shard_span = trace.add_span(
+            "shard", entry.dispatch_time, done_time,
+            shard=shard, batch_id=entry.batch_id,
+            batch_size=len(entry.batch.frames),
+        )
+        if span_blob is not None:
+            worker_pid, offsets = span_blob
+            anchor = done_time - execute_s
+            for name, start_offset, end_offset in offsets:
+                trace.add_span(
+                    name,
+                    anchor + start_offset,
+                    anchor + end_offset,
+                    parent=shard_span,
+                    process=worker_pid,
+                )
+        trace.add_span("collect", done_time, collected_time)
 
     def _on_error(self, run: _RunState, message: tuple) -> None:
         _, shard, generation, batch_id, tb = message
@@ -821,6 +978,9 @@ class ShardedServeEngine:
         if entry is not None:
             for payload in entry.frame_payloads:
                 self._frames.release(payload)
+            for frame in entry.batch.frames:
+                if frame.trace is not None:
+                    frame.trace.finish(status="error")
 
     def _release_output(self, shard: int, payload) -> None:
         if isinstance(payload, SlotHandle):
@@ -831,6 +991,12 @@ class ShardedServeEngine:
             if process.is_alive():
                 continue
             run.telemetry.worker_exited()
+            self.obs.events.emit(
+                "worker_exited",
+                shard=shard,
+                generation=self._generations[shard],
+                exitcode=process.exitcode,
+            )
             if (
                 self.restart_workers
                 and self._restarts < self.max_restarts
@@ -857,6 +1023,16 @@ class ShardedServeEngine:
                 self._procs[shard] = self._spawn(shard)
                 run.telemetry.worker_restarted()
                 run.telemetry.worker_spawned()
+                self.obs.events.emit(
+                    "worker_restarted",
+                    shard=shard,
+                    restarts=self._restarts,
+                )
+                # A crash survived by restart is still a post-mortem
+                # moment: dump the recent-history ring for diagnosis.
+                self._dump_flight_recorder(
+                    f"worker {shard} crash (restarted)"
+                )
                 self._requeue_shard(run, shard)
             else:
                 with run.lock:
@@ -899,8 +1075,18 @@ class ShardedServeEngine:
 
     def _abort_run(self, run: _RunState) -> None:
         self._broken = True
+        self.obs.events.emit("engine_broken", engine="sharded")
+        self._dump_flight_recorder("unclean run abort")
         run.abort.set()
         run.ingest.close()
+
+    def _dump_flight_recorder(self, why: str) -> None:
+        """Log the flight-recorder ring (post-mortem on crash/abort)."""
+        dump = self.obs.recorder.dump()
+        if dump:
+            logger.warning(
+                "flight recorder dump (%s):\n%s", why, dump
+            )
 
     def _release_leftovers(self, run: _RunState) -> None:
         with run.lock:
@@ -909,6 +1095,9 @@ class ShardedServeEngine:
         for entry in leftovers:
             for payload in entry.frame_payloads:
                 self._frames.release(payload)
+            for frame in entry.batch.frames:
+                if frame.trace is not None:
+                    frame.trace.finish(status="aborted")
 
     def _maybe_log(self, run: _RunState) -> None:
         if self.log_every_s <= 0:

@@ -50,6 +50,13 @@ Non-contiguous arrays are copied contiguous on write (a copy is being
 made into the segment anyway).  Dtype round-trip fidelity for every
 dtype the pipeline emits (float32/float64/complex64/complex128) is
 pinned byte-for-byte by ``tests/serve/test_shm.py``.
+
+Tracing context rides the *envelope*, not this module: each frame in a
+dispatched batch is a ``(seq, payload, ctx)`` triple where ``payload``
+is the :class:`SlotHandle`/:class:`PickledPayload` built here and
+``ctx`` is either ``None`` or the 17-byte fixed struct of
+:data:`repro.obs.tracing.CTX_STRUCT` — never a pickled span object —
+so sampling a frame does not change what crosses the shared segment.
 """
 
 from __future__ import annotations

@@ -118,11 +118,61 @@ class LatencyStats:
 
 
 class ServeTelemetry:
-    """Thread-safe counters and histograms for one serving run."""
+    """Thread-safe counters and histograms for one serving run.
 
-    def __init__(self, clock: Clock | None = None) -> None:
+    Args:
+        clock: time source (defaults to the monotonic clock).
+        metrics: optional :class:`repro.obs.MetricsRegistry` to publish
+            into.  When given, every recording call also lands in the
+            exported metric families (``repro_serve_frames_total``,
+            ``repro_serve_stage_seconds``, ``repro_serve_batch_size``,
+            ``repro_serve_queue_depth``, ``repro_serve_workers_total``)
+            so the gateway ``metrics`` verb and ``python -m repro.obs``
+            see the same numbers as :meth:`stats`.
+
+    Every recording method bumps a monotonically increasing ``seq``
+    (surfaced in :meth:`stats`), so pollers detect "anything changed
+    since my last read?" with one integer compare instead of a dict
+    diff.
+    """
+
+    def __init__(
+        self, clock: Clock | None = None, metrics: object | None = None
+    ) -> None:
         self.clock = clock or MonotonicClock()
         self._lock = threading.Lock()
+        self._seq = 0
+        self._m_frames = None
+        self._m_stage = None
+        self._m_batch = None
+        self._m_queue = None
+        self._m_workers = None
+        if metrics is not None:
+            self._m_frames = metrics.counter(
+                "repro_serve_frames_total",
+                "Frames through the serve pipeline, by outcome.",
+                labels=("event",),
+            )
+            self._m_stage = metrics.histogram(
+                "repro_serve_stage_seconds",
+                "Per-frame latency by pipeline stage.",
+                labels=("stage",),
+            )
+            self._m_batch = metrics.histogram(
+                "repro_serve_batch_size",
+                "Frames per dispatched micro-batch.",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+            )
+            self._m_queue = metrics.gauge(
+                "repro_serve_queue_depth",
+                "Last observed depth of the named engine queue.",
+                labels=("queue",),
+            )
+            self._m_workers = metrics.counter(
+                "repro_serve_workers_total",
+                "Worker-process lifecycle events (sharded engine).",
+                labels=("event",),
+            )
         self._stages = {
             "queue_wait": LatencyStats(),
             "execute": LatencyStats(),
@@ -148,15 +198,21 @@ class ServeTelemetry:
         """Count one ingested frame; returns its submit timestamp."""
         now = self.clock.now()
         with self._lock:
+            self._seq += 1
             self._frames_in += 1
             if self._first_in is None:
                 self._first_in = now
+        if self._m_frames is not None:
+            self._m_frames.inc(event="submitted")
         return now
 
     def frame_dropped(self, count: int = 1) -> None:
         """Count frames evicted by backpressure."""
         with self._lock:
+            self._seq += 1
             self._frames_dropped += count
+        if self._m_frames is not None:
+            self._m_frames.inc(count, event="dropped")
 
     def batch_done(
         self,
@@ -183,7 +239,18 @@ class ServeTelemetry:
             done_time - dispatch_time if execute_s is None
             else float(execute_s)
         )
+        if self._m_batch is not None:
+            self._m_batch.observe(len(submit_times))
+            for submitted in submit_times:
+                total = done_time - submitted
+                self._m_stage.observe(
+                    max(0.0, total - execute), stage="queue_wait"
+                )
+                self._m_stage.observe(execute, stage="execute")
+                self._m_stage.observe(total, stage="total")
+            self._m_frames.inc(len(submit_times), event="done")
         with self._lock:
+            self._seq += 1
             self._batch_sizes.record(len(submit_times))
             shard_stats = None
             if shard is not None:
@@ -214,25 +281,37 @@ class ServeTelemetry:
     def observe_queue_depth(self, name: str, depth: int) -> None:
         """Track the high-water mark of the named queue."""
         with self._lock:
+            self._seq += 1
             previous = self._queue_high_water.get(name, 0)
             self._queue_high_water[name] = max(previous, depth)
+        if self._m_queue is not None:
+            self._m_queue.set(depth, queue=name)
 
     # -- worker lifecycle ------------------------------------------------
 
     def worker_spawned(self, count: int = 1) -> None:
         """Count worker processes started (sharded engine)."""
         with self._lock:
+            self._seq += 1
             self._workers_spawned += count
+        if self._m_workers is not None:
+            self._m_workers.inc(count, event="spawned")
 
     def worker_exited(self, count: int = 1) -> None:
         """Count worker processes observed gone."""
         with self._lock:
+            self._seq += 1
             self._workers_exited += count
+        if self._m_workers is not None:
+            self._m_workers.inc(count, event="exited")
 
     def worker_restarted(self, count: int = 1) -> None:
         """Count crashed workers that were respawned."""
         with self._lock:
+            self._seq += 1
             self._workers_restarted += count
+        if self._m_workers is not None:
+            self._m_workers.inc(count, event="restarted")
 
     def shard_plan_cache(self, shard: object, stats: dict) -> None:
         """Fold a worker-local ToF-plan-cache *delta* into a shard.
@@ -242,6 +321,7 @@ class ServeTelemetry:
         twice within one run (old incarnation + replacement).
         """
         with self._lock:
+            self._seq += 1
             entry = self._shard_caches.setdefault(
                 shard, {"hits": 0, "misses": 0}
             )
@@ -268,6 +348,9 @@ class ServeTelemetry:
                     throughput = self._frames_done / elapsed
             batches = self._batch_sizes
             return {
+                # Staleness signal: bumped by every recording call, so
+                # pollers compare one integer instead of diffing dicts.
+                "seq": self._seq,
                 "frames_in": self._frames_in,
                 "frames_done": self._frames_done,
                 "frames_dropped": self._frames_dropped,

@@ -14,6 +14,7 @@ from repro.analysis.rules.docs_consistency import DocsConsistencyRule
 from repro.analysis.rules.exact_json import ExactFloatJsonRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
 from repro.analysis.rules.spawn_safety import SpawnSafetyRule
+from repro.analysis.rules.span_discipline import SpanDisciplineRule
 from repro.analysis.engine import ProjectContext
 
 from .helpers import make_module
@@ -381,6 +382,78 @@ class TestLockDiscipline:
         assert found == []
 
 
+class TestSpanDiscipline:
+    RULE = SpanDisciplineRule()
+
+    def test_flags_bare_span_construction(self):
+        found = check(
+            self.RULE,
+            """
+            from repro.obs import Span
+
+            def handle(trace, now):
+                span = Span("execute", 1, 0, now)
+                return span
+            """,
+            "repro.serve.thing",
+        )
+        assert len(found) == 1
+        assert "Span() constructed directly" in found[0].message
+
+    def test_flags_span_call_outside_with(self):
+        found = check(
+            self.RULE,
+            """
+            def handle(trace):
+                scope = trace.span("execute")
+                scope.__enter__()
+            """,
+            "repro.gateway.thing",
+        )
+        assert len(found) == 1
+        assert "outside a `with`" in found[0].message
+
+    def test_flags_start_span_begin_end_pairs(self):
+        found = check(
+            self.RULE,
+            """
+            def handle(trace):
+                span = trace.start_span("execute")
+                span.end()
+            """,
+            "repro.serve.thing",
+        )
+        assert len(found) == 1
+        assert "start_span" in found[0].message
+
+    def test_spares_with_scopes_and_add_span(self):
+        found = check(
+            self.RULE,
+            """
+            def handle(trace, start, end):
+                trace.add_span("queue_wait", start, end)
+                with trace.span("execute") as scope:
+                    scope.set(batch_size=4)
+                async def responder():
+                    async with trace.span("respond"):
+                        pass
+            """,
+            "repro.serve.thing",
+        )
+        assert found == []
+
+    def test_out_of_scope_packages_are_spared(self):
+        found = check(
+            self.RULE,
+            """
+            def build(trace):
+                return trace.span("execute")
+            """,
+            "repro.obs.tracing",
+        )
+        assert found == []
+
+
 class TestDocsConsistency:
     RULE = DocsConsistencyRule()
 
@@ -396,6 +469,7 @@ class TestDocsConsistency:
             "serving.md": "s",
             "protocol.md": "p",
             "benchmarking.md": "b",
+            "observability.md": "o",
         }
         for name, content in pages.items():
             (docs / name).write_text(content)

@@ -149,6 +149,60 @@ class TestCompare:
         assert "gateway_efficiency" in failures[0]
 
 
+class TestRatioTolerances:
+    """Per-key overrides: the <=5 % tracing-overhead contract."""
+
+    BASELINE = {
+        "results": {
+            "das": {
+                "gateway_fps": 20.0,
+                "gateway_traced_fps": 19.8,
+                "traced_vs_untraced": 0.99,
+            },
+        },
+    }
+
+    def _traced(self, factor: float) -> dict:
+        return compare_bench.json.loads(
+            compare_bench.json.dumps(self.BASELINE).replace(
+                "0.99", str(0.99 * factor)
+            )
+        )
+
+    def test_traced_vs_untraced_is_collected_and_tightly_gated(self):
+        metrics = compare_bench.collect_metrics(self.BASELINE)
+        assert metrics["results.das.traced_vs_untraced"] == 0.99
+        assert (
+            compare_bench.RATIO_TOLERANCES["traced_vs_untraced"]
+            == 0.05
+        )
+
+    @pytest.mark.parametrize("smoke", [False, True])
+    def test_six_percent_overhead_growth_fails_both_modes(
+        self, smoke
+    ):
+        """A 6 % drop is inside every generic budget but over 5 %.
+
+        The override must beat both the 25 % full-mode and the 60 %
+        smoke-mode defaults — the tracing-overhead contract is
+        host-independent (two legs of one run), so it gates tightly
+        everywhere.
+        """
+        failures, _ = compare_bench.compare(
+            self._traced(0.94), self.BASELINE, 0.25, smoke=smoke
+        )
+        assert len(failures) == 1
+        assert "traced_vs_untraced" in failures[0]
+        assert "5%" in failures[0]
+
+    @pytest.mark.parametrize("smoke", [False, True])
+    def test_three_percent_drift_passes_both_modes(self, smoke):
+        failures, _ = compare_bench.compare(
+            self._traced(0.97), self.BASELINE, 0.25, smoke=smoke
+        )
+        assert failures == []
+
+
 class TestMain:
     def _write(self, tmp_path: Path, name: str, payload: dict) -> Path:
         path = tmp_path / name

@@ -1,0 +1,1 @@
+"""Unit tests for repro.obs: metrics, tracing, events, profiling."""

@@ -273,3 +273,73 @@ class TestServeTelemetry:
         assert "\n" not in line
         assert "frames/s" in line
         assert "p50/p95/p99" in line
+
+
+class TestStatsStaleness:
+    def test_seq_increases_with_every_recording_call(self):
+        """The poller contract: compare one integer, not two dicts.
+
+        Every recording method must bump ``seq`` exactly when the
+        snapshot's content can have changed, and reading ``stats()``
+        itself must not — otherwise a poller diffing ``seq`` sees
+        phantom updates (or misses real ones).
+        """
+        clock = FakeClock()
+        telemetry = ServeTelemetry(clock=clock)
+        seen = [telemetry.stats()["seq"]]
+
+        t0 = telemetry.frame_submitted()
+        seen.append(telemetry.stats()["seq"])
+        telemetry.observe_queue_depth("ingest", 1)
+        seen.append(telemetry.stats()["seq"])
+        clock.advance(0.010)
+        telemetry.batch_done([t0], t0 + 0.005, clock.now())
+        seen.append(telemetry.stats()["seq"])
+        telemetry.worker_spawned()
+        seen.append(telemetry.stats()["seq"])
+        telemetry.frame_dropped()
+        seen.append(telemetry.stats()["seq"])
+
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)  # strictly increasing
+        # Reading stats must be side-effect free.
+        assert telemetry.stats()["seq"] == seen[-1]
+
+
+class TestMetricsPublishing:
+    def test_recording_calls_feed_the_shared_registry(self):
+        """ServeTelemetry is a metrics *publisher* when given a registry."""
+        from repro.obs import MetricsRegistry
+
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        telemetry = ServeTelemetry(clock=clock, metrics=registry)
+        t0 = telemetry.frame_submitted()
+        t1 = telemetry.frame_submitted()
+        clock.advance(0.020)
+        telemetry.batch_done([t0, t1], t0 + 0.005, clock.now())
+        telemetry.observe_queue_depth("ingest", 3)
+        telemetry.worker_spawned(2)
+        telemetry.frame_dropped()
+
+        frames = registry.counter(
+            "repro_serve_frames_total", labels=("event",)
+        )
+        assert frames.value(event="submitted") == 2.0
+        assert frames.value(event="done") == 2.0
+        assert frames.value(event="dropped") == 1.0
+        stage = registry.histogram(
+            "repro_serve_stage_seconds", labels=("stage",)
+        )
+        assert stage.snapshot(stage="execute")["count"] == 2
+        assert stage.snapshot(stage="total")["count"] == 2
+        batch = registry.histogram("repro_serve_batch_size")
+        assert batch.snapshot() == {"count": 1, "sum": 2.0}
+        depth = registry.gauge(
+            "repro_serve_queue_depth", labels=("queue",)
+        )
+        assert depth.value(queue="ingest") == 3.0
+        workers = registry.counter(
+            "repro_serve_workers_total", labels=("event",)
+        )
+        assert workers.value(event="spawned") == 2.0
