@@ -17,9 +17,14 @@ the JSON separates pipeline overlap from kernel cost.  Models run
 untrained (throughput does not depend on weight values), which keeps the
 bench independent of the training cache.
 
-Writes ``benchmarks/BENCH_serve.json``.  In full mode the learned
-beamformer must clear 1.5x over the single-frame loop or the bench
-exits nonzero.
+Writes ``benchmarks/BENCH_serve.json``.  Each result row carries its
+own ``speedup_floor`` and in full mode every floored spec must clear
+it or the bench exits nonzero.  The ``das`` spec carries no floor: at
+the paced source rate its single-frame loop is acquisition-bound, so
+overlap buys little and gating it would encode a number the engine
+never promised (an earlier payload recorded a global 1.5 floor next
+to a das speedup of 1.36 — contradictory on its face; only learned
+specs were ever gated).
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
@@ -41,7 +46,16 @@ from repro.ultrasound import simulation_contrast, stream_gain_drift
 OUT_PATH = Path(__file__).resolve().parent / "BENCH_serve.json"
 
 SPECS = ("das", "tiny_vbf", "tiny_vbf@20 bits")
-SPEEDUP_FLOOR = 1.5  # acceptance: learned serving >= 1.5x the naive loop
+
+#: Per-spec acceptance floors (served speedup over the single-frame
+#: loop).  ``None`` = reported but not gated: das compute is cheap
+#: enough that the paced loop is dominated by acquisition waits, which
+#: micro-batching cannot overlap away.
+SPEEDUP_FLOORS: dict[str, float | None] = {
+    "das": None,
+    "tiny_vbf": 1.5,
+    "tiny_vbf@20 bits": 1.5,
+}
 
 
 def make_beamformer(spec: str):
@@ -106,6 +120,7 @@ def bench_spec(
         "single_frame_fps": n / single_s,
         "served_fps": n / served_s,
         "speedup": single_s / served_s,
+        "speedup_floor": SPEEDUP_FLOORS[spec],
         "mean_batch_size": stats["mean_batch_size"],
         "plan_cache_hit_rate": stats["plan_cache"]["hit_rate"],
         "latency_ms": {
@@ -153,22 +168,21 @@ def main(argv: list[str] | None = None) -> dict:
         "max_batch": args.max_batch,
         "grid_shape": list(base.grid.shape),
         "n_elements": base.probe.n_elements,
-        "speedup_floor": SPEEDUP_FLOOR,
         "results": results,
     }
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"-> {OUT_PATH}")
 
-    learned = {
-        spec: row["speedup"]
+    below_floor = {
+        spec: (row["speedup"], row["speedup_floor"])
         for spec, row in results.items()
-        if spec != "das"
+        if row["speedup_floor"] is not None
+        and row["speedup"] < row["speedup_floor"]
     }
-    if not args.smoke and max(learned.values()) < SPEEDUP_FLOOR:
+    if not args.smoke and below_floor:
         raise SystemExit(
-            "micro-batched serving did not clear "
-            f"{SPEEDUP_FLOOR}x over the single-frame loop for any "
-            f"learned beamformer (got {learned})"
+            "micro-batched serving fell below its per-spec speedup "
+            f"floor (got {{spec: (speedup, floor)}} = {below_floor})"
         )
     return payload
 

@@ -87,6 +87,7 @@ RATIO_KEYS = frozenset(
         "speedup_vs_threaded",
         "gateway_efficiency",
         "traced_vs_untraced",
+        "cnative_vs_numpy_forward",
     }
 )
 
@@ -98,6 +99,13 @@ RATIO_KEYS = frozenset(
 #: gateway throughput.
 RATIO_TOLERANCES = {
     "traced_vs_untraced": 0.05,
+    # Compiled-backend contract: cnative forward stays >= ~5x numpy.
+    # Both legs run in the same process on the same host, but the
+    # numpy numerator is large enough (hundreds of ms) that scheduler
+    # noise moves the ratio by tens of percent run-to-run; 35 % keeps
+    # the gate meaningful (a fallback to un-fused dispatch roughly
+    # halves the ratio) without flaking on timing jitter.
+    "cnative_vs_numpy_forward": 0.35,
 }
 
 

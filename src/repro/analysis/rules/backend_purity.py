@@ -17,7 +17,21 @@ Dtype, shape and constant uses of numpy (``np.asarray``, ``np.zeros``,
 ``np.sqrt`` on scalars, ``np.float32``, ...) are deliberately not
 listed — the whitelist is everything outside :data:`COMPUTE_CALLS`.
 
-Structural exemption: methods named ``backward``.  Gradients are the
+Since the backend contract grew elementwise nonlinearities
+(``relu``/``softmax``/``tanh``, plus the fused ``affine_relu`` and
+``attention`` entry points), forward-path activations are dispatched
+kernels too: a direct ``np.exp``/``np.where``/``np.tanh``/
+``np.maximum`` in :mod:`repro.nn.layers` bypasses a kernel a compiled
+backend fuses, so those calls are flagged there
+(:data:`ELEMENTWISE_CALLS`).  The elementwise check is scoped to the
+layers package *only* — ``beamform``/``quant`` use the same numpy
+functions for physics (``envelope.py`` carriers, ``apodization.py``
+windows) and for quantized-datapath semantics (``qexec.py``
+deliberately runs its activations on the quantization grid, not
+through a backend), and those are not backend kernels.
+
+Structural exemption: methods named ``backward`` and functions named
+``*_backward`` (e.g. ``softmax_backward``).  Gradients are the
 training-only path; they intentionally run in reference numpy (routing
 them through a reduced-precision backend would change training
 numerics), and serving never executes them.
@@ -63,11 +77,20 @@ COMPUTE_CALLS = frozenset(
     }
 )
 
+#: Elementwise numpy entry points that now have dispatched backend
+#: kernels (``relu``/``softmax``/``tanh``); only flagged inside
+#: :data:`ELEMENTWISE_PACKAGES` — see the module docstring for why
+#: ``beamform``/``quant`` keep using them directly.
+ELEMENTWISE_CALLS = frozenset({"exp", "where", "tanh", "maximum"})
+
+#: Packages where the elementwise check applies.
+ELEMENTWISE_PACKAGES = ("repro.nn.layers",)
+
 #: Module aliases under which numpy is conventionally imported.
 _NUMPY_ALIASES = ("np.", "numpy.")
 
 
-def _compute_call(call: ast.Call) -> str | None:
+def _flagged_call(call: ast.Call, elementwise: bool) -> str | None:
     name = call_name(call)
     if name is None:
         return None
@@ -76,7 +99,17 @@ def _compute_call(call: ast.Call) -> str | None:
             suffix = name[len(alias):]
             if suffix in COMPUTE_CALLS:
                 return name
+            if elementwise and suffix in ELEMENTWISE_CALLS:
+                return name
     return None
+
+
+def _is_backward(owner: ast.AST | None) -> bool:
+    return isinstance(
+        owner, (ast.FunctionDef, ast.AsyncFunctionDef)
+    ) and (
+        owner.name == "backward" or owner.name.endswith("_backward")
+    )
 
 
 class BackendPurityRule(Rule):
@@ -92,19 +125,16 @@ class BackendPurityRule(Rule):
         """Report blacklisted ``np.*`` compute calls outside ``backward``."""
         if not module.package.startswith(HOT_PACKAGES):
             return []
+        elementwise = module.package.startswith(ELEMENTWISE_PACKAGES)
         owners = enclosing_functions(module.tree)
         found: list[Violation] = []
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            name = _compute_call(node)
+            name = _flagged_call(node, elementwise)
             if name is None:
                 continue
-            owner = owners.get(node)
-            if (
-                isinstance(owner, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and owner.name == "backward"
-            ):
+            if _is_backward(owners.get(node)):
                 continue  # training-only gradient path (module docstring)
             found.append(
                 module.violation(

@@ -15,11 +15,13 @@ call site, per thread, or process-wide::
     create_beamformer("das", backend="numpy-fast")  # bound per instance
     REPRO_BACKEND=numpy-fast python -m repro.serve  # process default
 
-Built-ins: ``numpy`` (reference, bit-for-bit the pre-dispatch numerics)
-and ``numpy-fast`` (float32 accumulation, fused/cached gathers, scratch
-reuse).  New backends register with :func:`register_backend` and are
-certified by the conformance suite in ``tests/backend`` automatically —
-see DESIGN.md §4 for the dispatch rules and the how-to.
+Built-ins: ``numpy`` (reference, bit-for-bit the pre-dispatch numerics),
+``numpy-fast`` (float32 accumulation, fused/cached gathers, scratch
+reuse) and — on hosts with a C compiler — ``cnative`` (runtime-compiled
+C kernels, threaded and fused; see ``repro.backend.cnative``).  New
+backends register with :func:`register_backend` and are certified by
+the conformance suite in ``tests/backend`` automatically — see
+DESIGN.md §4 for the dispatch rules and the how-to.
 """
 
 from repro.backend.base import (
@@ -27,19 +29,23 @@ from repro.backend.base import (
     ArrayBackend,
     available_backends,
     backend_names_and_tolerances,
+    backend_unavailable_reason,
     default_backend_name,
     get_backend,
+    mark_backend_unavailable,
     register_backend,
     resolve_backend,
     set_backend,
     unregister_backend,
     use_backend,
 )
+from repro.backend.cnative import register_cnative_backend
 from repro.backend.fast import NumpyFastBackend
 from repro.backend.reference import NumpyBackend, flat_matmul
 
 register_backend(NumpyBackend())
 register_backend(NumpyFastBackend())
+register_cnative_backend()
 
 __all__ = [
     "Array",
@@ -47,6 +53,9 @@ __all__ = [
     "NumpyBackend",
     "NumpyFastBackend",
     "available_backends",
+    "backend_unavailable_reason",
+    "mark_backend_unavailable",
+    "register_cnative_backend",
     "backend_names_and_tolerances",
     "default_backend_name",
     "flat_matmul",

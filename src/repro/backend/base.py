@@ -78,6 +78,34 @@ class ArrayBackend(abc.ABC):
     def asarray(self, x: Array) -> Array:
         """Cast ``x`` to this backend's real compute dtype."""
 
+    # -- elementwise / reduction nonlinearities -------------------------
+    #
+    # These are concrete (not abstract) so pre-existing backends remain
+    # valid: the defaults reproduce, operation for operation, what the
+    # layers in ``repro.nn.layers`` historically did inline, so routing
+    # through them is observationally a refactor for ``numpy`` and
+    # ``numpy-fast``.  Compiled backends override them with fused
+    # single-pass kernels — on the measured forward path the ``where``
+    # mask and the softmax exp/sum temporaries cost more than the GEMMs.
+
+    def relu(self, x: Array) -> Array:
+        """``max(x, 0)`` in this backend's compute dtype."""
+        x = self.asarray(x)
+        return np.where(x > 0, x, 0.0)
+
+    def softmax(self, x: Array, axis: int = -1) -> Array:
+        """Numerically stable softmax along ``axis``."""
+        x = self.asarray(x)
+        shifted = x - x.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out: Array = exp / exp.sum(axis=axis, keepdims=True)
+        return out
+
+    def tanh(self, x: Array) -> Array:
+        """Hyperbolic tangent in this backend's compute dtype."""
+        out: Array = np.tanh(self.asarray(x))
+        return out
+
     # -- GEMM-shaped kernels --------------------------------------------
 
     @abc.abstractmethod
@@ -92,6 +120,23 @@ class ArrayBackend(abc.ABC):
         bias: Array | None,
     ) -> Array:
         """``x @ weight (+ bias)`` — the Dense/Conv2D forward kernel."""
+
+    def affine_relu(
+        self,
+        x: Array,
+        weight: Array,
+        bias: Array | None,
+    ) -> Array:
+        """``relu(x @ weight (+ bias))`` — the Dense->ReLU peephole.
+
+        The default is literally :meth:`relu` over :meth:`affine` (the
+        exact operation sequence the unfused layers perform), so plain
+        backends are observationally unchanged; compiled backends
+        override it to apply the ReLU inside the GEMM epilogue's
+        existing pass over the output instead of a separate
+        read-modify-write over the full activation.
+        """
+        return self.relu(self.affine(x, weight, bias))
 
     @abc.abstractmethod
     def im2col(
@@ -114,6 +159,23 @@ class ArrayBackend(abc.ABC):
         self, attention: Array, v: Array
     ) -> Array:
         """``(B, H, T, S) x (B, H, S, k) -> (B, H, T, k)`` weighted sum."""
+
+    def attention(
+        self, q: Array, k: Array, v: Array, scale: float
+    ) -> tuple[Array, Array]:
+        """Full attention forward: ``(probabilities, context)``.
+
+        The default composes :meth:`attention_scores`, :meth:`softmax`
+        and :meth:`attention_context` — exactly the sequence the MHA
+        layer historically dispatched — so plain backends are
+        unchanged.  Compiled backends override it to run the three
+        stages slice-by-slice while each ``(T, S)`` slab is cache-hot.
+        The probabilities are part of the return value because the
+        layer's backward pass consumes them.
+        """
+        scores = self.attention_scores(q, k, scale)
+        probabilities = self.softmax(scores, axis=-1)
+        return probabilities, self.attention_context(probabilities, v)
 
     # -- beamforming kernels --------------------------------------------
 
@@ -183,6 +245,12 @@ class ArrayBackend(abc.ABC):
 # --------------------------------------------------------------------------
 
 _REGISTRY: dict[str, ArrayBackend] = {}
+#: Backends that exist in the codebase but could not be registered in
+#: this process (e.g. ``cnative`` without a C compiler), mapped to a
+#: human-readable reason.  :func:`resolve_backend` uses this to turn
+#: "unknown backend" into an actionable error for names the user could
+#: reasonably expect to work.
+_UNAVAILABLE: dict[str, str] = {}
 _DEFAULT_NAME = os.environ.get("REPRO_BACKEND", "numpy")
 _tls = threading.local()
 
@@ -202,6 +270,7 @@ def register_backend(
     if name in _REGISTRY and not overwrite:
         raise ValueError(f"backend {name!r} already registered")
     _REGISTRY[name] = backend
+    _UNAVAILABLE.pop(name, None)
 
 
 def unregister_backend(name: str) -> None:
@@ -214,6 +283,24 @@ def unregister_backend(name: str) -> None:
 def available_backends() -> tuple[str, ...]:
     """Names of every registered backend, sorted."""
     return tuple(sorted(_REGISTRY))
+
+
+def mark_backend_unavailable(name: str, reason: str) -> None:
+    """Record that a known backend could not be registered here.
+
+    The backend stays absent from :func:`available_backends` (nothing
+    may select it implicitly), but an *explicit* request for it raises
+    a :class:`ValueError` carrying ``reason`` instead of a bare
+    "unknown backend" — the difference between a typo and a missing
+    C compiler.
+    """
+    if name not in _REGISTRY:
+        _UNAVAILABLE[name] = reason
+
+
+def backend_unavailable_reason(name: str) -> str | None:
+    """Why ``name`` failed to register, or ``None`` if it never tried."""
+    return _UNAVAILABLE.get(name)
 
 
 def _context_stack() -> list[ArrayBackend]:
@@ -246,6 +333,12 @@ def resolve_backend(
             return _REGISTRY[backend]
         except KeyError:
             known = ", ".join(available_backends())
+            if backend in _UNAVAILABLE:
+                raise ValueError(
+                    f"backend {backend!r} is not available in this "
+                    f"process: {_UNAVAILABLE[backend]} "
+                    f"(registered: {known})"
+                ) from None
             raise ValueError(
                 f"unknown backend {backend!r}; registered: {known}"
             ) from None

@@ -1,0 +1,41 @@
+"""repro.backend.cnative — compiled C kernels as a third ArrayBackend.
+
+The package holds the C source (``kernels.c``), the build step
+(:mod:`~repro.backend.cnative.build`), the ctypes bindings
+(:mod:`~repro.backend.cnative.lib`) and the backend class
+(:mod:`~repro.backend.cnative.backend`).  Importing this package is
+cheap and side-effect-free; the compile/load happens the first time
+:func:`register_cnative_backend` (called by :mod:`repro.backend` at
+import) actually constructs the backend.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import mark_backend_unavailable, register_backend
+from repro.backend.cnative.build import CNativeBuildError
+
+__all__ = ["CNativeBuildError", "register_cnative_backend"]
+
+
+def register_cnative_backend() -> bool:
+    """Build, load and register the ``cnative`` backend; never raises.
+
+    On hosts without a C compiler (or with ``REPRO_CNATIVE_DISABLE``
+    set) the backend is recorded as unavailable instead: it stays out
+    of :func:`~repro.backend.base.available_backends`, and an explicit
+    request for ``"cnative"`` raises a ``ValueError`` carrying the
+    build failure — graceful degradation, not an import error.
+
+    Returns ``True`` when the backend registered.
+    """
+    try:
+        from repro.backend.cnative.backend import CNativeBackend
+
+        register_backend(CNativeBackend())
+        return True
+    except CNativeBuildError as exc:
+        mark_backend_unavailable("cnative", str(exc))
+        return False
+    except OSError as exc:  # dlopen of a corrupt cached artifact
+        mark_backend_unavailable("cnative", f"failed to load kernels: {exc}")
+        return False

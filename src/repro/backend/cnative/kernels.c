@@ -1,0 +1,427 @@
+/* Compiled kernels for the `cnative` ArrayBackend.
+ *
+ * Compiled at runtime by repro.backend.cnative.build into a cached
+ * shared library and driven through ctypes (which releases the GIL for
+ * every call, so the pthread fan-out below uses real cores).
+ *
+ * Conventions:
+ *   - all arrays are C-contiguous float32 unless noted;
+ *   - complex64 flows through the `pair == 2` paths as interleaved
+ *     (re, im) float pairs — linear interpolation, masking and
+ *     aperture sums act identically on both components;
+ *   - the GEMM microkernel is the best available cblas_sgemm, resolved
+ *     at load time from the BLAS numpy itself bundles and handed in
+ *     via repro_set_sgemm(); without one, a blocked fallback keeps the
+ *     backend correct (slower, still threaded).
+ */
+
+#include <math.h>
+#include <pthread.h>
+#include <stdint.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* external SGEMM (resolved by the loader, may be absent)              */
+/* ------------------------------------------------------------------ */
+
+/* CBLAS row-major constants. */
+#define RM_ORDER 101
+#define NO_TRANS 111
+#define TRANS 112
+
+typedef void (*sgemm32_t)(int order, int ta, int tb, int m, int n, int k,
+                          float alpha, const float *a, int lda,
+                          const float *b, int ldb, float beta, float *c,
+                          int ldc);
+typedef void (*sgemm64_t)(int64_t order, int64_t ta, int64_t tb, int64_t m,
+                          int64_t n, int64_t k, float alpha, const float *a,
+                          int64_t lda, const float *b, int64_t ldb,
+                          float beta, float *c, int64_t ldc);
+
+static void *g_sgemm = NULL;
+static int g_sgemm_is64 = 0;
+
+void repro_set_sgemm(void *fn, int is64) {
+  g_sgemm = fn;
+  g_sgemm_is64 = is64;
+}
+
+int repro_has_sgemm(void) { return g_sgemm != NULL; }
+
+/* C = alpha * A(m,k) @ op(B), row-major. tb: 0 -> B is (k,n) with
+ * ldb = n; 1 -> B is (n,k), transposed into the product. */
+static void sgemm(int tb, long m, long n, long k, float alpha,
+                  const float *a, const float *b, long ldb, float *c) {
+  if (g_sgemm_is64)
+    ((sgemm64_t)g_sgemm)(RM_ORDER, NO_TRANS, tb ? TRANS : NO_TRANS, m, n, k,
+                         alpha, a, k, b, ldb, 0.0f, c, n);
+  else
+    ((sgemm32_t)g_sgemm)(RM_ORDER, NO_TRANS, tb ? TRANS : NO_TRANS, (int)m,
+                         (int)n, (int)k, alpha, a, (int)k, b, (int)ldb,
+                         0.0f, c, (int)n);
+}
+
+/* ------------------------------------------------------------------ */
+/* thread fan-out                                                      */
+/* ------------------------------------------------------------------ */
+
+#define MAX_THREADS 64
+
+static int g_threads = 1;
+
+void repro_set_threads(int n) {
+  g_threads = n < 1 ? 1 : (n > MAX_THREADS ? MAX_THREADS : n);
+}
+
+int repro_get_threads(void) { return g_threads; }
+
+typedef void (*range_fn)(void *ctx, long start, long end);
+
+typedef struct {
+  range_fn fn;
+  void *ctx;
+  long start, end;
+} span_t;
+
+static void *span_main(void *arg) {
+  span_t *s = (span_t *)arg;
+  s->fn(s->ctx, s->start, s->end);
+  return NULL;
+}
+
+/* Split [0, n) across the configured threads; spans below `grain`
+ * items run inline (thread spawn costs more than the work). */
+static void parallel_for(range_fn fn, void *ctx, long n, long grain) {
+  long nt = g_threads;
+  long max_spans = grain > 0 ? (n + grain - 1) / grain : 1;
+  if (nt > max_spans) nt = max_spans;
+  if (nt <= 1 || n <= 0) {
+    if (n > 0) fn(ctx, 0, n);
+    return;
+  }
+  pthread_t tids[MAX_THREADS];
+  span_t spans[MAX_THREADS];
+  int live[MAX_THREADS];
+  long chunk = (n + nt - 1) / nt;
+  for (long i = 1; i < nt; i++) {
+    long s = i * chunk;
+    long e = s + chunk > n ? n : s + chunk;
+    live[i] = 0;
+    if (s >= e) continue;
+    spans[i].fn = fn;
+    spans[i].ctx = ctx;
+    spans[i].start = s;
+    spans[i].end = e;
+    if (pthread_create(&tids[i], NULL, span_main, &spans[i]) == 0)
+      live[i] = 1;
+    else
+      fn(ctx, s, e); /* spawn failed: run the span inline */
+  }
+  fn(ctx, 0, chunk > n ? n : chunk);
+  for (long i = 1; i < nt; i++)
+    if (live[i]) pthread_join(tids[i], NULL);
+}
+
+/* ------------------------------------------------------------------ */
+/* GEMM-shaped kernels                                                 */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+  const float *a, *b, *bias;
+  float *c;
+  long n, k;
+  int relu;
+} affine_ctx_t;
+
+/* Fallback GEMM rows + fused epilogue, [row_start, row_end). */
+static void affine_rows_fallback(void *vctx, long row_start, long row_end) {
+  affine_ctx_t *ctx = (affine_ctx_t *)vctx;
+  long n = ctx->n, k = ctx->k;
+  for (long i = row_start; i < row_end; i++) {
+    float *ci = ctx->c + i * n;
+    const float *ai = ctx->a + i * k;
+    if (ctx->bias)
+      memcpy(ci, ctx->bias, n * sizeof(float));
+    else
+      memset(ci, 0, n * sizeof(float));
+    for (long p = 0; p < k; p++) {
+      float av = ai[p];
+      const float *bp = ctx->b + p * n;
+      for (long j = 0; j < n; j++) ci[j] += av * bp[j];
+    }
+  }
+}
+
+typedef struct {
+  const float *bias;
+  float *c;
+  long n;
+  int relu;
+} epilogue_ctx_t;
+
+static void epilogue_rows(void *vctx, long row_start, long row_end) {
+  epilogue_ctx_t *ctx = (epilogue_ctx_t *)vctx;
+  long n = ctx->n;
+  for (long i = row_start; i < row_end; i++) {
+    float *ci = ctx->c + i * n;
+    if (ctx->bias)
+      for (long j = 0; j < n; j++) ci[j] += ctx->bias[j];
+    if (ctx->relu)
+      for (long j = 0; j < n; j++) ci[j] = ci[j] > 0.0f ? ci[j] : 0.0f;
+  }
+}
+
+/* C(m,n) = A(m,k) @ B(k,n) [+ bias row] [then relu], fused. */
+void repro_affine_f32(const float *a, const float *b, const float *bias,
+                      float *c, long m, long n, long k, int relu) {
+  if (g_sgemm) {
+    sgemm(0, m, n, k, 1.0f, a, b, n, c);
+    if (bias || relu) {
+      epilogue_ctx_t ctx = {bias, c, n, relu};
+      parallel_for(epilogue_rows, &ctx, m, 16384 / (n > 0 ? n : 1) + 1);
+    }
+  } else {
+    affine_ctx_t ctx = {a, b, bias, c, n, k, relu};
+    parallel_for(affine_rows_fallback, &ctx, m, 32);
+    if (relu) {
+      epilogue_ctx_t ectx = {NULL, c, n, relu};
+      parallel_for(epilogue_rows, &ectx, m, 16384 / (n > 0 ? n : 1) + 1);
+    }
+  }
+}
+
+/* Batched attention scores: out[s] = scale * q[s] @ k[s]^T for
+ * `slices` independent (t, d) x (s_len, d) slabs. */
+void repro_attn_scores_f32(const float *q, const float *k, float *out,
+                           long slices, long t, long s_len, long d,
+                           float scale) {
+  for (long s = 0; s < slices; s++)
+    sgemm(1, t, s_len, d, scale, q + s * t * d, k + s * s_len * d, d,
+          out + s * t * s_len);
+}
+
+/* Batched attention context: out[s] = attn[s] @ v[s]. */
+void repro_attn_context_f32(const float *attn, const float *v, float *out,
+                            long slices, long t, long s_len, long d) {
+  for (long s = 0; s < slices; s++)
+    sgemm(0, t, d, s_len, 1.0f, attn + s * t * s_len, v + s * s_len * d, d,
+          out + s * t * d);
+}
+
+/* softmax machinery (the kernel itself lives with the elementwise
+ * kernels below; the fused attention needs it per-slab here) */
+typedef struct {
+  const float *x;
+  float *y;
+  long cols;
+} softmax_ctx_t;
+
+static void softmax_rows(void *vctx, long row_start, long row_end);
+
+/* Fused attention forward: per (batch, head) slice, run
+ * scores-GEMM -> row softmax -> context-GEMM back to back, so the
+ * (t, s_len) slab stays cache-hot across all three stages instead of
+ * each stage streaming the full (slices, t, s_len) tensor through
+ * memory.  The probabilities are still materialized in `probs`
+ * (backward needs them), written exactly once. */
+void repro_attention_f32(const float *q, const float *k, const float *v,
+                         float *probs, float *out, long slices, long t,
+                         long s_len, long d, float scale) {
+  for (long s = 0; s < slices; s++) {
+    float *slab = probs + s * t * s_len;
+    sgemm(1, t, s_len, d, scale, q + s * t * d, k + s * s_len * d, d, slab);
+    softmax_ctx_t ctx = {slab, slab, s_len};
+    softmax_rows(&ctx, 0, t);
+    sgemm(0, t, d, s_len, 1.0f, slab, v + s * s_len * d, d,
+          out + s * t * d);
+  }
+}
+
+/* ------------------------------------------------------------------ */
+/* elementwise / reduction kernels                                     */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+  const float *x;
+  float *y;
+} map_ctx_t;
+
+static void relu_range(void *vctx, long start, long end) {
+  map_ctx_t *ctx = (map_ctx_t *)vctx;
+  const float *x = ctx->x;
+  float *y = ctx->y;
+  for (long i = start; i < end; i++) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void repro_relu_f32(const float *x, float *y, long n) {
+  map_ctx_t ctx = {x, y};
+  parallel_for(relu_range, &ctx, n, 1 << 18);
+}
+
+static void tanh_range(void *vctx, long start, long end) {
+  map_ctx_t *ctx = (map_ctx_t *)vctx;
+  const float *x = ctx->x;
+  float *y = ctx->y;
+  for (long i = start; i < end; i++) y[i] = tanhf(x[i]);
+}
+
+void repro_tanh_f32(const float *x, float *y, long n) {
+  map_ctx_t ctx = {x, y};
+  parallel_for(tanh_range, &ctx, n, 1 << 16);
+}
+
+static void softmax_rows(void *vctx, long row_start, long row_end) {
+  softmax_ctx_t *ctx = (softmax_ctx_t *)vctx;
+  long cols = ctx->cols;
+  for (long r = row_start; r < row_end; r++) {
+    const float *xr = ctx->x + r * cols;
+    float *yr = ctx->y + r * cols;
+    float mx = xr[0];
+    for (long j = 1; j < cols; j++)
+      if (xr[j] > mx) mx = xr[j];
+    float sum = 0.0f;
+    for (long j = 0; j < cols; j++) {
+      float e = expf(xr[j] - mx);
+      yr[j] = e;
+      sum += e;
+    }
+    float inv = 1.0f / sum;
+    for (long j = 0; j < cols; j++) yr[j] *= inv;
+  }
+}
+
+/* Row-wise numerically stable softmax over the last axis. */
+void repro_softmax_f32(const float *x, float *y, long rows, long cols) {
+  softmax_ctx_t ctx = {x, y, cols};
+  parallel_for(softmax_rows, &ctx, rows, 65536 / (cols > 0 ? cols : 1) + 1);
+}
+
+/* ------------------------------------------------------------------ */
+/* beamforming kernels                                                 */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+  const float *rf;
+  const int32_t *lower, *upper;
+  const float *frac;
+  const uint8_t *valid;
+  float *out;
+  int pair;
+} gather_ctx_t;
+
+static void gather_lerp_range(void *vctx, long start, long end) {
+  gather_ctx_t *ctx = (gather_ctx_t *)vctx;
+  const float *rf = ctx->rf;
+  if (ctx->pair == 1) {
+    for (long i = start; i < end; i++) {
+      float lo = rf[ctx->lower[i]];
+      float hi = rf[ctx->upper[i]];
+      float v = ctx->valid[i] ? 1.0f : 0.0f;
+      ctx->out[i] = (lo + ctx->frac[i] * (hi - lo)) * v;
+    }
+  } else {
+    for (long i = start; i < end; i++) {
+      long l2 = (long)ctx->lower[i] * 2;
+      long u2 = (long)ctx->upper[i] * 2;
+      float f = ctx->frac[i];
+      float v = ctx->valid[i] ? 1.0f : 0.0f;
+      float lo_re = rf[l2], lo_im = rf[l2 + 1];
+      ctx->out[2 * i] = (lo_re + f * (rf[u2] - lo_re)) * v;
+      ctx->out[2 * i + 1] = (lo_im + f * (rf[u2 + 1] - lo_im)) * v;
+    }
+  }
+}
+
+/* Fused gather + linear interpolation + validity mask over the
+ * flattened per-plan index tables (pair = 1 float32, 2 complex64). */
+void repro_gather_lerp_f32(const float *rf, const int32_t *lower,
+                           const int32_t *upper, const float *frac,
+                           const uint8_t *valid, float *out, long n,
+                           int pair) {
+  gather_ctx_t ctx = {rf, lower, upper, frac, valid, out, pair};
+  parallel_for(gather_lerp_range, &ctx, n, 1 << 17);
+}
+
+typedef struct {
+  const float *tofc, *apod;
+  float *out;
+  long elements;
+  int pair;
+} das_ctx_t;
+
+static void das_sum_range(void *vctx, long start, long end) {
+  das_ctx_t *ctx = (das_ctx_t *)vctx;
+  long e_count = ctx->elements;
+  float inv = ctx->apod ? 1.0f : 1.0f / (float)e_count;
+  if (ctx->pair == 1) {
+    for (long p = start; p < end; p++) {
+      const float *tp = ctx->tofc + p * e_count;
+      float acc = 0.0f;
+      if (ctx->apod) {
+        const float *ap = ctx->apod + p * e_count;
+        for (long e = 0; e < e_count; e++) acc += tp[e] * ap[e];
+      } else {
+        for (long e = 0; e < e_count; e++) acc += tp[e];
+      }
+      ctx->out[p] = acc * inv;
+    }
+  } else {
+    for (long p = start; p < end; p++) {
+      const float *tp = ctx->tofc + p * e_count * 2;
+      float acc_re = 0.0f, acc_im = 0.0f;
+      if (ctx->apod) {
+        const float *ap = ctx->apod + p * e_count;
+        for (long e = 0; e < e_count; e++) {
+          acc_re += tp[2 * e] * ap[e];
+          acc_im += tp[2 * e + 1] * ap[e];
+        }
+      } else {
+        for (long e = 0; e < e_count; e++) {
+          acc_re += tp[2 * e];
+          acc_im += tp[2 * e + 1];
+        }
+      }
+      ctx->out[2 * p] = acc_re * inv;
+      ctx->out[2 * p + 1] = acc_im * inv;
+    }
+  }
+}
+
+/* Aperture reduction over the last axis of (pixels, elements): mean
+ * when `apod` is NULL, apodization-weighted sum otherwise.  The
+ * apodization is real even when the ToFC cube is complex. */
+void repro_das_sum_f32(const float *tofc, const float *apod, float *out,
+                       long pixels, long elements, int pair) {
+  das_ctx_t ctx = {tofc, apod, out, elements, pair};
+  parallel_for(das_sum_range, &ctx, pixels,
+               32768 / (elements > 0 ? elements : 1) + 1);
+}
+
+typedef struct {
+  const float *x;
+  const int32_t *idx;
+  float *out;
+  long frame, cols;
+} im2col_ctx_t;
+
+static void im2col_batches(void *vctx, long batch_start, long batch_end) {
+  im2col_ctx_t *ctx = (im2col_ctx_t *)vctx;
+  long frame = ctx->frame, cols = ctx->cols;
+  for (long b = batch_start; b < batch_end; b++) {
+    const float *xb = ctx->x + b * frame;
+    float *ob = ctx->out + b * cols;
+    for (long j = 0; j < cols; j++) {
+      int32_t src = ctx->idx[j];
+      ob[j] = src < 0 ? 0.0f : xb[src];
+    }
+  }
+}
+
+/* Patch gather through a signed index table: idx[j] is the flat
+ * source position in the *unpadded* (h, w, c) frame, or -1 for a
+ * padding cell — no padded copy is ever materialized. */
+void repro_im2col_f32(const float *x, const int32_t *idx, float *out,
+                      long batch, long frame, long cols) {
+  im2col_ctx_t ctx = {x, idx, out, frame, cols};
+  parallel_for(im2col_batches, &ctx, batch, 1);
+}

@@ -1,0 +1,170 @@
+"""ctypes bindings for the compiled ``cnative`` kernel library.
+
+Loads (building if needed) the shared library produced by
+:mod:`repro.backend.cnative.build`, declares argtypes for every
+``repro_*`` entry point, resolves the best available ``cblas_sgemm``
+from the BLAS that numpy itself bundles, and hands it to the C side as
+a function pointer.  ctypes releases the GIL for every foreign call,
+which is what lets the pthread fan-out inside the kernels use real
+cores.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.backend.cnative.build import build_library
+
+_c_ptr = ctypes.c_void_p
+_c_long = ctypes.c_long
+_c_int = ctypes.c_int
+_c_float = ctypes.c_float
+
+#: argtypes for every exported kernel symbol (restype is None unless
+#: listed in ``_INT_RETURNS``).
+_SIGNATURES: dict[str, list[Any]] = {
+    "repro_set_sgemm": [_c_ptr, _c_int],
+    "repro_has_sgemm": [],
+    "repro_set_threads": [_c_int],
+    "repro_get_threads": [],
+    "repro_affine_f32": [
+        _c_ptr, _c_ptr, _c_ptr, _c_ptr, _c_long, _c_long, _c_long, _c_int,
+    ],
+    "repro_attn_scores_f32": [
+        _c_ptr, _c_ptr, _c_ptr, _c_long, _c_long, _c_long, _c_long, _c_float,
+    ],
+    "repro_attn_context_f32": [
+        _c_ptr, _c_ptr, _c_ptr, _c_long, _c_long, _c_long, _c_long,
+    ],
+    "repro_attention_f32": [
+        _c_ptr, _c_ptr, _c_ptr, _c_ptr, _c_ptr,
+        _c_long, _c_long, _c_long, _c_long, _c_float,
+    ],
+    "repro_relu_f32": [_c_ptr, _c_ptr, _c_long],
+    "repro_tanh_f32": [_c_ptr, _c_ptr, _c_long],
+    "repro_softmax_f32": [_c_ptr, _c_ptr, _c_long, _c_long],
+    "repro_gather_lerp_f32": [
+        _c_ptr, _c_ptr, _c_ptr, _c_ptr, _c_ptr, _c_ptr, _c_long, _c_int,
+    ],
+    "repro_das_sum_f32": [
+        _c_ptr, _c_ptr, _c_ptr, _c_long, _c_long, _c_int,
+    ],
+    "repro_im2col_f32": [
+        _c_ptr, _c_ptr, _c_ptr, _c_long, _c_long, _c_long,
+    ],
+}
+
+_INT_RETURNS = frozenset({"repro_has_sgemm", "repro_get_threads"})
+
+#: (symbol, is64) pairs tried in order inside each candidate BLAS.
+#: numpy >= 2 bundles scipy-openblas with ``scipy_``-prefixed CBLAS
+#: symbols; the 64-suffix variants take 64-bit integer arguments.
+_SGEMM_SYMBOLS: tuple[tuple[str, int], ...] = (
+    ("scipy_cblas_sgemm64_", 1),
+    ("cblas_sgemm64_", 1),
+    ("scipy_cblas_sgemm", 0),
+    ("cblas_sgemm", 0),
+)
+
+
+def _blas_candidates() -> list[str]:
+    """Shared libraries that may export an SGEMM, best first."""
+    paths: list[str] = []
+    site = Path(np.__file__).resolve().parent.parent
+    for libs_dir in ("numpy.libs", "scipy.libs"):
+        directory = site / libs_dir
+        if directory.is_dir():
+            for pattern in ("libscipy_openblas*.so*", "libopenblas*.so*"):
+                paths.extend(sorted(str(p) for p in directory.glob(pattern)))
+    for name in ("openblas", "cblas", "blas"):
+        found = ctypes.util.find_library(name)
+        if found:
+            paths.append(found)
+    return paths
+
+
+class CNativeKernels:
+    """Loaded kernel library with typed entry points.
+
+    Thin wrapper whose attributes are the bound ctypes functions
+    (``affine_f32``, ``softmax_f32``, ...); also keeps the BLAS CDLL
+    alive for as long as the C side holds its function pointer.
+    """
+
+    def __getattr__(self, name: str) -> Any:
+        """Bound kernel symbols are attached dynamically in __init__."""
+        raise AttributeError(name)
+
+    def __init__(self, library_path: Path) -> None:
+        self.library_path = library_path
+        self._cdll = ctypes.CDLL(str(library_path))
+        for symbol, argtypes in _SIGNATURES.items():
+            fn = getattr(self._cdll, symbol)
+            fn.argtypes = argtypes
+            fn.restype = _c_int if symbol in _INT_RETURNS else None
+            if symbol.endswith("_f32"):
+                # Only the array kernels are bound as attributes; the
+                # set/get state symbols are wrapped by properties below.
+                setattr(self, symbol.removeprefix("repro_"), fn)
+        self._blas_handle: ctypes.CDLL | None = None
+        self._install_sgemm()
+        self._cdll.repro_set_threads(
+            int(os.environ.get("REPRO_CNATIVE_THREADS", os.cpu_count() or 1))
+        )
+
+    @property
+    def has_sgemm(self) -> bool:
+        """Whether a real BLAS SGEMM backs the GEMM-shaped kernels."""
+        return bool(self._cdll.repro_has_sgemm())
+
+    @property
+    def threads(self) -> int:
+        """Thread count the C fan-out is configured with."""
+        return int(self._cdll.repro_get_threads())
+
+    def _install_sgemm(self) -> None:
+        """Resolve ``cblas_sgemm`` and hand it to the C side.
+
+        Failure is not an error: the C kernels carry a threaded blocked
+        fallback, so a host whose numpy ships no reachable BLAS still
+        gets a correct (slower) backend.
+        """
+        for path in _blas_candidates():
+            try:
+                handle = ctypes.CDLL(path, mode=ctypes.RTLD_LOCAL)
+            except OSError:
+                continue
+            for symbol, is64 in _SGEMM_SYMBOLS:
+                try:
+                    fn = getattr(handle, symbol)
+                except AttributeError:
+                    continue
+                self._blas_handle = handle
+                self._cdll.repro_set_sgemm(
+                    ctypes.cast(fn, ctypes.c_void_p), is64
+                )
+                return
+
+
+_kernels: CNativeKernels | None = None
+_kernels_lock = threading.Lock()
+
+
+def load_kernels() -> CNativeKernels:
+    """Build (if needed) and load the kernel library, once per process.
+
+    Raises :class:`repro.backend.cnative.build.CNativeBuildError` when
+    the library cannot be produced on this host.
+    """
+    global _kernels
+    with _kernels_lock:
+        if _kernels is None:
+            _kernels = CNativeKernels(build_library())
+        return _kernels

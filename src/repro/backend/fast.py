@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 import weakref
+from collections import OrderedDict
 from typing import Any
 
 import numpy as np
@@ -56,14 +57,23 @@ class NumpyFastBackend(ArrayBackend):
             "weakref.WeakKeyDictionary[object, tuple[Array, Array, Array, Array]]"
         ) = weakref.WeakKeyDictionary()
         self._plan_lock = threading.Lock()
-        self._im2col_indices: dict[tuple[Any, ...], Array] = {}
+        self._im2col_indices: OrderedDict[tuple[Any, ...], Array] = (
+            OrderedDict()
+        )
         self._im2col_lock = threading.Lock()
 
     # -- dtype policy ----------------------------------------------------
 
     def asarray(self, x: Array) -> Array:
-        """Cast to float32, this backend's real compute dtype."""
-        return np.asarray(x, dtype=np.float32)
+        """Cast to float32 (complex input stays complex64).
+
+        Mirrors :meth:`_compute_cast`: a blind ``float32`` cast would
+        silently discard the imaginary part of complex input (numpy
+        only emits a ComplexWarning), which destroyed analytic-signal
+        phase anywhere ``asarray`` met IQ data.
+        """
+        dtype = np.complex64 if np.iscomplexobj(x) else np.float32
+        return np.asarray(x, dtype=dtype)
 
     def _compute_cast(self, x: Array) -> Array:
         """Real -> float32, complex -> complex64, contiguous."""
@@ -73,18 +83,27 @@ class NumpyFastBackend(ArrayBackend):
         return np.ascontiguousarray(x, dtype=dtype)
 
     def _scratch(self, shape: tuple[int, ...], dtype: DTypeLike) -> Array:
-        """A reusable per-thread buffer (never escapes a kernel call)."""
-        pool: dict[tuple[tuple[int, ...], str], Array] | None = getattr(
-            self._tls, "pool", None
+        """A reusable per-thread buffer (never escapes a kernel call).
+
+        The pool is a bounded LRU: when a new shape would exceed the
+        cap, only the least-recently-used buffer is evicted.  (It used
+        to ``clear()`` wholesale, which dumped every hot buffer the
+        moment a 33rd geometry appeared — under mixed-geometry serving
+        that meant reallocating the entire working set on a cycle.)
+        """
+        pool: OrderedDict[tuple[tuple[int, ...], str], Array] | None = (
+            getattr(self._tls, "pool", None)
         )
         if pool is None:
-            pool = self._tls.pool = {}
+            pool = self._tls.pool = OrderedDict()
         key = (shape, np.dtype(dtype).str)
         buffer = pool.get(key)
         if buffer is None:
-            if len(pool) >= _SCRATCH_POOL_CAP:
-                pool.clear()
+            while len(pool) >= _SCRATCH_POOL_CAP:
+                pool.popitem(last=False)
             buffer = pool[key] = np.empty(shape, dtype)
+        else:
+            pool.move_to_end(key)
         return buffer
 
     # -- GEMM-shaped kernels --------------------------------------------
@@ -145,6 +164,8 @@ class NumpyFastBackend(ArrayBackend):
         key = (padded_hwc, kernel_size)
         with self._im2col_lock:
             indices = self._im2col_indices.get(key)
+            if indices is not None:
+                self._im2col_indices.move_to_end(key)
         if indices is not None:
             return indices
         # Run the reference patch extraction over a linear-index volume:
@@ -166,11 +187,13 @@ class NumpyFastBackend(ArrayBackend):
             )
         )
         with self._im2col_lock:
-            if len(self._im2col_indices) >= _SCRATCH_POOL_CAP:
+            while len(self._im2col_indices) >= _SCRATCH_POOL_CAP:
                 # Same bound as the scratch pool: a table is ~100 MB at
                 # small scale, so the cache must not grow with every
-                # geometry a long-lived process ever sees.
-                self._im2col_indices.clear()
+                # geometry a long-lived process ever sees.  LRU, not
+                # clear(): a 33rd geometry must not dump the 32 hot
+                # tables under mixed-geometry serving.
+                self._im2col_indices.popitem(last=False)
             self._im2col_indices[key] = indices
         return indices
 

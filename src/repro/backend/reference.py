@@ -45,8 +45,16 @@ class NumpyBackend(ArrayBackend):
     atol = 0.0
 
     def asarray(self, x: Array) -> Array:
-        """Cast to float64, the reference compute dtype."""
-        return np.asarray(x, dtype=float)
+        """Cast to float64 (complex input stays complex128).
+
+        A blind ``dtype=float`` cast would silently discard the
+        imaginary part of complex input — numpy only emits a
+        ComplexWarning — so the cast is complex-aware: the analytic
+        (IQ) arrays that flow through the beamforming path keep their
+        phase.  Real input is cast exactly as before, bit-for-bit.
+        """
+        dtype = complex if np.iscomplexobj(x) else float
+        return np.asarray(x, dtype=dtype)
 
     def matmul(self, x: Array, weight: Array) -> Array:
         """Flattened GEMM at the inputs' own (float64) precision."""

@@ -17,17 +17,19 @@ class ReLU(Layer):
     """Rectified linear unit, ``max(x, 0)``."""
 
     def __init__(self) -> None:
-        self._mask: np.ndarray | None = None
+        self._y: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = get_backend().asarray(x)
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        # Dispatch through the backend: compiled backends fuse the mask
+        # and select into one pass.  The cached output doubles as the
+        # gradient mask (y > 0 <=> x > 0 for every x that survives).
+        self._y = get_backend().relu(x)
+        return self._y
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._mask is None:
+        if self._y is None:
             raise RuntimeError("ReLU: backward before forward")
-        return np.where(self._mask, grad_output, 0.0)
+        return np.where(self._y > 0, grad_output, 0.0)
 
 
 class Tanh(Layer):
@@ -37,7 +39,7 @@ class Tanh(Layer):
         self._y: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._y = np.tanh(get_backend().asarray(x))
+        self._y = get_backend().tanh(x)
         return self._y
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -48,11 +50,8 @@ class Tanh(Layer):
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis`` (in the active
-    backend's compute dtype)."""
-    x = get_backend().asarray(x)
-    shifted = x - x.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=axis, keepdims=True)
+    backend's compute dtype, via the backend's fused kernel)."""
+    return get_backend().softmax(x, axis=axis)
 
 
 def softmax_backward(

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backend import get_backend
-from repro.nn.layers.activations import softmax, softmax_backward
+from repro.nn.layers.activations import softmax_backward
 from repro.nn.layers.base import Layer, Parameter
 from repro.nn.layers.dense import Dense
 from repro.utils.rng import make_rng
@@ -77,9 +77,10 @@ class MultiHeadAttention(Layer):
         v = self._split_heads(self.value.forward(x, training))
 
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = backend.attention_scores(q, k, scale)
-        attention = softmax(scores, axis=-1)
-        context = backend.attention_context(attention, v)
+        # One backend call for scores -> softmax -> context (compiled
+        # backends fuse the three per head-slice); the returned
+        # probabilities feed backward exactly as before.
+        attention, context = backend.attention(q, k, v, scale)
         merged = self._merge_heads(context)
         out = self.output.forward(merged, training)
         self._cache = {

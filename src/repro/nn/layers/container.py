@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.layers.activations import ReLU
 from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.dense import Dense
 
 
 class Sequential(Layer):
@@ -17,8 +19,29 @@ class Sequential(Layer):
         self.name = name
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        for layer in self.layers:
+        # Peephole: an exactly-Dense followed by an exactly-ReLU runs as
+        # one fused backend call (identical numerics for the default
+        # backends — the base `affine_relu` *is* relu-after-affine — and
+        # one fewer full pass over the activation for compiled ones).
+        # Both layers' backward caches are populated as usual, so
+        # training and backward are oblivious to the fusion.
+        layers = self.layers
+        count = len(layers)
+        index = 0
+        while index < count:
+            layer = layers[index]
+            if (
+                index + 1 < count
+                and type(layer) is Dense
+                and type(layers[index + 1]) is ReLU
+            ):
+                x = layer.forward_fused_relu(
+                    x, layers[index + 1], training=training
+                )
+                index += 2
+                continue
             x = layer.forward(x, training=training)
+            index += 1
         return x
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -68,6 +68,35 @@ class Dense(Layer):
             self.bias.value if self.bias is not None else None,
         )
 
+    def forward_fused_relu(
+        self, x: np.ndarray, relu: Layer, training: bool = False
+    ) -> np.ndarray:
+        """Forward through this layer and a following ReLU in one call.
+
+        Dispatches the backend's ``affine_relu`` kernel (compiled
+        backends fold the ReLU into the GEMM epilogue) while leaving
+        both layers' backward caches exactly as the unfused pair would:
+        this layer keeps its input, ``relu`` keeps the activation, so
+        ``backward`` through either is unchanged.  Called by
+        :class:`~repro.nn.layers.container.Sequential` when it sees the
+        adjacent pair; not part of the generic ``Layer`` contract.
+        """
+        backend = get_backend()
+        x = backend.asarray(x)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected last axis {self.in_features}, "
+                f"got input shape {x.shape}"
+            )
+        self._x = x
+        y = backend.affine_relu(
+            x,
+            self.weight.value,
+            self.bias.value if self.bias is not None else None,
+        )
+        relu._y = y  # the ReLU's backward mask (y > 0 <=> x > 0)
+        return y
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError(f"{self.name}: backward before forward")

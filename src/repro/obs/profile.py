@@ -86,6 +86,29 @@ class ProfilingBackend(ArrayBackend):
         self._observe("asarray", started)
         return out
 
+    # -- elementwise / reduction nonlinearities -------------------------
+
+    def relu(self, x: Array) -> Array:
+        """Timed delegate of :meth:`ArrayBackend.relu`."""
+        started = self._clock_now()
+        out = self.inner.relu(x)
+        self._observe("relu", started)
+        return out
+
+    def softmax(self, x: Array, axis: int = -1) -> Array:
+        """Timed delegate of :meth:`ArrayBackend.softmax`."""
+        started = self._clock_now()
+        out = self.inner.softmax(x, axis=axis)
+        self._observe("softmax", started)
+        return out
+
+    def tanh(self, x: Array) -> Array:
+        """Timed delegate of :meth:`ArrayBackend.tanh`."""
+        started = self._clock_now()
+        out = self.inner.tanh(x)
+        self._observe("tanh", started)
+        return out
+
     # -- GEMM-shaped kernels --------------------------------------------
 
     def matmul(self, x: Array, weight: Array) -> Array:
@@ -100,6 +123,21 @@ class ProfilingBackend(ArrayBackend):
         started = self._clock_now()
         out = self.inner.affine(x, weight, bias)
         self._observe("affine", started)
+        return out
+
+    def affine_relu(
+        self, x: Array, weight: Array, bias: Array | None
+    ) -> Array:
+        """Timed delegate of :meth:`ArrayBackend.affine_relu`.
+
+        Forwards to the inner backend's own (possibly fused) kernel —
+        inheriting the base default would re-dispatch through the
+        wrapper's ``affine``/``relu`` and silently unfuse a compiled
+        backend under profiling.
+        """
+        started = self._clock_now()
+        out = self.inner.affine_relu(x, weight, bias)
+        self._observe("affine_relu", started)
         return out
 
     def im2col(
@@ -126,6 +164,16 @@ class ProfilingBackend(ArrayBackend):
         started = self._clock_now()
         out = self.inner.attention_context(attention, v)
         self._observe("attention_context", started)
+        return out
+
+    def attention(
+        self, q: Array, k: Array, v: Array, scale: float
+    ) -> tuple[Array, Array]:
+        """Timed delegate of :meth:`ArrayBackend.attention` (forwards to
+        the inner backend's possibly-fused implementation)."""
+        started = self._clock_now()
+        out = self.inner.attention(q, k, v, scale)
+        self._observe("attention", started)
         return out
 
     # -- beamforming kernels --------------------------------------------

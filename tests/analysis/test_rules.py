@@ -85,6 +85,61 @@ class TestBackendPurity:
         )
         assert found == []
 
+    def test_flags_elementwise_in_layers(self):
+        """relu/softmax/tanh are dispatched kernels now — a direct
+        np.exp/np.where in a forward path bypasses the fused kernel."""
+        found = check(
+            self.RULE,
+            """
+            import numpy as np
+
+            def forward(x):
+                e = np.exp(x)
+                return np.where(x > 0, e, 0.0)
+            """,
+            "repro.nn.layers.activations",
+        )
+        assert len(found) == 2
+        assert "np.exp" in found[0].message
+
+    def test_spares_elementwise_outside_layers(self):
+        """beamform/quant use the same numpy functions for physics and
+        quantized-datapath semantics — not backend kernels."""
+        for package in (
+            "repro.beamform.envelope",
+            "repro.beamform.apodization",
+            "repro.quant.qexec",
+        ):
+            found = check(
+                self.RULE,
+                """
+                import numpy as np
+
+                def carrier(f, t):
+                    w = np.where(t > 0, t, 0.0)
+                    return np.exp(2j * np.pi * f * w) * np.tanh(w)
+                """,
+                package,
+            )
+            assert found == [], package
+
+    def test_spares_backward_suffix_functions(self):
+        found = check(
+            self.RULE,
+            """
+            import numpy as np
+
+            def softmax_backward(p, grad):
+                return p * np.where(grad > 0, grad, 0.0)
+
+            class Softmax:
+                def backward(self, grad):
+                    return np.exp(grad)
+            """,
+            "repro.nn.layers.activations",
+        )
+        assert found == []
+
 
 class TestBoundedQueues:
     RULE = BoundedQueuesRule()

@@ -1,0 +1,210 @@
+"""cnative-specific tests: golden numerics, fusion, and degradation.
+
+The conformance suite already certifies ``cnative`` against every
+contract test via the ``backend_name`` parametrization; this module
+adds what parametrization cannot express:
+
+* the frozen byte-level golden fixtures reproduced under ``cnative``
+  within its *documented* tolerances (the goldens pin ``numpy``
+  bit-for-bit; a float32 compiled backend is held to its contract
+  tolerance against the same bytes),
+* the fused kernels (``affine_relu``, ``attention``) agreeing with
+  the composition of their unfused parts,
+* graceful degradation on a host with no C compiler: a subprocess with
+  the toolchain hidden must come up with ``cnative`` absent from
+  ``available_backends()``, a recorded reason, and an actionable error
+  on explicit request — never an import-time crash.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends, get_backend, use_backend
+
+from tests.backend.test_conformance import _close
+from tests.golden import cases
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+cnative_only = pytest.mark.skipif(
+    "cnative" not in available_backends(),
+    reason="cnative backend unavailable on this host",
+)
+
+
+@cnative_only
+class TestGoldenUnderCNative:
+    """The frozen goldens, re-run under the compiled backend."""
+
+    def _check(self, name: str, computed: dict) -> None:
+        backend = get_backend("cnative")
+        stored = np.load(cases.DATA_DIR / f"{name}.npz")
+        for key, value in computed.items():
+            _close(backend, value, stored[key], f"{name}/{key}")
+
+    def test_das(self):
+        stored = np.load(cases.DATA_DIR / "das.npz")
+        with use_backend("cnative"):
+            computed = cases.compute_das(stored["rf"])
+        self._check("das", computed)
+
+    def test_tiny_vbf_forward(self):
+        stored = np.load(cases.DATA_DIR / "tiny_vbf_forward.npz")
+        model = cases.golden_model()
+        cases.load_model_params(model, stored)
+        with use_backend("cnative"):
+            computed = cases.compute_tiny_vbf_forward(model, stored["x"])
+        self._check("tiny_vbf_forward", computed)
+
+    def test_qexec_20bits(self):
+        stored = np.load(cases.DATA_DIR / "qexec_20bits.npz")
+        model = cases.golden_model()
+        cases.load_model_params(
+            model, np.load(cases.DATA_DIR / "tiny_vbf_forward.npz")
+        )
+        with use_backend("cnative"):
+            computed = cases.compute_qexec_20bits(model, stored["x"])
+        self._check("qexec_20bits", computed)
+
+
+@cnative_only
+class TestFusedKernels:
+    """Fused entry points agree with the composition they replace."""
+
+    def test_affine_relu_matches_composition(self, rng):
+        backend = get_backend("cnative")
+        x = rng.standard_normal((7, 5))
+        weight = rng.standard_normal((5, 3))
+        bias = rng.standard_normal(3)
+        fused = backend.affine_relu(x, weight, bias)
+        composed = backend.relu(backend.affine(x, weight, bias))
+        assert np.array_equal(fused, composed)
+        assert fused.min() >= 0.0
+
+    def test_attention_matches_composition(self, rng):
+        backend = get_backend("cnative")
+        q = rng.standard_normal((2, 2, 6, 4))
+        k = rng.standard_normal((2, 2, 6, 4))
+        v = rng.standard_normal((2, 2, 6, 4))
+        scale = 0.5
+        probs, out = backend.attention(q, k, v, scale)
+        scores = backend.attention_scores(q, k, scale)
+        probs_ref = backend.softmax(scores, axis=-1)
+        out_ref = backend.attention_context(probs_ref, v)
+        _close(backend, probs, probs_ref, "fused attention probs")
+        _close(backend, out, out_ref, "fused attention context")
+        # softmax rows normalize
+        np.testing.assert_allclose(
+            np.asarray(probs).sum(axis=-1), 1.0, rtol=1e-4
+        )
+
+    def test_signed_im2col_matches_fast(self, rng):
+        from repro.backend.fast import NumpyFastBackend
+
+        backend = get_backend("cnative")
+        x = rng.standard_normal((2, 6, 5, 3)).astype(np.float32)
+        actual = backend.im2col(x, (3, 3), 3)
+        expected = NumpyFastBackend().im2col(x, (3, 3), 3)
+        assert actual.shape == expected.shape
+        assert np.array_equal(actual, expected)
+
+
+@cnative_only
+class TestKernelLibrary:
+    def test_threads_configured(self):
+        backend = get_backend("cnative")
+        assert backend._kernels.threads >= 1
+
+    def test_library_cached_across_loads(self):
+        """A second load_kernels() returns the singleton (no rebuild)."""
+        from repro.backend.cnative.lib import load_kernels
+
+        assert load_kernels() is load_kernels()
+
+
+_NO_COMPILER_PROBE = """
+import json
+from repro.backend import (
+    available_backends,
+    backend_unavailable_reason,
+    get_backend,
+)
+
+result = {"available": available_backends()}
+result["reason"] = backend_unavailable_reason("cnative")
+try:
+    get_backend("cnative")
+    result["error"] = None
+except ValueError as exc:
+    result["error"] = str(exc)
+
+# The rest of the stack must be untouched by the missing toolchain.
+import numpy as np
+from repro.backend import use_backend
+with use_backend("numpy-fast"):
+    y = get_backend().affine(np.ones((2, 3)), np.ones((3, 2)), None)
+result["fast_ok"] = bool(np.allclose(y, 3.0))
+print(json.dumps(result))
+"""
+
+
+def test_no_compiler_degrades_gracefully(tmp_path):
+    """With no usable C compiler, import still succeeds and cnative is
+    reported unavailable with an actionable reason."""
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(SRC),
+        REPRO_CNATIVE_CACHE=str(tmp_path / "empty-cache"),
+        REPRO_CNATIVE_CC=str(tmp_path / "no-such-compiler"),
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", _NO_COMPILER_PROBE],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    result = json.loads(out.stdout)
+    assert "cnative" not in result["available"]
+    assert "numpy" in result["available"]
+    assert "numpy-fast" in result["available"]
+    assert result["reason"], "unavailability reason must be recorded"
+    assert result["error"] is not None, (
+        "explicit request for an unavailable backend must raise"
+    )
+    assert "cnative" in result["error"]
+    # The error carries the why, not just "unknown backend".
+    assert result["reason"] in result["error"]
+    assert result["fast_ok"]
+
+
+def test_disable_env_var(tmp_path):
+    """REPRO_CNATIVE_DISABLE=1 opts out even on a host with a compiler."""
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(SRC),
+        REPRO_CNATIVE_DISABLE="1",
+    )
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.backend import available_backends, "
+            "backend_unavailable_reason; "
+            "print(','.join(available_backends())); "
+            "print(backend_unavailable_reason('cnative'))",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    names, reason = out.stdout.strip().split("\n")
+    assert "cnative" not in names.split(",")
+    assert reason and reason != "None"

@@ -82,6 +82,26 @@ class TestShapeDtypeInvariants:
 
 
 class TestKernelContracts:
+    def test_asarray_preserves_complex(self, backend_name, rng):
+        """``asarray`` must keep complex input complex on every backend.
+
+        Regression: numpy-fast's ``asarray`` blind-cast to float32,
+        which silently discarded the imaginary part (numpy only emits a
+        ComplexWarning) — analytic-signal phase was destroyed anywhere
+        ``asarray`` met IQ data.  Backends may narrow the precision
+        (complex64 on float32 backends) but never the domain.
+        """
+        backend = get_backend(backend_name)
+        x = rng.standard_normal((5, 3)) + 1j * rng.standard_normal(
+            (5, 3)
+        )
+        out = backend.asarray(x)
+        assert np.iscomplexobj(out), (
+            f"backend {backend_name!r} dropped the imaginary part in "
+            f"asarray (got dtype {np.asarray(out).dtype})"
+        )
+        _close(backend, out, x, "complex asarray")
+
     def test_matmul_preserves_complex(self, backend_name, rng):
         """The GEMM kernels must keep complex inputs complex (IQ-domain
         layers are a legitimate future user), matching the reference."""

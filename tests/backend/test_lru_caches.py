@@ -1,0 +1,101 @@
+"""Regression tests for the bounded per-backend caches.
+
+The fast backend's scratch pool and im2col index-table cache (and the
+cnative backend's signed-table variant) used to ``clear()`` wholesale
+when a new geometry pushed them past the cap — the arrival of an
+(N+1)'th geometry dumped all N hot entries and the whole working set
+was reallocated/recomputed on the next cycle.  They are bounded LRUs
+now: exactly one entry (the least recently used) is evicted per
+insertion, and recently touched entries survive.  These tests fail on
+the old wholesale-clear behaviour.
+
+(The assertions inspect the cache dicts directly rather than re-request
+evicted keys — a re-request would re-insert and evict another entry,
+mutating the state mid-verification.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends
+from repro.backend.fast import _SCRATCH_POOL_CAP, NumpyFastBackend
+
+F32 = np.dtype(np.float32).str
+
+
+def test_scratch_pool_evicts_one_not_all():
+    backend = NumpyFastBackend()
+    shapes = [(i + 1, 4) for i in range(_SCRATCH_POOL_CAP)]
+    buffers = {
+        shape: backend._scratch(shape, np.float32) for shape in shapes
+    }
+
+    # The (N+1)'th shape must evict only the least-recently-used entry.
+    backend._scratch((9999, 4), np.float32)
+    pool = backend._tls.pool
+    assert len(pool) == _SCRATCH_POOL_CAP
+    assert (shapes[0], F32) not in pool, (
+        "the LRU entry should have been evicted by the overflow shape"
+    )
+    for shape in shapes[1:]:
+        assert pool[(shape, F32)] is buffers[shape], (
+            f"hot buffer {shape} was dumped by a single overflow shape "
+            f"(wholesale clear instead of LRU eviction)"
+        )
+
+
+def test_scratch_pool_eviction_follows_recency():
+    backend = NumpyFastBackend()
+    shapes = [(i + 1, 3) for i in range(_SCRATCH_POOL_CAP)]
+    buffers = {
+        shape: backend._scratch(shape, np.float32) for shape in shapes
+    }
+    # Refresh the oldest entry so it is no longer the LRU...
+    assert backend._scratch(shapes[0], np.float32) is buffers[shapes[0]]
+    # ...then overflow: the second-oldest must be the one to go.
+    backend._scratch((8888, 3), np.float32)
+    pool = backend._tls.pool
+    assert pool[(shapes[0], F32)] is buffers[shapes[0]]
+    assert (shapes[1], F32) not in pool
+
+
+def test_im2col_table_cache_evicts_one_not_all():
+    backend = NumpyFastBackend()
+    geometries = [((h + 2, 6, 1), (h, 4)) for h in range(2, 2 + _SCRATCH_POOL_CAP)]
+    tables = {
+        out_hw: backend._im2col_index_table(padded, out_hw, (3, 3), 1)
+        for padded, out_hw in geometries
+    }
+
+    backend._im2col_index_table((60, 6, 1), (58, 4), (3, 3), 1)
+    cache = backend._im2col_indices
+    assert len(cache) == _SCRATCH_POOL_CAP
+    evicted_key = (geometries[0][0], (3, 3))
+    assert evicted_key not in cache
+    for padded, out_hw in geometries[1:]:
+        assert cache[(padded, (3, 3))] is tables[out_hw], (
+            "an (N+1)'th geometry must evict exactly the LRU table, "
+            "not the whole cache"
+        )
+
+
+@pytest.mark.skipif(
+    "cnative" not in available_backends(),
+    reason="cnative backend unavailable on this host",
+)
+def test_cnative_signed_table_cache_evicts_one_not_all():
+    from repro.backend.cnative.backend import CNativeBackend
+
+    backend = CNativeBackend()
+    frames = [(h, 5, 1) for h in range(2, 2 + _SCRATCH_POOL_CAP)]
+    tables = {
+        frame: backend._signed_im2col_table(frame, (3, 3))
+        for frame in frames
+    }
+
+    backend._signed_im2col_table((77, 5, 1), (3, 3))
+    cache = backend._signed_im2col
+    assert len(cache) == _SCRATCH_POOL_CAP
+    assert (frames[0], (3, 3)) not in cache
+    for frame in frames[1:]:
+        assert cache[(frame, (3, 3))] is tables[frame]

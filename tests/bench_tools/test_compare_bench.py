@@ -203,6 +203,45 @@ class TestRatioTolerances:
         assert failures == []
 
 
+class TestCNativeRatioTolerance:
+    """The compiled-backend forward ratio gates at 35 % in both modes.
+
+    The override must cut both ways: tighter than the 60 % smoke
+    default (a 40 % collapse is structural — e.g. a kernel silently
+    falling back to un-fused dispatch), and looser than the 25 %
+    full-mode default (the numpy numerator swings tens of percent with
+    allocator state even on one host).
+    """
+
+    BASELINE = {"ratios": {"cnative_vs_numpy_forward": 5.5}}
+
+    def _scaled(self, factor: float) -> dict:
+        return {"ratios": {"cnative_vs_numpy_forward": 5.5 * factor}}
+
+    def test_ratio_is_collected(self):
+        metrics = compare_bench.collect_metrics(self.BASELINE)
+        assert metrics["ratios.cnative_vs_numpy_forward"] == 5.5
+        assert (
+            compare_bench.RATIO_TOLERANCES["cnative_vs_numpy_forward"]
+            == 0.35
+        )
+
+    @pytest.mark.parametrize("smoke", [False, True])
+    def test_forty_percent_collapse_fails_both_modes(self, smoke):
+        failures, _ = compare_bench.compare(
+            self._scaled(0.60), self.BASELINE, 0.25, smoke=smoke
+        )
+        assert len(failures) == 1
+        assert "cnative_vs_numpy_forward" in failures[0]
+
+    @pytest.mark.parametrize("smoke", [False, True])
+    def test_thirty_percent_drift_passes_both_modes(self, smoke):
+        failures, _ = compare_bench.compare(
+            self._scaled(0.70), self.BASELINE, 0.25, smoke=smoke
+        )
+        assert failures == []
+
+
 class TestMain:
     def _write(self, tmp_path: Path, name: str, payload: dict) -> Path:
         path = tmp_path / name
