@@ -88,6 +88,7 @@ RATIO_KEYS = frozenset(
         "gateway_efficiency",
         "traced_vs_untraced",
         "cnative_vs_numpy_forward",
+        "controlled_vs_static_p99",
     }
 )
 
@@ -106,6 +107,14 @@ RATIO_TOLERANCES = {
     # the gate meaningful (a fallback to un-fused dispatch roughly
     # halves the ratio) without flaking on timing jitter.
     "cnative_vs_numpy_forward": 0.35,
+    # Control-loop contract (bench_serve_control): the static leg's
+    # traffic ramp drives its p99 latency several-fold past the SLO
+    # while the controlled leg holds it, so the static/controlled p99
+    # ratio sits well above 2.  p99s under saturation are tail
+    # statistics — 50 % tolerance still fails the gate the moment the
+    # controller stops helping (ratio -> ~1) without flaking on tail
+    # noise.
+    "controlled_vs_static_p99": 0.5,
 }
 
 

@@ -34,10 +34,12 @@ import threading
 from repro.gateway.server import GatewayServer
 from repro.serve.__main__ import (
     add_beamformer_args,
+    add_control_args,
     add_engine_args,
     add_gateway_args,
     add_obs_args,
     make_beamformer,
+    make_controller,
     make_observability,
 )
 from repro.serve.engine import ServeEngine
@@ -56,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_beamformer_args(parser)
     add_engine_args(parser)
     add_gateway_args(parser)
+    add_control_args(parser)
     add_obs_args(parser)
     parser.add_argument(
         "--port",
@@ -142,8 +145,26 @@ def run_gateway(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         feed_capacity=args.feed_capacity,
     )
+    # The gateway recreates its telemetry per start(); a callable keeps
+    # the controller reading the live instance.
+    controller = make_controller(
+        args,
+        lambda: server.telemetry,
+        engine=engine,
+        gateway=server,
+        observability=engine.obs,
+    )
     try:
         server.start()
+        if controller is not None:
+            controller.start()
+            print(
+                f"control loop on: SLO p99 <= {args.slo_p99:g}s, "
+                f"tick {args.control_interval:g}s"
+                + (", autoscale" if args.autoscale else ""),
+                file=sys.stderr,
+                flush=True,
+            )
         print(
             f"gateway ready on {args.host}:{server.port}",
             file=sys.stderr,
@@ -159,11 +180,16 @@ def run_gateway(args: argparse.Namespace) -> int:
         # finally still drains whatever was started.
         pass
     finally:
+        if controller is not None:
+            controller.stop()
         server.stop()  # idempotent; no-op if start never completed
         close = getattr(engine, "close", None)
         if close is not None:
             close()
-    print(json.dumps(server.stats(), indent=2))  # repro: noqa[RA005] -- operator-facing CLI stats, not wire data
+    payload = server.stats()
+    if controller is not None:
+        payload["control"] = controller.status()
+    print(json.dumps(payload, indent=2))  # repro: noqa[RA005] -- operator-facing CLI stats, not wire data
     return 0
 
 

@@ -28,6 +28,7 @@ surfaces as :class:`GatewayRejected`; a fatal server ``error`` as
 
 from __future__ import annotations
 
+import select
 import socket
 from typing import Iterable, Iterator
 
@@ -220,6 +221,32 @@ class GatewayClient:
                 code, message = self._rejects.pop(seq)
                 raise GatewayRejected(seq, code, message)
             self._pump()
+
+    def poll(self) -> None:
+        """Drain server messages already buffered, without blocking.
+
+        A paced producer that defers :meth:`result` calls must still
+        read the socket, or delivered images pile up in the kernel
+        buffer until the server's writes — and then its reads, and
+        then the client's :meth:`submit` — all stall.  Calling
+        ``poll`` between submits keeps the pipe flowing; afterwards,
+        :meth:`has_result` says which pending frames :meth:`result`
+        would now return instantly.
+        """
+        self._require_session()
+        while True:
+            ready, _, _ = select.select([self._sock], [], [], 0)
+            if not ready:
+                return
+            self._pump()
+
+    def has_result(self, seq: int) -> bool:
+        """Whether frame ``seq``'s outcome (image or reject) is here.
+
+        Only reflects messages already read — call :meth:`poll` first
+        to drain the socket without blocking.
+        """
+        return seq in self._results or seq in self._rejects
 
     def stream(
         self,

@@ -479,6 +479,65 @@ class GatewayServer:
         """Drain and stop the gateway on ``with`` exit."""
         self.stop()
 
+    # -- runtime control -------------------------------------------------
+
+    @property
+    def telemetry(self) -> "ServeTelemetry | None":
+        """The live run's engine telemetry (None before ``start``).
+
+        Recreated per :meth:`start`; the control loop attaches with a
+        callable (``lambda: gateway.telemetry``) so it always reads the
+        current instance.
+        """
+        return self._telemetry
+
+    def set_admission(
+        self,
+        max_sessions: int | None = None,
+        max_inflight: int | None = None,
+    ) -> None:
+        """Change the admission-control credits at runtime.
+
+        ``max_sessions`` applies to future handshakes (open sessions
+        are never evicted — shedding happens at the frame level).
+        ``max_inflight`` applies to future handshakes *and* every open
+        session: a session over its shrunken credit simply has further
+        frames rejected with ``inflight_cap`` until enough results
+        drain — explicit early rejection instead of silent queue
+        growth, which is the whole point of credit-based admission.
+        Safe from any thread (the controller's tick calls it).
+        """
+        new_sessions = (
+            self.max_sessions if max_sessions is None else max_sessions
+        )
+        new_inflight = (
+            self.max_inflight if max_inflight is None else max_inflight
+        )
+        if new_sessions < 1:
+            raise ValueError(
+                f"max_sessions must be >= 1, got {new_sessions}"
+            )
+        if new_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {new_inflight}"
+            )
+        self.max_sessions = new_sessions
+        self.max_inflight = new_inflight
+        if self._started and not self._stopped:
+            async def _apply() -> None:
+                for session in list(self._sessions.values()):
+                    session.max_inflight = new_inflight
+
+            try:
+                self._call_in_loop(_apply())
+            except RuntimeError:
+                pass  # loop already gone: the attribute change stands
+        self.obs.events.emit(
+            "admission_changed",
+            max_sessions=new_sessions,
+            max_inflight=new_inflight,
+        )
+
     # -- stats -----------------------------------------------------------
 
     def stats(self) -> dict:
@@ -791,6 +850,24 @@ class GatewayServer:
         session.frames_in += 1
         self._stats["frames_admitted"] += 1
         self._m_frames.inc(event="admitted")
+        if self._telemetry is not None:
+            # Depth signals for the control loop, sampled at every
+            # admit.  ``feed`` is how far the gateway runs ahead of
+            # the engine; ``inflight`` is the total admitted-but-
+            # undelivered frame count across sessions — the *leading*
+            # saturation signal, because engine-side queue depths
+            # count batches (which hide up to ``max_batch`` frames
+            # each) and only back up after the damage is queued.
+            self._telemetry.observe_queue_depth(
+                "feed", len(self._feed)
+            )
+            self._telemetry.observe_queue_depth(
+                "inflight",
+                sum(
+                    s.inflight
+                    for s in list(self._sessions.values())
+                ),
+            )
 
     async def _reject(
         self, session: _Session, seq: int, code: str, trace=None

@@ -35,6 +35,9 @@ Pieces (each importable on its own):
                (bounded reservoirs), per-shard breakdown, worker
                liveness/restart counters, throughput, queue depth,
                plan-cache hit rate,
+* control    — :class:`ServoController`: telemetry-driven control loop
+               that steers batching, admission and worker count toward
+               an explicit :class:`SLO` (docs/autotuning.md),
 * queues     — :class:`BoundedQueue` backpressure primitive,
 * clock      — :class:`MonotonicClock` / :class:`FakeClock` (tests).
 
@@ -49,6 +52,12 @@ engine; emits ``BENCH_serve.json``) and
 """
 
 from repro.serve.clock import Clock, FakeClock, MonotonicClock
+from repro.serve.control import (
+    SLO,
+    ControlAction,
+    ControlBounds,
+    ServoController,
+)
 from repro.serve.engine import ServeEngine, ServeReport
 from repro.serve.queues import (
     BACKPRESSURE_POLICIES,
@@ -80,6 +89,8 @@ __all__ = [
     "BACKPRESSURE_POLICIES",
     "BoundedQueue",
     "Clock",
+    "ControlAction",
+    "ControlBounds",
     "FakeClock",
     "FrameSource",
     "FrameTransport",
@@ -94,9 +105,11 @@ __all__ = [
     "QueueTimeout",
     "ReplaySource",
     "SHARD_POLICIES",
+    "SLO",
     "ServeEngine",
     "ServeReport",
     "ServeTelemetry",
+    "ServoController",
     "ShardRouter",
     "ShardedServeEngine",
     "ShmRing",

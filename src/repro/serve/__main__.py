@@ -202,6 +202,58 @@ def add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_control_args(parser: argparse.ArgumentParser) -> None:
+    """Add the control-loop flags (shared with the gateway CLI)."""
+    parser.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="enable the telemetry-driven control loop with this p99 "
+        "end-to-end latency objective (seconds); the controller "
+        "steers max-batch/max-latency-ms (and admission/workers "
+        "where applicable) toward it — see docs/autotuning.md",
+    )
+    parser.add_argument(
+        "--control-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="control-loop tick period (requires --slo-p99)",
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="let the control loop add/retire workers at runtime "
+        "(requires --slo-p99; sharded engine scales processes, "
+        "threaded engine scales threads)",
+    )
+
+
+def make_controller(
+    args: argparse.Namespace,
+    telemetry,
+    engine=None,
+    gateway=None,
+    observability=None,
+):
+    """Build the :class:`~repro.serve.control.ServoController` for the
+    CLI flags, or ``None`` when ``--slo-p99`` is absent."""
+    if args.slo_p99 is None:
+        return None
+    from repro.serve.control import SLO, ServoController
+
+    return ServoController(
+        SLO(p99_latency_s=args.slo_p99),
+        telemetry,
+        engine=engine,
+        gateway=gateway,
+        autoscale=args.autoscale,
+        interval_s=args.control_interval,
+        observability=observability,
+    )
+
+
 def make_observability(args: argparse.Namespace):
     """Build the :class:`repro.obs.Observability` bundle for the CLI flags."""
     from repro.obs import Observability
@@ -252,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_beamformer_args(parser)
     add_source_args(parser)
     add_engine_args(parser)
+    add_control_args(parser)
     add_obs_args(parser)
     parser.add_argument(
         "--gateway",
@@ -345,8 +398,6 @@ def main(argv: list[str] | None = None) -> int:
             observability=obs,
             profile_kernels=args.profile_kernels,
         )
-        with engine:
-            report = engine.serve(source)
     else:
         engine = ServeEngine(
             beamformer,
@@ -358,7 +409,27 @@ def main(argv: list[str] | None = None) -> int:
             log_every_s=args.log_every,
             observability=obs,
         )
-        report = engine.serve(source)
+    telemetry = None
+    controller = None
+    if args.slo_p99 is not None:
+        from repro.serve.telemetry import ServeTelemetry
+
+        telemetry = ServeTelemetry(
+            clock=engine.clock, metrics=obs.metrics
+        )
+        controller = make_controller(
+            args, telemetry, engine=engine, observability=obs
+        )
+        controller.start()
+    try:
+        if args.engine == "sharded":
+            with engine:
+                report = engine.serve(source, telemetry=telemetry)
+        else:
+            report = engine.serve(source, telemetry=telemetry)
+    finally:
+        if controller is not None:
+            controller.stop()
     payload = {
         "beamformer": beamformer.describe(),
         "engine": args.engine,
@@ -372,6 +443,9 @@ def main(argv: list[str] | None = None) -> int:
         "completed": report.completed,
         "dropped": report.dropped,
         "stats": report.stats,
+        "control": (
+            controller.status() if controller is not None else None
+        ),
     }
     print(json.dumps(payload, indent=2))  # repro: noqa[RA005] -- operator-facing CLI report, not wire data
     return 0

@@ -58,31 +58,38 @@ logger = logging.getLogger("repro.serve")
 #: Sink callback signature: ``(seq, dataset, iq_image) -> None``.
 Sink = Callable[[int, object, np.ndarray], None]
 
-_SENTINEL = object()
+#: Broadcast shutdown marker: each worker re-puts it before exiting, so
+#: one token terminates however many workers are live at shutdown time
+#: (the pool size is runtime-mutable; a counted sentinel scheme would
+#: race against add/retire).
+_SHUTDOWN = object()
+
+#: Targeted retire marker: consumed by exactly *one* worker, which
+#: exits without re-putting.  FIFO ordering gives drain-before-exit for
+#: free — every batch queued before the retire is executed first.
+_RETIRE = object()
 
 
 def run_batcher(
     ingest: BoundedQueue,
     dispatch: Callable[[MicroBatch], None],
-    max_batch: int,
-    max_latency_ms: float,
-    clock: Clock,
+    scheduler: MicroBatcher,
 ) -> None:
-    """Drain ``ingest`` through a :class:`MicroBatcher` until it closes.
+    """Drain ``ingest`` through ``scheduler`` until the queue closes.
 
     The scheduling loop shared by the threaded :class:`ServeEngine` and
     the process-sharded :class:`~repro.serve.sharding.ShardedServeEngine`
     — both batch identically; they differ only in what ``dispatch`` does
     with a due :class:`MicroBatch` (local queue vs worker-process
-    transport).  Returns after the closing flush has dispatched every
-    pending frame; exceptions (from keying a frame or from ``dispatch``)
-    propagate to the caller, which owns thread-death handling.
+    transport).  The scheduler is owned (and supplied) by the engine so
+    its limits stay reachable — and runtime-mutable via
+    ``engine.set_batching`` — while the loop runs; its flush limits are
+    re-read on every decision.  Returns after the closing flush has
+    dispatched every pending frame; exceptions (from keying a frame or
+    from ``dispatch``) propagate to the caller, which owns thread-death
+    handling.
     """
-    scheduler = MicroBatcher(
-        max_batch=max_batch,
-        max_latency_s=max_latency_ms / 1e3,
-        clock=clock,
-    )
+    clock = scheduler.clock
     while True:
         deadline = scheduler.next_deadline()
         timeout = (
@@ -96,7 +103,10 @@ def run_batcher(
             # never hold more than a batch's worth of frames:
             # backpressure must build in the *bounded* ingest queue,
             # not in the scheduler.
-            while len(ingest) > 0 and scheduler.pending < max_batch:
+            while (
+                len(ingest) > 0
+                and scheduler.pending < scheduler.max_batch
+            ):
                 try:
                     scheduler.add(ingest.get(timeout=0.0))
                 except (QueueTimeout, QueueClosed):
@@ -252,6 +262,17 @@ class ServeEngine:
         self.keep_images = keep_images
         self.obs = observability or Observability.create(clock=self.clock)
         self._run_errors: list[BaseException] = []
+        # Live worker-pool state: the scheduler and run context exist
+        # only while serve() runs; the registry accumulates every
+        # thread started for the current run (including retired ones —
+        # join()ing a finished thread is free).  Guarded by
+        # _workers_lock, which orders add/retire against shutdown.
+        self._scheduler: MicroBatcher | None = None
+        self._run_ctx: dict | None = None
+        self._worker_threads: list[threading.Thread] = []
+        self._workers_lock = threading.Lock()
+        self._live_workers = 0
+        self._worker_seq = 0
 
     @property
     def broken(self) -> bool:
@@ -268,10 +289,96 @@ class ServeEngine:
         """
         return bool(self._run_errors)
 
+    # -- runtime control -------------------------------------------------
+
+    def set_batching(
+        self,
+        max_batch: int | None = None,
+        max_latency_ms: float | None = None,
+    ) -> None:
+        """Adjust micro-batching limits, live when a run is active.
+
+        The new values are validated together, stored on the engine
+        (they seed the next run's scheduler) and pushed into the
+        current run's :class:`MicroBatcher`, whose limits are re-read
+        at every flush decision.  A deadline cut takes effect at the
+        batcher's next wake-up — bounded by one *old* deadline when it
+        is mid-wait — and never drops or double-emits a pending frame.
+        """
+        new_batch = self.max_batch if max_batch is None else max_batch
+        new_latency = (
+            self.max_latency_ms if max_latency_ms is None
+            else max_latency_ms
+        )
+        MicroBatcher._validate_limits(new_batch, new_latency / 1e3)
+        self.max_batch = new_batch
+        self.max_latency_ms = new_latency
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.set_limits(
+                max_batch=new_batch, max_latency_s=new_latency / 1e3
+            )
+
+    @property
+    def live_workers(self) -> int:
+        """Worker threads currently executing batches."""
+        with self._workers_lock:
+            return self._live_workers
+
+    def add_worker(self) -> bool:
+        """Start one more worker thread on the current run.
+
+        Returns ``False`` when no run is active (the pool only exists
+        inside :meth:`serve`).  The new thread joins the shared batch
+        queue immediately — there is no warm-up handshake for a thread.
+        """
+        with self._workers_lock:
+            ctx = self._run_ctx
+            if ctx is None:
+                return False
+            self._start_worker(ctx)
+        ctx["telemetry"].worker_spawned()
+        self.obs.events.emit("worker_added", engine="threaded")
+        return True
+
+    def retire_worker(self) -> bool:
+        """Retire one worker thread, draining queued batches first.
+
+        A ``_RETIRE`` token is queued *behind* every already-dispatched
+        batch (FIFO), so the worker that consumes it has nothing left
+        to execute; exactly one worker exits.  Refused (``False``) when
+        it would empty the pool or no run is active.
+        """
+        with self._workers_lock:
+            ctx = self._run_ctx
+            if ctx is None or self._live_workers <= 1:
+                return False
+            # Reserve the slot under the lock so concurrent retires
+            # cannot race the pool below one worker.
+            self._live_workers -= 1
+        ctx["batches"].put(_RETIRE)
+        self.obs.events.emit("worker_retired", engine="threaded")
+        return True
+
+    def _start_worker(self, ctx: dict) -> threading.Thread:
+        """Spawn + register one worker thread (_workers_lock held)."""
+        self._worker_seq += 1
+        thread = threading.Thread(
+            target=self._worker_loop,
+            args=(ctx,),
+            name=f"serve-worker-{self._worker_seq}",
+            daemon=True,
+        )
+        self._worker_threads.append(thread)
+        self._live_workers += 1
+        thread.start()
+        return thread
+
     # -- pipeline stages -------------------------------------------------
 
     def _batcher_loop(
         self,
+        scheduler: MicroBatcher,
         ingest: BoundedQueue,
         batches: BoundedQueue,
         telemetry: ServeTelemetry,
@@ -281,47 +388,27 @@ class ServeEngine:
 
         Wrapped so that *any* failure (e.g. a frame whose geometry
         cannot be keyed) still closes the ingest queue — unblocking the
-        producer — and still delivers the worker sentinels: a dead
+        producer — and still delivers the shutdown token: a dead
         batcher must degrade into a raised exception, never a deadlock.
         """
-        try:
-            self._batch_frames(ingest, batches, telemetry)
-        except BaseException as exc:  # re-raised by serve() after join
-            errors.append(exc)
-            ingest.close()
-        finally:
-            for _ in range(self.n_workers):
-                batches.put(_SENTINEL)
 
-    def _batch_frames(
-        self,
-        ingest: BoundedQueue,
-        batches: BoundedQueue,
-        telemetry: ServeTelemetry,
-    ) -> None:
         def dispatch(batch: MicroBatch) -> None:
             batches.put(batch)
             telemetry.observe_queue_depth("batch", len(batches))
 
-        run_batcher(
-            ingest,
-            dispatch,
-            max_batch=self.max_batch,
-            max_latency_ms=self.max_latency_ms,
-            clock=self.clock,
-        )
+        try:
+            run_batcher(ingest, dispatch, scheduler)
+        except BaseException as exc:  # re-raised by serve() after join
+            errors.append(exc)
+            ingest.close()
+        finally:
+            # One token shuts down the whole pool: each worker re-puts
+            # it before exiting, so the broadcast reaches however many
+            # workers are live — including any added mid-run.
+            batches.put(_SHUTDOWN)
 
-    def _worker_loop(
-        self,
-        batches: BoundedQueue,
-        results: dict[int, np.ndarray],
-        results_lock: threading.Lock,
-        telemetry: ServeTelemetry,
-        sink: Sink | None,
-        errors: list[BaseException],
-        log_state: dict,
-    ) -> None:
-        """Execute micro-batches until the sentinel arrives.
+    def _worker_loop(self, ctx: dict) -> None:
+        """Execute micro-batches until a shutdown/retire token arrives.
 
         A failed worker keeps *draining* its queue (discarding batches)
         rather than exiting: with a dead consumer the batcher's blocking
@@ -329,10 +416,24 @@ class ServeEngine:
         The recorded exception is re-raised by :meth:`serve` after
         shutdown.
         """
+        batches: BoundedQueue = ctx["batches"]
+        results: dict[int, np.ndarray] = ctx["results"]
+        results_lock: threading.Lock = ctx["results_lock"]
+        telemetry: ServeTelemetry = ctx["telemetry"]
+        sink: Sink | None = ctx["sink"]
+        errors: list[BaseException] = ctx["errors"]
+        log_state: dict = ctx["log_state"]
         failed = False
         while True:
             batch = batches.get()
-            if batch is _SENTINEL:
+            if batch is _SHUTDOWN:
+                batches.put(_SHUTDOWN)  # pass it on to the next worker
+                with self._workers_lock:
+                    self._live_workers -= 1
+                return
+            if batch is _RETIRE:
+                # retire_worker() already released the live slot.
+                telemetry.worker_exited()
                 return
             if failed:
                 continue
@@ -428,33 +529,36 @@ class ServeEngine:
         errors = self._run_errors = []
         dropped: list[int] = []
         log_state = {"lock": threading.Lock(), "last": self.clock.now()}
+        scheduler = MicroBatcher(
+            max_batch=self.max_batch,
+            max_latency_s=self.max_latency_ms / 1e3,
+            clock=self.clock,
+        )
+        ctx = {
+            "batches": batches,
+            "results": results,
+            "results_lock": results_lock,
+            "telemetry": telemetry,
+            "sink": sink,
+            "errors": errors,
+            "log_state": log_state,
+        }
 
         batcher = threading.Thread(
             target=self._batcher_loop,
-            args=(ingest, batches, telemetry, errors),
+            args=(scheduler, ingest, batches, telemetry, errors),
             name="serve-batcher",
             daemon=True,
         )
-        workers = [
-            threading.Thread(
-                target=self._worker_loop,
-                args=(
-                    batches,
-                    results,
-                    results_lock,
-                    telemetry,
-                    sink,
-                    errors,
-                    log_state,
-                ),
-                name=f"serve-worker-{index}",
-                daemon=True,
-            )
-            for index in range(self.n_workers)
-        ]
+        with self._workers_lock:
+            self._scheduler = scheduler
+            self._run_ctx = ctx
+            self._worker_threads = []
+            self._live_workers = 0
+            self._worker_seq = 0
+            for _ in range(self.n_workers):
+                self._start_worker(ctx)
         batcher.start()
-        for worker in workers:
-            worker.start()
 
         seq = 0
         try:
@@ -465,6 +569,14 @@ class ServeEngine:
         finally:
             ingest.close()
             batcher.join()
+            # Freeze the pool (no further add/retire), then join every
+            # thread the run ever started — retired ones are already
+            # dead and join instantly.
+            with self._workers_lock:
+                self._scheduler = None
+                self._run_ctx = None
+                workers = list(self._worker_threads)
+                self._worker_threads = []
             for worker in workers:
                 worker.join()
 

@@ -94,9 +94,13 @@ class ShardRouter:
       multi-probe fan-out, at the cost of imbalance when one geometry
       dominates.
 
-    The router is a pure function of its inputs plus one counter, owned
-    by the sharded engine's batcher thread; it is deliberately not
-    thread-safe.
+    The *active shard set* is runtime-mutable: :meth:`set_shards`
+    replaces it in one atomic tuple assignment, so the engine (or the
+    :class:`~repro.serve.control.ServoController` behind it) can retire
+    a draining worker or admit a freshly spawned one without pausing
+    dispatch.  ``route`` reads the tuple once per call; beyond that the
+    router is a pure function plus one counter, owned by the engine's
+    batcher thread.
     """
 
     def __init__(self, n_shards: int, policy: str = "round_robin") -> None:
@@ -106,16 +110,42 @@ class ShardRouter:
             raise ValueError(
                 f"policy must be one of {SHARD_POLICIES}, got {policy!r}"
             )
-        self.n_shards = n_shards
         self.policy = policy
+        self._shards: tuple[int, ...] = tuple(range(n_shards))
         self._next = 0
 
+    @property
+    def n_shards(self) -> int:
+        """Number of currently routable shards."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        """The active shard ids, ascending."""
+        return self._shards
+
+    def set_shards(self, shards) -> None:
+        """Replace the active shard set (live worker add/retire).
+
+        The new set is sorted and installed as a single tuple
+        assignment, so a concurrent ``route`` sees either the old or
+        the new set, never a partial one.  Geometry pinning is over the
+        sorted tuple, so a given geometry stays on one shard *for a
+        given set*; retiring a shard remaps only the geometries that
+        hashed onto removed or shifted positions.
+        """
+        shards = tuple(sorted(set(int(shard) for shard in shards)))
+        if not shards:
+            raise ValueError("active shard set must not be empty")
+        self._shards = shards
+
     def route(self, batch: MicroBatch) -> int:
-        """Shard index in ``[0, n_shards)`` for one dispatched batch."""
+        """Shard id (a member of :attr:`shards`) for one batch."""
+        shards = self._shards  # one read: set_shards may swap it
         if self.policy == "geometry":
-            return _stable_hash(batch.geometry) % self.n_shards
-        shard = self._next
-        self._next = (self._next + 1) % self.n_shards
+            return shards[_stable_hash(batch.geometry) % len(shards)]
+        shard = shards[self._next % len(shards)]
+        self._next = (self._next + 1) % len(shards)
         return shard
 
 
@@ -147,6 +177,13 @@ class MicroBatcher:
         max_latency_s: emit a group once its *oldest* frame has waited
             this long, full or not.
         clock: time source (fake in tests).
+
+    Both limits are runtime-mutable via :meth:`set_limits` — the
+    adaptive-batching controller tightens the deadline or grows the
+    batch cap mid-stream.  The limits are only ever *read* at flush
+    decisions (``ready``/``flush``/``next_deadline``), so a limit
+    change can never drop or double-emit a pending frame: pending
+    frames simply flush under the new rules on the next decision.
     """
 
     def __init__(
@@ -155,12 +192,7 @@ class MicroBatcher:
         max_latency_s: float = 0.025,
         clock: Clock | None = None,
     ) -> None:
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        if max_latency_s < 0:
-            raise ValueError(
-                f"max_latency_s must be >= 0, got {max_latency_s}"
-            )
+        self._validate_limits(max_batch, max_latency_s)
         self.max_batch = max_batch
         self.max_latency_s = max_latency_s
         self.clock = clock or MonotonicClock()
@@ -170,6 +202,39 @@ class MicroBatcher:
             OrderedDict()
         )
         self._seq = 0
+
+    @staticmethod
+    def _validate_limits(max_batch: int, max_latency_s: float) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_latency_s < 0:
+            raise ValueError(
+                f"max_latency_s must be >= 0, got {max_latency_s}"
+            )
+
+    def set_limits(
+        self,
+        max_batch: int | None = None,
+        max_latency_s: float | None = None,
+    ) -> None:
+        """Change the flush limits of a live scheduler.
+
+        Validated with the constructor's rules, then applied as two
+        plain attribute assignments — the batcher thread re-reads the
+        limits at every flush decision, so the change takes effect on
+        the next ``ready``/``next_deadline`` call.  A deadline *cut*
+        can make already-pending groups instantly overdue (they flush
+        on the next ``ready``), and a ``max_batch`` cut below a pending
+        group's size chunk-emits that group — in either case every
+        pending frame is emitted exactly once.
+        """
+        new_batch = self.max_batch if max_batch is None else max_batch
+        new_latency = (
+            self.max_latency_s if max_latency_s is None else max_latency_s
+        )
+        self._validate_limits(new_batch, new_latency)
+        self.max_batch = new_batch
+        self.max_latency_s = new_latency
 
     @property
     def pending(self) -> int:

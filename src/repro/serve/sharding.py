@@ -69,7 +69,12 @@ from repro.obs import Observability, pack_context
 from repro.serve.clock import Clock, MonotonicClock
 from repro.serve.engine import ServeReport, Sink, pump_source, run_batcher
 from repro.serve.queues import BACKPRESSURE_POLICIES, BoundedQueue
-from repro.serve.scheduler import SHARD_POLICIES, MicroBatch, ShardRouter
+from repro.serve.scheduler import (
+    SHARD_POLICIES,
+    MicroBatch,
+    MicroBatcher,
+    ShardRouter,
+)
 from repro.serve.shm import (
     TRANSPORTS,
     FrameTransport,
@@ -315,7 +320,11 @@ def _worker_main(
 
 @dataclass
 class _Pending:
-    """One dispatched batch awaiting its result."""
+    """One dispatched batch awaiting its result.
+
+    ``shard`` is reassigned when the owing worker dies mid-retirement
+    and the batch is re-dispatched to a surviving shard.
+    """
 
     batch_id: int
     shard: int
@@ -323,6 +332,32 @@ class _Pending:
     batch: MicroBatch
     frame_payloads: list
     dispatch_time: float
+
+
+#: Lifecycle states of one worker slot.  ``starting`` — spawned, ready
+#: handshake outstanding, not yet routable; ``active`` — routable;
+#: ``retiring`` — removed from the router, draining its queued batches
+#: behind a FIFO ``stop``; ``retired`` — observed gone (clean exit).
+_SLOT_STATES = ("starting", "active", "retiring", "retired")
+
+
+@dataclass
+class _WorkerSlot:
+    """Everything owned by one shard: process, queues, identity.
+
+    Slots are append-only (``shard`` doubles as the index into the
+    engine's slot list), so a retired slot keeps its task queue and
+    output free list alive — late results from its final batches still
+    resolve against them.  ``generation`` counts crash respawns of the
+    slot; results tagged with a stale generation are discarded.
+    """
+
+    shard: int
+    task_queue: object
+    free_list: QueueFreeList
+    process: object = None
+    generation: int = 0
+    state: str = "starting"
 
 
 @dataclass
@@ -342,6 +377,11 @@ class _RunState:
         default_factory=threading.Event
     )
     end_run_sent: bool = False
+    # The shards whose ``run_done`` ack this run waits for — captured
+    # when ``end_run`` is sent (the active set at that moment), so
+    # workers added or retired mid-run neither stall nor break run
+    # completion.
+    end_run_shards: set = field(default_factory=set)
 
 
 class ShardedServeEngine:
@@ -369,9 +409,18 @@ class ShardedServeEngine:
         output_slots: per-worker image-ring depth; default
             ``2 * max_batch``.
         restart_workers: respawn a crashed shard and requeue its
-            in-flight batches instead of aborting the run.
+            in-flight batches instead of aborting the run.  Implemented
+            on the same slot primitives as live :meth:`add_worker` /
+            :meth:`retire_worker`: a crash is a forced retirement of
+            the dead incarnation followed by a replacement spawn into
+            the same slot.
         max_restarts: total respawns allowed per engine before a crash
             becomes fatal anyway.
+        max_workers: upper bound on concurrently live workers across
+            the engine's lifetime (:meth:`add_worker` refuses beyond
+            it).  Fixed up front because the result queue — bounded
+            like every serving queue — is sized from it at ``start``.
+            Default ``max(8, 2 * n_workers)``.
         start_method: ``multiprocessing`` start method; ``"spawn"``
             (default) is the only portable, lock-safe choice.
         clock: engine-side time source.  Worker processes always
@@ -410,6 +459,7 @@ class ShardedServeEngine:
         output_slots: int | None = None,
         restart_workers: bool = False,
         max_restarts: int = 3,
+        max_workers: int | None = None,
         start_method: str = "spawn",
         clock: Clock | None = None,
         log_every_s: float = 10.0,
@@ -446,6 +496,12 @@ class ShardedServeEngine:
         self.output_slots = output_slots or 2 * max_batch
         self.restart_workers = restart_workers
         self.max_restarts = max_restarts
+        self.max_workers = max_workers or max(8, 2 * n_workers)
+        if self.max_workers < n_workers:
+            raise ValueError(
+                f"max_workers ({self.max_workers}) must be >= "
+                f"n_workers ({n_workers})"
+            )
         self.start_method = start_method
         self.clock = clock or MonotonicClock()
         self.log_every_s = log_every_s
@@ -460,10 +516,14 @@ class ShardedServeEngine:
         self._broken = False
         self._restarts = 0
         self._serve_lock = threading.Lock()
-        self._procs: list = []
-        self._task_queues: list = []
-        self._output_free_lists: list = []
-        self._generations: list[int] = []
+        # Slot list mutations (add/retire/state flips) and the derived
+        # active-shard set are ordered by _slots_lock; the list itself
+        # is append-only so indexed reads (slot by shard id) are safe
+        # from any thread.
+        self._slots_lock = threading.Lock()
+        self._slots: list[_WorkerSlot] = []
+        self._router: ShardRouter | None = None
+        self._scheduler: MicroBatcher | None = None
         self._result_queue = None
         self._frames = FrameTransport(transport, self.input_slots)
         self._attachments: dict = {}
@@ -483,103 +543,188 @@ class ShardedServeEngine:
         # result messages are capped by admitted frames (input_slots)
         # and the per-shard task depth, plus a handful of lifecycle
         # ("ready"/"error") messages per worker across restarts.
+        # Sized for max_workers, not n_workers: workers added at
+        # runtime share this queue and its bound cannot change later.
         result_depth = (
             self.input_slots
-            + self.n_workers * (TASK_QUEUE_DEPTH + 2)
+            + self.max_workers * (TASK_QUEUE_DEPTH + 2)
             + 8
         )
         self._result_queue = self._ctx.Queue(maxsize=result_depth)
-        self._task_queues = [
-            self._ctx.Queue(maxsize=TASK_QUEUE_DEPTH)
-            for _ in range(self.n_workers)
-        ]
-        self._output_free_lists = [
-            QueueFreeList.create(self._ctx, self.output_slots)
-            for _ in range(self.n_workers)
-        ]
-        self._generations = [0] * self.n_workers
-        self._procs = [
-            self._spawn(shard) for shard in range(self.n_workers)
-        ]
-        self._await_ready()
+        for _ in range(self.n_workers):
+            slot = self._new_slot()
+            self._spawn(slot)
+        self._await_ready(strict=True)
         self._started = True
         return self
 
-    def _spawn(self, shard: int):
+    def _new_slot(self) -> _WorkerSlot:
+        """Append one slot (id = list index) with its own queues."""
+        with self._slots_lock:
+            slot = _WorkerSlot(
+                shard=len(self._slots),
+                task_queue=self._ctx.Queue(maxsize=TASK_QUEUE_DEPTH),
+                free_list=QueueFreeList.create(
+                    self._ctx, self.output_slots
+                ),
+            )
+            self._slots.append(slot)
+        return slot
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        """Start (or restart) the process of one slot."""
         process = self._ctx.Process(
             target=_worker_main,
             args=(
-                shard,
-                self._generations[shard],
+                slot.shard,
+                slot.generation,
                 self._beamformer_blob,
                 self._backend_name,
                 self.transport,
                 self.output_slots,
-                self._task_queues[shard],
+                slot.task_queue,
                 self._result_queue,
-                self._output_free_lists[shard].raw,
+                slot.free_list.raw,
                 self.profile_kernels,
             ),
-            name=f"serve-shard-{shard}",
+            name=f"serve-shard-{slot.shard}",
             daemon=True,
         )
         process.start()
+        slot.process = process
         self.obs.events.emit(
             "worker_spawned",
-            shard=shard,
-            generation=self._generations[shard],
+            shard=slot.shard,
+            generation=slot.generation,
             pid=process.pid,
         )
-        return process
 
-    def _await_ready(self) -> None:
-        ready: set[int] = set()
+    def _await_ready(self, strict: bool = True) -> None:
+        """Consume ready handshakes until no slot is ``starting``.
+
+        Used at ``start()`` (strict: a worker that cannot boot kills
+        the engine) and again at the top of every ``serve`` run for
+        workers added between runs (non-strict: a replacement that
+        cannot boot is marked retired and logged; the run proceeds on
+        the surviving pool).  During a live run the collector thread
+        performs the same promotion instead.
+        """
         deadline = time.monotonic() + _READY_TIMEOUT_S
-        while len(ready) < self.n_workers:
+        while True:
+            with self._slots_lock:
+                starting = [
+                    slot for slot in self._slots
+                    if slot.state == "starting"
+                ]
+            if not starting:
+                return
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                self._terminate_all()
-                raise WorkerCrashed(
-                    f"workers {sorted(set(range(self.n_workers)) - ready)} "
-                    f"did not report ready within {_READY_TIMEOUT_S}s"
-                )
+                if strict:
+                    self._terminate_all()
+                    raise WorkerCrashed(
+                        f"workers "
+                        f"{sorted(slot.shard for slot in starting)} "
+                        f"did not report ready within "
+                        f"{_READY_TIMEOUT_S}s"
+                    )
+                for slot in starting:
+                    self._fail_starting_slot(slot, "ready timeout")
+                return
             try:
                 message = self._result_queue.get(
                     timeout=min(remaining, _POLL_S * 5)
                 )
             except _queue.Empty:
                 dead = [
-                    shard
-                    for shard, process in enumerate(self._procs)
-                    if not process.is_alive()
+                    slot for slot in starting
+                    if slot.process is not None
+                    and not slot.process.is_alive()
                 ]
-                if dead:
+                if dead and strict:
                     self._terminate_all()
                     raise WorkerCrashed(
-                        f"workers {dead} died during startup"
+                        f"workers "
+                        f"{sorted(slot.shard for slot in dead)} died "
+                        f"during startup"
                     )
+                for slot in dead:
+                    self._fail_starting_slot(slot, "died during boot")
                 continue
             if message[0] == "ready":
-                ready.add(message[1])
+                self._on_worker_ready(message[1])
             elif message[0] == "fatal":
-                self._terminate_all()
-                raise WorkerCrashed(
-                    f"worker {message[1]} failed during startup:\n"
-                    f"{message[2]}"
+                if strict:
+                    self._terminate_all()
+                    raise WorkerCrashed(
+                        f"worker {message[1]} failed during startup:\n"
+                        f"{message[2]}"
+                    )
+                self._fail_starting_slot(
+                    self._slots[message[1]], message[2]
                 )
+            elif message[0] == "stopped":
+                # A worker retired between runs finished draining.
+                with self._slots_lock:
+                    slot = self._slots[message[1]]
+                    if slot.state == "retiring":
+                        slot.state = "retired"
+            # "done"/"run_done" stragglers from earlier runs: ignore
+
+    def _fail_starting_slot(self, slot: _WorkerSlot, why: str) -> None:
+        """Write off a worker that never became routable."""
+        slot.state = "retired"
+        if slot.process is not None and slot.process.is_alive():
+            slot.process.terminate()
+        logger.warning(
+            "worker %d never became ready (%s); continuing without it",
+            slot.shard,
+            why,
+        )
+        self.obs.events.emit(
+            "worker_start_failed", shard=slot.shard, reason=why
+        )
+
+    def _on_worker_ready(self, shard: int, run=None) -> None:
+        """Promote a ``starting`` slot into the routable set."""
+        with self._slots_lock:
+            slot = self._slots[shard]
+            if slot.state != "starting":
+                return  # crash-respawn ready, or a late straggler
+            slot.state = "active"
+            active = self._active_shards()
+            router = self._router
+        if router is not None:
+            router.set_shards(active)
+        if run is not None:
+            run.telemetry.worker_spawned()
+        self.obs.events.emit("worker_ready", shard=shard)
+
+    def _active_shards(self) -> list[int]:
+        """Routable shard ids (callers hold ``_slots_lock``)."""
+        return [
+            slot.shard for slot in self._slots
+            if slot.state == "active"
+        ]
 
     def close(self) -> None:
         """Stop workers and release every transport resource."""
-        if not self._procs:
+        if not self._slots:
             return
-        for task_queue in self._task_queues:
+        for slot in self._slots:
+            if slot.state in ("retiring", "retired"):
+                continue  # stop is already queued / already gone
             try:
-                task_queue.put(("stop",), timeout=1.0)
+                slot.task_queue.put(("stop",), timeout=1.0)
             except _queue.Full:
                 pass
-        for process in self._procs:
+        procs = [
+            slot.process for slot in self._slots
+            if slot.process is not None
+        ]
+        for process in procs:
             process.join(timeout=5.0)
-        for process in self._procs:
+        for process in procs:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5.0)
@@ -601,27 +746,31 @@ class ShardedServeEngine:
             except FileNotFoundError:
                 pass
         for mp_queue in (
-            *self._task_queues,
-            *(free.raw for free in self._output_free_lists),
+            *(slot.task_queue for slot in self._slots),
+            *(slot.free_list.raw for slot in self._slots),
             self._result_queue,
         ):
             if mp_queue is None:
                 continue
             mp_queue.close()
             mp_queue.cancel_join_thread()
-        self._procs = []
-        self._task_queues = []
-        self._output_free_lists = []
+        with self._slots_lock:
+            self._slots = []
         self._result_queue = None
         self._started = False
 
     def _terminate_all(self) -> None:
-        for process in self._procs:
+        procs = [
+            slot.process for slot in self._slots
+            if slot.process is not None
+        ]
+        for process in procs:
             if process.is_alive():
                 process.terminate()
-        for process in self._procs:
+        for process in procs:
             process.join(timeout=5.0)
-        self._procs = []
+        with self._slots_lock:
+            self._slots = []
         self._started = False
         self._broken = True
 
@@ -642,6 +791,118 @@ class ShardedServeEngine:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- runtime control -------------------------------------------------
+
+    def set_batching(
+        self,
+        max_batch: int | None = None,
+        max_latency_ms: float | None = None,
+    ) -> None:
+        """Adjust micro-batching limits, live when a run is active.
+
+        Mirrors :meth:`ServeEngine.set_batching
+        <repro.serve.engine.ServeEngine.set_batching>`: validated
+        together, stored on the engine for future runs, and pushed
+        into the live run's scheduler, which re-reads its limits at
+        every flush decision.
+        """
+        new_batch = self.max_batch if max_batch is None else max_batch
+        new_latency = (
+            self.max_latency_ms if max_latency_ms is None
+            else max_latency_ms
+        )
+        MicroBatcher._validate_limits(new_batch, new_latency / 1e3)
+        self.max_batch = new_batch
+        self.max_latency_ms = new_latency
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.set_limits(
+                max_batch=new_batch, max_latency_s=new_latency / 1e3
+            )
+
+    @property
+    def live_workers(self) -> int:
+        """Workers currently serving or booting (not retiring)."""
+        with self._slots_lock:
+            return sum(
+                slot.state in ("starting", "active")
+                for slot in self._slots
+            )
+
+    def add_worker(self) -> int | None:
+        """Spawn one more shard at runtime; returns its id.
+
+        The new worker boots asynchronously: it enters the router only
+        once its ready handshake arrives (consumed by the collector
+        during a live run, or by the next run's pre-flight otherwise),
+        so dispatch never stalls behind a booting process.  Returns
+        ``None`` when the engine is not started, is broken, or already
+        has ``max_workers`` live workers.
+        """
+        if not self._started or self._broken:
+            return None
+        with self._slots_lock:
+            live = sum(
+                slot.state in ("starting", "active")
+                for slot in self._slots
+            )
+            if live >= self.max_workers:
+                return None
+        slot = self._new_slot()
+        self._spawn(slot)
+        self.obs.events.emit("worker_added", shard=slot.shard)
+        return slot.shard
+
+    def retire_worker(self, shard: int | None = None) -> int | None:
+        """Gracefully drain and stop one worker at runtime.
+
+        The slot leaves the router immediately (no new batches), then a
+        ``stop`` is queued *behind* everything already in its task
+        queue — FIFO gives drain-before-exit, so every dispatched
+        frame still completes and zero admitted frames are lost.  The
+        exit is observed (and the slot marked ``retired``) by the
+        collector; should the worker crash mid-drain, its still-owed
+        batches are re-dispatched to surviving shards (frames stay
+        parked in the input ring until their batch has an outcome).
+
+        Args:
+            shard: which worker to retire; default the highest active
+                shard id.
+
+        Returns the retired shard id, or ``None`` when refused (no such
+        active worker, or it would empty the pool).
+        """
+        if not self._started:
+            return None
+        with self._slots_lock:
+            candidates = [
+                slot for slot in self._slots if slot.state == "active"
+            ]
+            if len(candidates) <= 1:
+                return None
+            if shard is None:
+                slot = candidates[-1]
+            else:
+                if shard >= len(self._slots):
+                    return None
+                slot = self._slots[shard]
+                if slot.state != "active":
+                    return None
+            slot.state = "retiring"
+            active = self._active_shards()
+            router = self._router
+        if router is not None:
+            router.set_shards(active)
+        self.obs.events.emit("worker_retiring", shard=slot.shard)
+        while True:
+            try:
+                slot.task_queue.put(("stop",), timeout=_POLL_S)
+                break
+            except _queue.Full:
+                if self._broken:
+                    break
+        return slot.shard
 
     # -- serving ---------------------------------------------------------
 
@@ -667,6 +928,10 @@ class ShardedServeEngine:
                     "and build a new engine"
                 )
             self.start()
+            # Workers added between runs are still "starting": absorb
+            # their ready handshakes before building the router (the
+            # collector takes over mid-run promotion once it starts).
+            self._await_ready(strict=False)
             run = _RunState(
                 telemetry=telemetry or ServeTelemetry(
                     clock=self.clock, metrics=self.obs.metrics
@@ -675,11 +940,25 @@ class ShardedServeEngine:
                     self.queue_capacity, self.backpressure
                 ),
             )
-            run.telemetry.worker_spawned(self.n_workers)
-            router = ShardRouter(self.n_workers, self.shard_policy)
+            with self._slots_lock:
+                active = self._active_shards()
+            if not active:
+                raise WorkerCrashed(
+                    "no active workers left to serve the run"
+                )
+            run.telemetry.worker_spawned(len(active))
+            router = ShardRouter(len(active), self.shard_policy)
+            router.set_shards(active)
+            scheduler = MicroBatcher(
+                max_batch=self.max_batch,
+                max_latency_s=self.max_latency_ms / 1e3,
+                clock=self.clock,
+            )
+            self._router = router
+            self._scheduler = scheduler
             batcher = threading.Thread(
                 target=self._batcher_loop,
-                args=(run, router),
+                args=(run, router, scheduler),
                 name="serve-shard-batcher",
                 daemon=True,
             )
@@ -704,6 +983,8 @@ class ShardedServeEngine:
                     self._send_end_run(run)
                 run.dispatch_done.set()
                 collector.join()
+                self._router = None
+                self._scheduler = None
                 self._release_leftovers(run)
 
             if run.errors:
@@ -723,14 +1004,17 @@ class ShardedServeEngine:
 
     # -- batcher side ----------------------------------------------------
 
-    def _batcher_loop(self, run: _RunState, router: ShardRouter) -> None:
+    def _batcher_loop(
+        self,
+        run: _RunState,
+        router: ShardRouter,
+        scheduler: MicroBatcher,
+    ) -> None:
         try:
             run_batcher(
                 run.ingest,
                 lambda batch: self._dispatch(run, router, batch),
-                max_batch=self.max_batch,
-                max_latency_ms=self.max_latency_ms,
-                clock=self.clock,
+                scheduler,
             )
         except TransportClosed:
             pass  # the run aborted while we were blocked dispatching
@@ -795,13 +1079,18 @@ class ShardedServeEngine:
             if run.abort.is_set():
                 raise TransportClosed
             try:
-                self._task_queues[shard].put(message, timeout=_POLL_S)
+                self._slots[shard].task_queue.put(
+                    message, timeout=_POLL_S
+                )
                 return
             except _queue.Full:
                 continue
 
     def _send_end_run(self, run: _RunState) -> None:
-        for shard in range(self.n_workers):
+        with self._slots_lock:
+            shards = set(self._active_shards())
+        run.end_run_shards = shards
+        for shard in sorted(shards):
             try:
                 self._put_task(run, shard, ("end_run",))
             except TransportClosed:
@@ -846,15 +1135,29 @@ class ShardedServeEngine:
                     self.obs.metrics.merge(metrics_state)
             elif kind == "fatal":
                 _, shard, tb = message
-                with run.lock:
-                    run.errors.append(
-                        WorkerCrashed(
-                            f"worker {shard} failed:\n{tb}"
+                with self._slots_lock:
+                    starting = self._slots[shard].state == "starting"
+                if starting:
+                    # A worker added mid-run that cannot boot is not a
+                    # run-fatal event: write it off and keep serving.
+                    self._fail_starting_slot(self._slots[shard], tb)
+                else:
+                    with run.lock:
+                        run.errors.append(
+                            WorkerCrashed(
+                                f"worker {shard} failed:\n{tb}"
+                            )
                         )
-                    )
-                self._abort_run(run)
-                return
-            # "ready" / "stopped" are lifecycle noise here
+                    self._abort_run(run)
+                    return
+            elif kind == "ready":
+                # A worker added mid-run finished booting: promote it
+                # into the router without pausing dispatch.
+                self._on_worker_ready(message[1], run)
+            elif kind == "stopped":
+                # Clean exit of a retiring worker (its drained batches
+                # all preceded this message on the FIFO result queue).
+                self._finish_retire(run, self._slots[message[1]])
             self._maybe_log(run)
             if self._run_complete(run):
                 return
@@ -863,8 +1166,9 @@ class ShardedServeEngine:
         if not run.dispatch_done.is_set():
             return False
         with run.lock:
-            return not run.pending and run.run_done >= set(
-                range(self.n_workers)
+            return (
+                not run.pending
+                and run.run_done >= run.end_run_shards
             )
 
     def _on_done(
@@ -874,7 +1178,7 @@ class ShardedServeEngine:
             _, shard, generation, batch_id, out_payloads, execute_s,
             span_blob, metrics_state,
         ) = message
-        if generation != self._generations[shard]:
+        if generation != self._slots[shard].generation:
             # A dead incarnation's parting words: its batches were
             # requeued and its slot pool rebuilt wholesale, so neither
             # the result nor the slots are ours to consume/release.
@@ -966,7 +1270,7 @@ class ShardedServeEngine:
 
     def _on_error(self, run: _RunState, message: tuple) -> None:
         _, shard, generation, batch_id, tb = message
-        if generation != self._generations[shard]:
+        if generation != self._slots[shard].generation:
             return  # stale incarnation; the requeued retry decides
         with run.lock:
             entry = run.pending.pop(batch_id, None)
@@ -984,17 +1288,85 @@ class ShardedServeEngine:
 
     def _release_output(self, shard: int, payload) -> None:
         if isinstance(payload, SlotHandle):
-            self._output_free_lists[shard].release(payload.slot)
+            self._slots[shard].free_list.release(payload.slot)
+
+    def _finish_retire(self, run: _RunState, slot: _WorkerSlot) -> None:
+        """Finalize a retiring worker once its exit is observed.
+
+        Idempotent (the clean ``stopped`` message and the liveness
+        poll can race to observe the same exit).  On a clean drain
+        the slot owes nothing; if it died mid-drain, its still-owed
+        batches are re-dispatched to the surviving shards — their
+        frames are still parked in the input ring, and any duplicate
+        results are discarded by batch id.
+        """
+        with self._slots_lock:
+            if slot.state != "retiring":
+                return
+            slot.state = "retired"
+        with run.lock:
+            if slot.shard in run.end_run_shards:
+                # Retired after end_run was addressed to it: its ack
+                # may never come (a FIFO "stop" can precede the
+                # end_run, or it died mid-drain) — credit it so run
+                # completion cannot stall on a gone worker.  Only its
+                # plan-cache delta is lost.
+                run.run_done.add(slot.shard)
+        run.telemetry.worker_exited()
+        self.obs.events.emit(
+            "worker_retired",
+            shard=slot.shard,
+            generation=slot.generation,
+        )
+        self._reassign_owed(run, slot.shard)
+
+    def _reassign_owed(self, run: _RunState, shard: int) -> None:
+        """Re-dispatch batches a gone worker still owed this run."""
+        with run.lock:
+            owed = [
+                entry
+                for entry in run.pending.values()
+                if entry.shard == shard
+            ]
+        if not owed:
+            return
+        router = self._router
+        for entry in owed:
+            target = router.route(entry.batch) if router else shard
+            entry.shard = target
+            try:
+                self._put_task(run, target, entry.message)
+            except TransportClosed:
+                return
 
     def _check_liveness(self, run: _RunState) -> None:
-        for shard, process in enumerate(self._procs):
-            if process.is_alive():
+        with self._slots_lock:
+            slots = list(self._slots)
+        for slot in slots:
+            process = slot.process
+            if (
+                slot.state == "retired"
+                or process is None
+                or process.is_alive()
+            ):
+                continue
+            if slot.state == "retiring":
+                # Died (or exited before we drained its "stopped"
+                # message) while draining: finalize, reassigning
+                # whatever it still owed.
+                self._finish_retire(run, slot)
+                continue
+            if slot.state == "starting":
+                self._fail_starting_slot(
+                    slot, f"died during boot (exitcode "
+                    f"{process.exitcode})"
+                )
                 continue
             run.telemetry.worker_exited()
             self.obs.events.emit(
                 "worker_exited",
-                shard=shard,
-                generation=self._generations[shard],
+                shard=slot.shard,
+                generation=slot.generation,
                 exitcode=process.exitcode,
             )
             if (
@@ -1005,40 +1377,43 @@ class ShardedServeEngine:
                 logger.warning(
                     "worker %d died (exitcode %s); restarting "
                     "(%d/%d) and requeueing its in-flight batches",
-                    shard,
+                    slot.shard,
                     process.exitcode,
                     self._restarts,
                     self.max_restarts,
                 )
-                # Order matters: bump the generation first (stale
-                # results must be recognizable), rebuild the output
-                # slot pool while nobody allocates from it (indices
-                # the dead worker acquired but never surfaced would
-                # otherwise leak on every crash, eventually starving
-                # the pool), and only then start the replacement.
-                self._generations[shard] += 1
-                self._output_free_lists[shard].rebuild(
-                    self.output_slots
-                )
-                self._procs[shard] = self._spawn(shard)
+                # A crash is a forced retirement of the dead
+                # incarnation plus a replacement spawn into the same
+                # slot.  Order matters: bump the generation first
+                # (stale results must be recognizable), rebuild the
+                # output slot pool while nobody allocates from it
+                # (indices the dead worker acquired but never
+                # surfaced would otherwise leak on every crash,
+                # eventually starving the pool), and only then start
+                # the replacement.  The slot stays ``active`` — the
+                # replacement's ready handshake is informational
+                # (``_on_worker_ready`` ignores non-starting slots).
+                slot.generation += 1
+                slot.free_list.rebuild(self.output_slots)
+                self._spawn(slot)
                 run.telemetry.worker_restarted()
                 run.telemetry.worker_spawned()
                 self.obs.events.emit(
                     "worker_restarted",
-                    shard=shard,
+                    shard=slot.shard,
                     restarts=self._restarts,
                 )
                 # A crash survived by restart is still a post-mortem
                 # moment: dump the recent-history ring for diagnosis.
                 self._dump_flight_recorder(
-                    f"worker {shard} crash (restarted)"
+                    f"worker {slot.shard} crash (restarted)"
                 )
-                self._requeue_shard(run, shard)
+                self._requeue_shard(run, slot.shard)
             else:
                 with run.lock:
                     run.errors.append(
                         WorkerCrashed(
-                            f"worker {shard} died (exitcode "
+                            f"worker {slot.shard} died (exitcode "
                             f"{process.exitcode}) with the run in "
                             f"flight"
                         )
@@ -1067,7 +1442,11 @@ class ShardedServeEngine:
                 self._put_task(run, shard, entry.message)
             except TransportClosed:
                 return
-        if run.end_run_sent and shard not in run.run_done:
+        if (
+            run.end_run_sent
+            and shard in run.end_run_shards
+            and shard not in run.run_done
+        ):
             try:
                 self._put_task(run, shard, ("end_run",))
             except TransportClosed:

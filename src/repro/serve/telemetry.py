@@ -181,6 +181,20 @@ class ServeTelemetry:
         self._shards: dict[object, dict] = {}
         self._batch_sizes = LatencyStats()
         self._queue_high_water: dict[str, int] = {}
+        # Control window: parallel accumulators reset on every
+        # control_snapshot() read, so the controller reacts to *recent*
+        # behaviour instead of run-cumulative percentiles that take
+        # forever to move once the run is long.
+        self._window_stages = {
+            "queue_wait": LatencyStats(),
+            "execute": LatencyStats(),
+            "total": LatencyStats(),
+        }
+        self._window_batch_sizes = LatencyStats()
+        self._window_frames_in = 0
+        self._window_frames_done = 0
+        self._window_frames_dropped = 0
+        self._queue_last: dict[str, int] = {}
         self._frames_in = 0
         self._frames_done = 0
         self._frames_dropped = 0
@@ -200,6 +214,7 @@ class ServeTelemetry:
         with self._lock:
             self._seq += 1
             self._frames_in += 1
+            self._window_frames_in += 1
             if self._first_in is None:
                 self._first_in = now
         if self._m_frames is not None:
@@ -211,6 +226,7 @@ class ServeTelemetry:
         with self._lock:
             self._seq += 1
             self._frames_dropped += count
+            self._window_frames_dropped += count
         if self._m_frames is not None:
             self._m_frames.inc(count, event="dropped")
 
@@ -252,6 +268,7 @@ class ServeTelemetry:
         with self._lock:
             self._seq += 1
             self._batch_sizes.record(len(submit_times))
+            self._window_batch_sizes.record(len(submit_times))
             shard_stats = None
             if shard is not None:
                 shard_stats = self._shards.setdefault(
@@ -266,16 +283,19 @@ class ServeTelemetry:
                 shard_stats["batches"] += 1
             for submitted in submit_times:
                 total = done_time - submitted
-                self._stages["queue_wait"].record(
-                    max(0.0, total - execute)
-                )
+                wait = max(0.0, total - execute)
+                self._stages["queue_wait"].record(wait)
                 self._stages["execute"].record(execute)
                 self._stages["total"].record(total)
+                self._window_stages["queue_wait"].record(wait)
+                self._window_stages["execute"].record(execute)
+                self._window_stages["total"].record(total)
                 if shard_stats is not None:
                     shard_stats["frames"] += 1
                     shard_stats["execute"].record(execute)
                     shard_stats["total"].record(total)
             self._frames_done += len(submit_times)
+            self._window_frames_done += len(submit_times)
             self._last_done = done_time
 
     def observe_queue_depth(self, name: str, depth: int) -> None:
@@ -284,6 +304,7 @@ class ServeTelemetry:
             self._seq += 1
             previous = self._queue_high_water.get(name, 0)
             self._queue_high_water[name] = max(previous, depth)
+            self._queue_last[name] = depth
         if self._m_queue is not None:
             self._m_queue.set(depth, queue=name)
 
@@ -393,6 +414,56 @@ class ServeTelemetry:
                     "hit_rate": (hits / lookups) if lookups else None,
                 },
             }
+
+    def control_snapshot(self) -> dict:
+        """Windowed view for the control loop; resets the window.
+
+        Unlike :meth:`stats` (run-cumulative, for reports and the
+        ``stats`` endpoint), this returns only what happened since the
+        *previous* ``control_snapshot`` call — stage percentiles, frame
+        counts, batch sizes — plus the last-observed depth of each
+        engine queue and the cumulative plan-cache hit rate.  Cumulative
+        percentiles barely move once a run is minutes old; a controller
+        steering on them would never see its own actions take effect.
+        Reset-on-read makes the snapshot a per-tick measurement, which
+        is what the :class:`~repro.serve.control.ServoController`
+        integrates over.  One reader at a time: two pollers would halve
+        each other's windows.
+        """
+        with self._lock:
+            self._seq += 1
+            batches = self._window_batch_sizes
+            snapshot = {
+                "seq": self._seq,
+                "frames_in": self._window_frames_in,
+                "frames_done": self._window_frames_done,
+                "frames_dropped": self._window_frames_dropped,
+                "batches": batches.count,
+                "mean_batch_size": (
+                    batches._sum / batches.count
+                    if batches.count else None
+                ),
+                "stages": {
+                    name: stats.snapshot()
+                    for name, stats in self._window_stages.items()
+                },
+                "queue_depth": dict(self._queue_last),
+            }
+            self._window_stages = {
+                name: LatencyStats() for name in self._window_stages
+            }
+            self._window_batch_sizes = LatencyStats()
+            self._window_frames_in = 0
+            self._window_frames_done = 0
+            self._window_frames_dropped = 0
+        cache_now = tof_plan_cache_stats()
+        hits = cache_now["hits"] - self._cache_start["hits"]
+        misses = cache_now["misses"] - self._cache_start["misses"]
+        lookups = hits + misses
+        snapshot["plan_cache_hit_rate"] = (
+            hits / lookups if lookups else None
+        )
+        return snapshot
 
     def log_line(self) -> str:
         """One-line progress summary for the periodic serve log."""

@@ -242,6 +242,48 @@ class TestCNativeRatioTolerance:
         assert failures == []
 
 
+class TestControlRatioTolerance:
+    """The control-loop benefit ratio gates at 50 % in both modes.
+
+    ``controlled_vs_static_p99`` is static-leg p99 divided by
+    controlled-leg p99 from the same process on the same host, so host
+    speed cancels — but both numbers are saturation-tail statistics, so
+    the budget is the loosest override.  It must still fail the moment
+    the controller stops helping (the ratio collapsing toward 1 is a
+    >=60 % drop from any healthy baseline).
+    """
+
+    BASELINE = {"ratios": {"controlled_vs_static_p99": 4.0}}
+
+    def _scaled(self, factor: float) -> dict:
+        return {"ratios": {"controlled_vs_static_p99": 4.0 * factor}}
+
+    def test_ratio_is_collected(self):
+        metrics = compare_bench.collect_metrics(self.BASELINE)
+        assert metrics["ratios.controlled_vs_static_p99"] == 4.0
+        assert (
+            compare_bench.RATIO_TOLERANCES["controlled_vs_static_p99"]
+            == 0.5
+        )
+
+    @pytest.mark.parametrize("smoke", [False, True])
+    def test_controller_collapse_fails_both_modes(self, smoke):
+        # Ratio 4.0 -> 1.0: the controller no longer beats static
+        # config.  Must fail even under the 60 % smoke default.
+        failures, _ = compare_bench.compare(
+            self._scaled(0.25), self.BASELINE, 0.25, smoke=smoke
+        )
+        assert len(failures) == 1
+        assert "controlled_vs_static_p99" in failures[0]
+
+    @pytest.mark.parametrize("smoke", [False, True])
+    def test_tail_noise_drift_passes_both_modes(self, smoke):
+        failures, _ = compare_bench.compare(
+            self._scaled(0.60), self.BASELINE, 0.25, smoke=smoke
+        )
+        assert failures == []
+
+
 class TestMain:
     def _write(self, tmp_path: Path, name: str, payload: dict) -> Path:
         path = tmp_path / name

@@ -6,6 +6,7 @@ fresh well-behaved session still completes afterwards.  No sleeps;
 all waits are blocking reads on sockets the server is about to answer.
 """
 
+import select
 import struct
 import threading
 
@@ -444,3 +445,115 @@ class TestGracefulDrain:
             stopper.join()
         finally:
             client._sock and client._sock.close()
+
+
+class TestRuntimeAdmission:
+    """``set_admission``: the control loop's credit shed/restore path."""
+
+    def test_shed_inflight_credit_applies_to_open_sessions(
+        self, sim_contrast_dataset, gated_beamformer
+    ):
+        engine = ServeEngine(
+            gated_beamformer,
+            max_batch=4,
+            max_latency_ms=5.0,
+            log_every_s=0,
+        )
+        dataset = sim_contrast_dataset
+        with GatewayServer(
+            engine, port=0, max_inflight=4
+        ) as gateway:
+            assert gateway.telemetry is not None
+            with GatewayClient("127.0.0.1", gateway.port) as client:
+                client.connect(dataset_geometry(dataset))
+                assert client.max_inflight == 4
+                first = client.submit(dataset.rf)
+                # The controller sheds credit mid-session; the open
+                # session's cap shrinks, it is not evicted.
+                gateway.set_admission(max_inflight=1)
+                assert gateway.max_inflight == 1
+                second = client.submit(dataset.rf)
+                with pytest.raises(GatewayRejected) as excinfo:
+                    client.result(second)
+                assert excinfo.value.code == "inflight_cap"
+                gated_beamformer.release()
+                assert client.result(first).shape == (
+                    dataset.grid.nz,
+                    dataset.grid.nx,
+                )
+                # Restoring credit re-opens the pipe for the same
+                # session, again without a reconnect.
+                gateway.set_admission(max_inflight=4)
+                reseq = client.submit(dataset.rf)
+                assert client.result(reseq) is not None
+
+    def test_set_admission_validates(self, das_gateway):
+        gateway, dataset = das_gateway
+        with pytest.raises(ValueError):
+            gateway.set_admission(max_inflight=0)
+        with pytest.raises(ValueError):
+            gateway.set_admission(max_sessions=0)
+        # The rejected calls left the credits untouched.
+        assert gateway.max_inflight == 2
+        assert gateway.max_sessions == 2
+        assert_still_serving(gateway, dataset)
+
+
+class TestNonBlockingHarvest:
+    """``poll``/``has_result``: reading the socket without blocking.
+
+    An open-loop producer (``bench_serve_control``'s client) must keep
+    draining deliveries between submits or the kernel socket buffers
+    fill and the whole pipe deadlocks — but it cannot afford to block
+    on :meth:`GatewayClient.result` for frames that are not done yet.
+    """
+
+    @staticmethod
+    def _drain_until(client, seq):
+        # Block on the *socket* (not on result()) until seq's outcome
+        # is buffered client-side — same no-sleep style as the rest of
+        # this file: every wait is a read the server is about to answer.
+        while not client.has_result(seq):
+            select.select([client._sock], [], [], 30.0)
+            client.poll()
+
+    def test_poll_is_nonblocking_and_surfaces_both_outcomes(
+        self, sim_contrast_dataset, gated_beamformer
+    ):
+        engine = ServeEngine(
+            gated_beamformer,
+            max_batch=4,
+            max_latency_ms=5.0,
+            log_every_s=0,
+        )
+        with GatewayServer(
+            engine, port=0, max_inflight=1, feed_capacity=8
+        ) as gateway:
+            with GatewayClient("127.0.0.1", gateway.port) as client:
+                client.connect(dataset_geometry(sim_contrast_dataset))
+                held = client.submit(sim_contrast_dataset.rf)
+                # The gate is closed, so nothing has been delivered:
+                # poll must return immediately and report no outcome.
+                client.poll()
+                assert not client.has_result(held)
+                # A second frame overruns max_inflight=1; its reject
+                # is an outcome too, and must be visible to
+                # has_result without a blocking result() call.
+                shed = client.submit(sim_contrast_dataset.rf)
+                self._drain_until(client, shed)
+                assert client.has_result(shed)
+                assert not client.has_result(held)
+                with pytest.raises(GatewayRejected) as excinfo:
+                    client.result(shed)
+                assert excinfo.value.code == "inflight_cap"
+                gated_beamformer.release()
+                self._drain_until(client, held)
+                # The outcome is already buffered: result() returns
+                # without touching the socket again.
+                image = client.result(held)
+                assert image.shape == (
+                    sim_contrast_dataset.grid.nz,
+                    sim_contrast_dataset.grid.nx,
+                )
+                # result() consumed it.
+                assert not client.has_result(held)

@@ -1,0 +1,376 @@
+"""ServoController decision logic, driven by a fake clock (no sleeps).
+
+These tests steer the controller with *synthetic telemetry*: each
+"tick" first paints a telemetry window (``batch_done`` calls shaped to
+a target p99, ``observe_queue_depth`` for backlog) and then calls
+``tick()`` directly — no threads, no real time.  The engine and
+gateway are stubs that record actuations, so every policy's
+trigger/actuator/bounds contract (docs/autotuning.md) is pinned
+without spawning a single worker.
+"""
+
+import pytest
+
+from repro.serve import FakeClock, ServeTelemetry
+from repro.serve.control import (
+    SLO,
+    ControlBounds,
+    ServoController,
+)
+
+
+class StubEngine:
+    """Minimal engine surface the controller actuates."""
+
+    def __init__(self, max_batch=4, max_latency_ms=25.0, workers=2):
+        self.max_batch = max_batch
+        self.max_latency_ms = max_latency_ms
+        self.workers = workers
+        self.calls = []
+
+    def set_batching(self, max_batch=None, max_latency_ms=None):
+        if max_batch is not None:
+            self.max_batch = max_batch
+        if max_latency_ms is not None:
+            self.max_latency_ms = max_latency_ms
+        self.calls.append(("set_batching", max_batch, max_latency_ms))
+
+    @property
+    def live_workers(self):
+        return self.workers
+
+    def add_worker(self):
+        self.workers += 1
+        self.calls.append(("add_worker", self.workers))
+        return self.workers - 1
+
+    def retire_worker(self, shard=None):
+        if self.workers <= 1:
+            return None
+        self.workers -= 1
+        self.calls.append(("retire_worker", self.workers))
+        return self.workers
+
+
+class StubGateway:
+    """Minimal gateway surface the controller actuates."""
+
+    def __init__(self, max_inflight=8):
+        self.max_inflight = max_inflight
+        self.max_sessions = 8
+        self.calls = []
+
+    def set_admission(self, max_sessions=None, max_inflight=None):
+        if max_sessions is not None:
+            self.max_sessions = max_sessions
+        if max_inflight is not None:
+            self.max_inflight = max_inflight
+        self.calls.append(("set_admission", max_sessions, max_inflight))
+
+
+def paint_window(telemetry, clock, p99_s, frames=20, depth=0):
+    """Record one telemetry window whose total latency ~= ``p99_s``."""
+    for _ in range(frames):
+        now = clock.now()
+        telemetry.batch_done(
+            [now - p99_s], now - p99_s / 2, now, execute_s=p99_s / 2
+        )
+    telemetry.observe_queue_depth("ingest", depth)
+
+
+@pytest.fixture()
+def rig():
+    clock = FakeClock()
+    telemetry = ServeTelemetry(clock=clock)
+    engine = StubEngine()
+    return clock, telemetry, engine
+
+
+class TestValidation:
+    def test_slo_rejects_bad_objective(self):
+        with pytest.raises(ValueError):
+            SLO(p99_latency_s=0.0)
+        with pytest.raises(ValueError):
+            SLO(p99_latency_s=0.1, max_queue_depth=0)
+
+    def test_bounds_reject_inversions(self):
+        with pytest.raises(ValueError):
+            ControlBounds(min_batch=8, max_batch=4)
+        with pytest.raises(ValueError):
+            ControlBounds(min_latency_ms=0.0)
+        with pytest.raises(ValueError):
+            ControlBounds(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError):
+            ControlBounds(headroom=1.5)
+        with pytest.raises(ValueError):
+            ControlBounds(patience=0)
+
+    def test_controller_rejects_bad_interval(self, rig):
+        clock, telemetry, engine = rig
+        with pytest.raises(ValueError):
+            ServoController(
+                SLO(0.1), telemetry, engine=engine, interval_s=0.0
+            )
+
+
+class TestBatchingPolicy:
+    def make(self, rig, slo_s=0.100, **bounds):
+        clock, telemetry, engine = rig
+        controller = ServoController(
+            SLO(p99_latency_s=slo_s),
+            telemetry,
+            engine=engine,
+            bounds=ControlBounds(**bounds),
+            clock=clock,
+        )
+        return clock, telemetry, engine, controller
+
+    def test_idle_window_takes_no_action(self, rig):
+        clock, telemetry, engine, controller = self.make(rig)
+        assert controller.tick() == []
+        assert engine.calls == []
+
+    def test_grows_batch_under_headroom(self, rig):
+        clock, telemetry, engine, controller = self.make(rig)
+        paint_window(telemetry, clock, p99_s=0.020)  # 20ms << 70ms
+        actions = controller.tick()
+        assert [a.action for a in actions] == ["grow_batch"]
+        assert engine.max_batch == 5
+
+    def test_grow_stops_at_bounds(self, rig):
+        clock, telemetry, engine, controller = self.make(
+            rig, max_batch=5
+        )
+        for _ in range(4):
+            paint_window(telemetry, clock, p99_s=0.020)
+            controller.tick()
+        assert engine.max_batch == 5  # clamped, not 8
+
+    def test_no_growth_without_headroom(self, rig):
+        # p99 between headroom (70ms) and the SLO (100ms): healthy but
+        # too close to grow — the controller holds position.
+        clock, telemetry, engine, controller = self.make(rig)
+        paint_window(telemetry, clock, p99_s=0.090)
+        assert controller.tick() == []
+
+    def test_latency_breach_halves_deadline_first(self, rig):
+        clock, telemetry, engine, controller = self.make(rig)
+        paint_window(telemetry, clock, p99_s=0.300)  # 3x the SLO
+        actions = controller.tick()
+        assert [a.action for a in actions] == ["cut_deadline"]
+        assert engine.max_latency_ms == 12.5
+        assert engine.max_batch == 4  # batch untouched while cutting
+
+    def test_breach_with_floored_deadline_shrinks_batch(self, rig):
+        clock, telemetry, engine, controller = self.make(
+            rig, min_latency_ms=12.5
+        )
+        paint_window(telemetry, clock, p99_s=0.300)
+        controller.tick()  # cuts 25 -> 12.5 (the floor)
+        paint_window(telemetry, clock, p99_s=0.300)
+        actions = controller.tick()
+        assert [a.action for a in actions] == ["shrink_batch"]
+        assert engine.max_batch == 3
+
+    def test_queue_breach_grows_batch_to_amortize(self, rig):
+        clock, telemetry, engine, controller = self.make(rig)
+        paint_window(telemetry, clock, p99_s=0.300, depth=1000)
+        actions = controller.tick()
+        # Backlog beats latency in the decision order: batch grows
+        # (amortization) instead of the deadline fragmenting it.
+        assert [a.action for a in actions] == ["grow_batch"]
+        assert engine.max_batch == 5
+
+    def test_healthy_window_restores_a_cut_deadline(self, rig):
+        clock, telemetry, engine, controller = self.make(
+            rig, max_batch=4
+        )
+        paint_window(telemetry, clock, p99_s=0.300)
+        controller.tick()
+        assert engine.max_latency_ms == 12.5
+        paint_window(telemetry, clock, p99_s=0.020)
+        actions = controller.tick()
+        # Batch already at bounds -> the healthy step relaxes the
+        # deadline back toward its configured base instead.
+        assert [a.action for a in actions] == ["restore_deadline"]
+        assert engine.max_latency_ms == 25.0  # never past the base
+
+    def test_breaches_counted_in_status(self, rig):
+        clock, telemetry, engine, controller = self.make(rig)
+        paint_window(telemetry, clock, p99_s=0.300, depth=1000)
+        controller.tick()
+        status = controller.status()
+        assert status["breaches"] == 2  # latency AND queue signals
+        assert status["ticks"] == 1
+        assert status["engine"]["max_batch"] == engine.max_batch
+
+
+class TestAdmissionPolicy:
+    def make(self, rig, patience=2):
+        clock, telemetry, engine = rig
+        gateway = StubGateway(max_inflight=8)
+        controller = ServoController(
+            SLO(p99_latency_s=0.100),
+            telemetry,
+            engine=engine,
+            gateway=gateway,
+            bounds=ControlBounds(patience=patience),
+            clock=clock,
+        )
+        return clock, telemetry, gateway, controller
+
+    def test_sheds_after_sustained_breach_only(self, rig):
+        clock, telemetry, gateway, controller = self.make(rig)
+        paint_window(telemetry, clock, p99_s=0.300)
+        controller.tick()
+        assert gateway.max_inflight == 8  # one breach: not yet
+        paint_window(telemetry, clock, p99_s=0.300)
+        controller.tick()
+        assert gateway.max_inflight == 4  # patience reached: halved
+
+    def test_restores_additively_when_healthy(self, rig):
+        clock, telemetry, gateway, controller = self.make(rig)
+        for _ in range(2):
+            paint_window(telemetry, clock, p99_s=0.300)
+            controller.tick()
+        assert gateway.max_inflight == 4
+        for _ in range(2):
+            paint_window(telemetry, clock, p99_s=0.020)
+            controller.tick()
+        assert gateway.max_inflight == 5  # +1, not a jump back to 8
+
+    def test_never_sheds_below_floor(self, rig):
+        clock, telemetry, gateway, controller = self.make(rig)
+        for _ in range(20):
+            paint_window(telemetry, clock, p99_s=0.300)
+            controller.tick()
+        assert gateway.max_inflight >= 1
+
+
+class TestScalingPolicy:
+    def make(self, rig, **bounds):
+        clock, telemetry, engine = rig
+        bounds.setdefault("patience", 2)
+        bounds.setdefault("cooldown_ticks", 3)
+        bounds.setdefault("max_batch", 4)  # start saturated
+        controller = ServoController(
+            SLO(p99_latency_s=0.100),
+            telemetry,
+            engine=engine,
+            bounds=ControlBounds(**bounds),
+            autoscale=True,
+            clock=clock,
+        )
+        return clock, telemetry, engine, controller
+
+    def test_adds_worker_on_sustained_saturated_breach(self, rig):
+        clock, telemetry, engine, controller = self.make(rig)
+        for _ in range(2):
+            paint_window(telemetry, clock, p99_s=0.300)
+            controller.tick()
+        assert engine.workers == 3
+        assert ("add_worker", 3) in engine.calls
+
+    def test_cooldown_prevents_flapping(self, rig):
+        clock, telemetry, engine, controller = self.make(rig)
+        for _ in range(4):
+            paint_window(telemetry, clock, p99_s=0.300)
+            controller.tick()
+        # Breaches continue but the cooldown holds: one add, not three.
+        assert engine.workers == 3
+
+    def test_retires_worker_after_sustained_idle(self, rig):
+        clock, telemetry, engine, controller = self.make(rig)
+        # 2*patience healthy ticks with empty queues and a tiny p99.
+        for _ in range(4):
+            paint_window(telemetry, clock, p99_s=0.005, depth=0)
+            controller.tick()
+        assert engine.workers == 1
+        assert ("retire_worker", 1) in engine.calls
+
+    def test_scaling_respects_min_workers(self, rig):
+        clock, telemetry, engine, controller = self.make(
+            rig, min_workers=2
+        )
+        for _ in range(10):
+            paint_window(telemetry, clock, p99_s=0.005, depth=0)
+            controller.tick()
+        assert engine.workers == 2
+
+    def test_autoscale_off_never_scales(self, rig):
+        clock, telemetry, engine = rig
+        controller = ServoController(
+            SLO(p99_latency_s=0.100),
+            telemetry,
+            engine=engine,
+            bounds=ControlBounds(patience=1, max_batch=4),
+            autoscale=False,
+            clock=clock,
+        )
+        for _ in range(5):
+            paint_window(telemetry, clock, p99_s=0.300)
+            controller.tick()
+        assert engine.workers == 2
+
+
+class TestPlumbing:
+    def test_callable_telemetry_handles_none(self, rig):
+        clock, telemetry, engine = rig
+        holder = {"telemetry": None}
+        controller = ServoController(
+            SLO(0.1),
+            lambda: holder["telemetry"],
+            engine=engine,
+            clock=clock,
+        )
+        assert controller.tick() == []  # no run yet: no-op
+        holder["telemetry"] = telemetry
+        paint_window(telemetry, clock, p99_s=0.020)
+        assert controller.tick() != []
+
+    def test_actions_log_is_bounded(self, rig):
+        from repro.serve.control import ACTION_LOG_CAP
+
+        clock, telemetry, engine, = rig
+        controller = ServoController(
+            SLO(0.1),
+            telemetry,
+            engine=engine,
+            bounds=ControlBounds(max_batch=10_000),
+            clock=clock,
+        )
+        for _ in range(ACTION_LOG_CAP + 50):
+            paint_window(telemetry, clock, p99_s=0.020)
+            controller.tick()
+        assert len(controller.actions) == ACTION_LOG_CAP
+
+    def test_metrics_families_exported(self, rig):
+        clock, telemetry, engine = rig
+        controller = ServoController(
+            SLO(0.1), telemetry, engine=engine, clock=clock
+        )
+        paint_window(telemetry, clock, p99_s=0.300)
+        controller.tick()
+        rendered = controller.obs.metrics.render_prometheus()
+        assert "repro_control_actions_total" in rendered
+        assert "repro_control_slo_breaches_total" in rendered
+        assert 'signal="p99_latency"' in rendered
+
+    def test_thread_runner_start_stop(self, rig):
+        clock, telemetry, engine = rig
+        controller = ServoController(
+            SLO(0.1),
+            telemetry,
+            engine=engine,
+            interval_s=0.01,
+            clock=clock,
+        )
+        paint_window(telemetry, clock, p99_s=0.020)
+        with controller:
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while not controller._ticks and time.monotonic() < deadline:
+                time.sleep(0.005)
+        assert controller._ticks >= 1
+        assert controller._thread is None  # stopped and joined

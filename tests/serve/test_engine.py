@@ -274,3 +274,84 @@ class TestFailure:
             ServeEngine(create_beamformer("das"), backpressure="spill")
         with pytest.raises(ValueError):
             ServeEngine(create_beamformer("das"), n_workers=0)
+
+
+class TestLiveWorkerLifecycle:
+    """Runtime add/retire of worker threads (the autoscale actuator).
+
+    The source generator triggers the lifecycle calls between frames
+    (it runs on the pump thread while workers execute), so the pool is
+    resized under live traffic — parity and zero-loss must hold
+    through both transitions.
+    """
+
+    def test_add_and_retire_during_run_preserve_parity(self, frames):
+        das = create_beamformer("das")
+        offline = [das.beamform(frame) for frame in frames]
+        engine = ServeEngine(
+            das, n_workers=1, max_batch=1, log_every_s=0
+        )
+
+        def source():
+            for index, frame in enumerate(frames):
+                if index == 3:
+                    assert engine.add_worker()
+                if index == 6:
+                    assert engine.retire_worker()
+                yield frame
+
+        report = engine.serve(source())
+        assert report.completed == len(frames)
+        assert report.dropped == []
+        for reference, image in zip(offline, report.images):
+            np.testing.assert_array_equal(reference, image)
+
+    def test_retire_never_empties_the_pool(self, frames):
+        das = create_beamformer("das")
+        engine = ServeEngine(
+            das, n_workers=1, max_batch=1, log_every_s=0
+        )
+        refused = []
+
+        def source():
+            for index, frame in enumerate(frames[:3]):
+                if index == 1:
+                    refused.append(engine.retire_worker())
+                yield frame
+
+        report = engine.serve(source())
+        assert report.completed == 3
+        assert refused == [False]  # last worker is never retired
+
+    def test_lifecycle_refused_outside_a_run(self, frames):
+        das = create_beamformer("das")
+        engine = ServeEngine(das, n_workers=1, log_every_s=0)
+        assert not engine.add_worker()
+        assert not engine.retire_worker()
+        engine.serve(ReplaySource(frames[:2]))
+        assert not engine.add_worker()  # run over: pool is gone
+
+    def test_set_batching_mid_run_reaches_the_scheduler(self, frames):
+        das = create_beamformer("das")
+        engine = ServeEngine(
+            das, n_workers=1, max_batch=1, max_latency_ms=1000.0,
+            log_every_s=0,
+        )
+        sizes = []
+
+        def source():
+            for index, frame in enumerate(frames):
+                if index == 4:
+                    engine.set_batching(max_batch=4)
+                yield frame
+
+        report = engine.serve(
+            source(),
+            sink=lambda seq, dataset, image: sizes.append(seq),
+        )
+        assert report.completed == len(frames)
+        # The live scheduler picked up the new cap: telemetry saw at
+        # least one batch above the original max_batch=1.
+        assert report.stats["max_batch_size"] >= 2
+        with pytest.raises(ValueError):
+            engine.set_batching(max_batch=0)

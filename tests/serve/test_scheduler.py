@@ -237,3 +237,79 @@ class TestShardRouter:
             ShardRouter(0)
         with pytest.raises(ValueError):
             ShardRouter(2, policy="random")
+
+
+class TestRuntimeMutableLimits:
+    """``set_limits`` mid-stream: the controller's batching actuator.
+
+    The contract (docs/autotuning.md): limit changes are only *read*
+    at flush decisions, so no change can ever drop or double-emit a
+    pending frame — the pending set simply flushes under the new
+    rules on the next decision.
+    """
+
+    def test_set_limits_applies_and_validates(self):
+        batcher, _ = make_batcher(max_batch=4, max_latency_s=0.050)
+        batcher.set_limits(max_batch=8)
+        assert batcher.max_batch == 8
+        assert batcher.max_latency_s == 0.050  # untouched
+        batcher.set_limits(max_latency_s=0.010)
+        assert batcher.max_latency_s == 0.010
+        with pytest.raises(ValueError):
+            batcher.set_limits(max_batch=0)
+        with pytest.raises(ValueError):
+            batcher.set_limits(max_latency_s=-1.0)
+        # A rejected update must leave both limits unchanged, even the
+        # one that was individually valid in the failing call.
+        assert batcher.max_batch == 8
+        assert batcher.max_latency_s == 0.010
+
+    def test_batch_cut_chunk_emits_every_pending_frame_once(
+        self, frames
+    ):
+        batcher, _ = make_batcher(max_batch=8, max_latency_s=10.0)
+        submitted = [batcher.submit(frame) for frame in frames[:5]]
+        assert batcher.ready() == []  # 5 < 8, far from deadline
+        batcher.set_limits(max_batch=2)
+        batches = batcher.ready()
+        assert [len(batch) for batch in batches] == [2, 2]
+        seqs = [f.seq for batch in batches for f in batch.frames]
+        assert batcher.pending == 1
+        leftover = batcher.flush()
+        seqs += [f.seq for batch in leftover for f in batch.frames]
+        # Exactly once, in submission order: nothing dropped, nothing
+        # double-emitted by the cut.
+        assert seqs == [frame.seq for frame in submitted]
+
+    def test_batch_grow_keeps_pending_waiting(self, frames):
+        batcher, _ = make_batcher(max_batch=2, max_latency_s=10.0)
+        batcher.submit(frames[0])
+        batcher.submit(frames[1])
+        batcher.set_limits(max_batch=4)
+        # Under the grown cap the full-at-2 group is no longer full.
+        assert batcher.ready() == []
+        assert batcher.pending == 2
+
+    def test_deadline_cut_makes_pending_overdue(self, frames):
+        batcher, clock = make_batcher(max_batch=8, max_latency_s=0.500)
+        batcher.submit(frames[0])
+        clock.advance(0.050)
+        assert batcher.ready() == []  # 50 ms < 500 ms: still waiting
+        batcher.set_limits(max_latency_s=0.010)
+        (batch,) = batcher.ready()
+        assert batch.reason == "deadline"
+        assert len(batch) == 1
+        assert batcher.pending == 0
+
+    def test_next_deadline_consistent_after_cut(self, frames):
+        batcher, clock = make_batcher(max_batch=8, max_latency_s=0.500)
+        batcher.submit(frames[0])
+        assert batcher.next_deadline() == pytest.approx(0.500)
+        batcher.set_limits(max_latency_s=0.020)
+        # The deadline re-derives from oldest-submit + new latency: it
+        # moves the moment the limit does, and stays consistent with
+        # what ready() will decide at that instant.
+        assert batcher.next_deadline() == pytest.approx(0.020)
+        clock.advance(0.020)
+        assert batcher.ready() != []
+        assert batcher.next_deadline() is None

@@ -224,3 +224,70 @@ class TestSoak:
         assert workers["restarts"] == 0
         assert workers["live"] == 2
         assert report.stats["frames_in"] == n_frames
+
+
+class TestLiveWorkerLifecycle:
+    """Runtime worker add/retire on the process-sharded engine.
+
+    The acceptance bar (ISSUE 9): resizing the pool during live
+    traffic preserves bitwise serve-vs-offline parity with zero
+    admitted-frame loss.  The source generator drives the lifecycle
+    from the pump thread: add a shard, wait (event-driven, no sleeps
+    beyond the poll) until the collector promotes it into the router,
+    then retire shard 0 while its queue still holds work — the
+    FIFO stop token forces the drain-before-exit path.
+    """
+
+    def test_live_add_and_retire_preserve_parity(self, frames):
+        import time
+
+        beamformer = create_beamformer("das")
+        offline = [beamformer.beamform(frame) for frame in frames]
+        with sharded(beamformer, max_batch=1) as engine:
+            def source():
+                for index, frame in enumerate(frames):
+                    if index == 2:
+                        added = engine.add_worker()
+                        assert added is not None
+                        deadline = time.monotonic() + 120.0
+                        while (
+                            engine._slots[added].state != "active"
+                        ):
+                            assert time.monotonic() < deadline, (
+                                "added worker never became routable"
+                            )
+                            time.sleep(0.01)
+                    if index == 5:
+                        assert engine.retire_worker(0) == 0
+                    yield frame
+
+            report = engine.serve(source())
+            assert report.completed == len(frames)
+            assert report.dropped == []
+            for reference, image in zip(offline, report.images):
+                np.testing.assert_array_equal(reference, image)
+            workers = report.stats["workers"]
+            assert workers["exited"] == 1  # the retired shard
+            assert engine.live_workers == 2  # 2 + 1 added - 1 retired
+
+            # The resized pool keeps serving: a second run on the
+            # surviving shards (1 and 2) stays bit-exact too.
+            second = engine.serve(ReplaySource(frames[:4]))
+            assert second.completed == 4
+            for reference, image in zip(offline, second.images):
+                np.testing.assert_array_equal(reference, image)
+
+    def test_retire_refused_when_it_would_empty_the_pool(self, frames):
+        beamformer = create_beamformer("das")
+        with sharded(beamformer, n_workers=1) as engine:
+            assert engine.retire_worker() is None
+            report = engine.serve(ReplaySource(frames[:2]))
+            assert report.completed == 2
+
+    def test_add_worker_respects_max_workers(self, frames):
+        beamformer = create_beamformer("das")
+        with sharded(
+            beamformer, n_workers=1, max_workers=1
+        ) as engine:
+            assert engine.add_worker() is None
+            assert engine.live_workers == 1
