@@ -12,6 +12,7 @@ across reruns and orderings); frame perturbation for the throughput
 scripts lives in ``bench_throughput.make_frames`` (explicitly seeded).
 """
 
+import os
 from pathlib import Path
 
 import pytest
@@ -65,10 +66,17 @@ def beamformers(models):
 
 @pytest.fixture(scope="session")
 def quantized_beamformers(models):
-    """Tiny-VBF through the FPGA datapath, one per Table-III scheme."""
+    """Tiny-VBF through the FPGA datapath, one per Table-III scheme.
+
+    ``REPRO_PE=emu`` (or ``emu-per-level``) reruns every quantized
+    table/figure on the bit-accurate integer PE emulator instead of
+    the modeled fake-quantized path — the CI ``fpga-emu`` job uses
+    this to regenerate Table IV in emulated mode.
+    """
+    pe = os.environ.get("REPRO_PE") or None
     return {
         name: create_beamformer(
-            f"tiny_vbf@{name}", model=models["tiny_vbf"]
+            f"tiny_vbf@{name}", model=models["tiny_vbf"], pe=pe
         )
         for name in SCHEMES
     }

@@ -1,9 +1,11 @@
-"""Fig. 15: B-mode images generated from the (simulated) FPGA.
+"""Fig. 15: B-mode images generated from the (emulated) FPGA.
 
 The paper shows reconstructions per quantization level: 24/20-bit and
 the hybrids are visually identical to float, 16-bit degrades visibly.
 We export the images and quantify the degradation as the RMS dB
-difference from the float B-mode.
+difference from the float B-mode.  ``REPRO_PE=emu`` regenerates every
+quantized B-mode on the bit-accurate integer PE emulator
+(bit-identical to the default modeled path).
 """
 
 import numpy as np

@@ -5,6 +5,12 @@ Hybrid-1 0.309/0.45, Hybrid-2 0.309/0.45 (simulation column).
 
 Shape under test: quantization down to 20-bit / hybrid leaves the FWHM
 within a few percent of float.
+
+The quantized columns run on the modeled fake-quantized path by
+default and on the bit-accurate integer PE emulator under
+``REPRO_PE=emu`` (see ``docs/fpga-emulation.md``); the two are
+bit-identical by the ``tests/quant/test_pe_agreement.py`` contract, so
+the numbers hold for both.
 """
 
 from repro.eval.tables import PAPER_TABLE_IV

@@ -7,6 +7,10 @@ Hybrid-1 13.34/1.74/0.73, Hybrid-2 13.26/1.75/0.72.
 Shape under test: every quantized scheme stays within ~2 dB CR of float
 (the paper sees <1.7 dB variation), i.e. quantization preserves image
 quality.
+
+Quantized columns are emulated-capable: ``REPRO_PE=emu`` reruns them
+on the integer PE emulator, bit-identical to the default modeled path
+(see ``docs/fpga-emulation.md``).
 """
 
 import numpy as np

@@ -4,6 +4,11 @@ The resource model (repro.fpga.resources) is calibrated against the
 published table; this bench regenerates all six columns, checks the
 calibration, and verifies the qualitative claims: monotone decrease of
 logic with bit-width and the >50 % Hybrid-2 reduction.
+
+The datapath the resource counts describe is the one
+``repro.fpga.emu`` executes bit-accurately (lanes, segmented DSP
+multiplies, adder tree, rounding) — ``REPRO_PE=emu`` runs the
+accuracy tables on exactly that emulated arithmetic.
 """
 
 import pytest

@@ -222,7 +222,11 @@ class QuantizedBeamformer(LearnedBeamformer):
 
     Shares :class:`LearnedBeamformer`'s input preparation — including
     the silent-frame normalization guard — and swaps the float forward
-    pass for the bit-accurate quantized one.
+    pass for the bit-accurate quantized one.  ``pe=`` selects the
+    substrate: ``None`` keeps the modeled fake-quantized path,
+    ``"emu"`` runs the round-at-the-end integer PE emulator and
+    ``"emu-per-level"`` its per-level-rounding variant (see
+    :mod:`repro.fpga.emu` and docs/fpga-emulation.md).
     """
 
     def __init__(
@@ -232,8 +236,10 @@ class QuantizedBeamformer(LearnedBeamformer):
         scale: str = "small",
         seed: int = 0,
         backend: "str | ArrayBackend | None" = None,
+        pe: str | None = None,
     ) -> None:
         from repro.fpga.accelerator import TinyVbfAccelerator
+        from repro.quant.qexec import resolve_pe_mode
 
         if isinstance(scheme, str):
             require_in("scheme", scheme, tuple(SCHEMES))
@@ -245,8 +251,16 @@ class QuantizedBeamformer(LearnedBeamformer):
         self.scheme = scheme
         self.name = f"tiny_vbf@{scheme.name}"
         self.accelerator = TinyVbfAccelerator(self.model, scheme)
+        self._pe_mode = resolve_pe_mode(pe)
+        self.pe = pe
 
     def _forward(self, x: Array) -> Array:
+        if self._pe_mode is not None:
+            from repro.backend.pe_emu import emulated_pe_scope
+
+            with emulated_pe_scope(self.scheme, self._pe_mode):
+                emulated: Array = self.accelerator.run(x)
+                return emulated
         y: Array = self.accelerator.run(x)
         return y
 
@@ -261,9 +275,10 @@ class QuantizedBeamformer(LearnedBeamformer):
         return Beamformer.beamform_batch(self, datasets)
 
     def describe(self) -> dict[str, Any]:
-        """The learned description plus the fixed-point scheme name."""
+        """The learned description plus scheme and PE execution mode."""
         description = super().describe()
         description.update(
-            name=self.name, backend="fpga", scheme=self.scheme.name
+            name=self.name, backend="fpga", scheme=self.scheme.name,
+            pe=self.pe or "modeled",
         )
         return description

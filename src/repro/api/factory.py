@@ -91,10 +91,12 @@ def create_beamformer(
         model: optional pre-trained :class:`~repro.nn.Model` to wrap
             instead of loading from the weight cache.
         **kwargs: forwarded to the factory (e.g. ``f_number`` for DAS,
-            ``config`` for MVDR, and ``backend=`` — a registered
+            ``config`` for MVDR, ``backend=`` — a registered
             :mod:`repro.backend` name such as ``"numpy-fast"`` — for
-            every built-in adapter; the bound backend is active for
-            all of that beamformer's hot-path kernels).
+            every built-in adapter, and ``pe=`` — ``"emu"`` or
+            ``"emu-per-level"`` — to run a quantized
+            ``tiny_vbf@<scheme>`` spec on the bit-accurate integer PE
+            emulator instead of the modeled float datapath).
 
     Returns:
         A ready-to-use :class:`Beamformer`.
@@ -130,6 +132,12 @@ def _classical_factory(cls: type[Beamformer]) -> BeamformerFactory:
             )
         if model is not None:
             raise ValueError(f"{cls.name!r} does not take a model")
+        if kwargs.get("pe") is not None:
+            raise ValueError(
+                f"{cls.name!r} has no PE datapath; pe= applies to "
+                "quantized 'tiny_vbf@<scheme>' specs only"
+            )
+        kwargs.pop("pe", None)
         return cls(**kwargs)
 
     return factory
@@ -152,6 +160,12 @@ def _learned_factory(kind: str) -> BeamformerFactory:
             return QuantizedBeamformer(
                 scheme, model=model, scale=scale, seed=seed, **kwargs
             )
+        if kwargs.get("pe") is not None:
+            raise ValueError(
+                "pe= selects the emulated PE datapath and requires a "
+                f"quantized spec ('{kind}@<scheme>'), not {kind!r}"
+            )
+        kwargs.pop("pe", None)
         return LearnedBeamformer(
             kind, model=model, scale=scale, seed=seed, **kwargs
         )

@@ -1,0 +1,305 @@
+"""The ``pe-emu`` backend: quantized GEMMs through the emulated PE.
+
+:class:`PeEmuBackend` is a *routing shim*, not a kernel library: inside
+an :class:`emulated_pe_scope` it sends the three quantized GEMM shapes
+(``matmul``, ``attention_scores``, ``attention_context``) through
+:class:`repro.fpga.emu.EmulatedPE` — the integer datapath with lane
+packing, segmented multiply and full-width accumulation — and delegates
+every other kernel (DAS gathers, im2col, softmax, MVDR reductions,
+complex arithmetic) to the scope's *base* backend.  Outside any scope
+it delegates everything to the ``numpy`` reference, so the conformance
+suite certifies it like any other backend (bit-for-bit, rtol=atol=0).
+
+The scope is thread-local, mirroring :func:`repro.backend.use_backend`:
+the emulation configuration (scheme + rounding mode + base backend)
+must not live on the registered backend instance, because backends are
+process-wide singletons pickled by name across serve workers — a
+per-beamformer mode stored there would leak between concurrent
+beamformers and vanish across process boundaries.  Instead
+:class:`~repro.api.adapters.QuantizedBeamformer` carries a plain
+``pe=`` string and pushes a scope around each quantized forward, so the
+configuration travels with the (picklable) beamformer and re-arms
+itself inside every worker::
+
+    with emulated_pe_scope(SCHEMES["20 bits"]):
+        y = quantized_forward(model.root, x, SCHEMES["20 bits"])
+
+runs bit-identical to the plain fake-quantized forward while executing
+the actual integer pipeline (see docs/fpga-emulation.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.backend.base import (
+    Array,
+    ArrayBackend,
+    get_backend,
+    resolve_backend,
+)
+
+if TYPE_CHECKING:  # lazy at runtime: repro.quant imports repro.backend
+    from repro.fpga.emu import EmulatedPE
+    from repro.quant.schemes import QuantizationScheme
+
+_tls = threading.local()
+
+
+@dataclass(frozen=True)
+class EmulationSpec:
+    """One active emulation configuration (what a scope pushes).
+
+    Attributes:
+        scheme: the Table-III quantization scheme being emulated.
+        rounding_mode: :data:`repro.fpga.emu.ROUNDING_MODES` member.
+        base: backend receiving every non-emulated kernel.
+    """
+
+    scheme: "QuantizationScheme"
+    rounding_mode: str
+    base: ArrayBackend
+
+
+def _spec_stack() -> "list[EmulationSpec]":
+    """This thread's stack of active emulation scopes."""
+    stack: list[EmulationSpec] | None = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def current_emulation() -> EmulationSpec | None:
+    """The innermost active :class:`emulated_pe_scope`'s spec, if any."""
+    stack = _spec_stack()
+    return stack[-1] if stack else None
+
+
+class emulated_pe_scope:
+    """Context manager arming PE emulation for the current thread.
+
+    Pushes an :class:`EmulationSpec` and selects the ``pe-emu`` backend
+    for the scope's duration, so every quantized GEMM dispatched inside
+    runs on the integer datapath.  ``base`` defaults to the ambient
+    backend at entry (unwrapping an ambient ``pe-emu`` to its own base,
+    so scopes never recurse into themselves).
+
+    Args:
+        scheme: a :class:`~repro.quant.schemes.QuantizationScheme` or a
+            registered scheme name (``"20 bits"``, ``"hybrid-1"``, ...).
+        rounding_mode: ``"round_at_end"`` (the hardware pipeline) or
+            ``"per_level"`` (the legacy per-level-rounding tree).
+        base: backend (name or instance) for non-emulated kernels;
+            ``None`` inherits the ambient backend.
+    """
+
+    def __init__(
+        self,
+        scheme: "QuantizationScheme | str",
+        rounding_mode: str = "round_at_end",
+        base: "str | ArrayBackend | None" = None,
+    ) -> None:
+        from repro.fpga.emu import ROUNDING_MODES
+        from repro.quant.schemes import SCHEMES
+
+        if isinstance(scheme, str):
+            if scheme not in SCHEMES:
+                known = ", ".join(SCHEMES)
+                raise ValueError(
+                    f"unknown scheme {scheme!r}; known: {known}"
+                )
+            scheme = SCHEMES[scheme]
+        if rounding_mode not in ROUNDING_MODES:
+            raise ValueError(
+                f"rounding_mode must be one of {ROUNDING_MODES}, got "
+                f"{rounding_mode!r}"
+            )
+        self._scheme = scheme
+        self._rounding_mode = rounding_mode
+        self._base = resolve_backend(base)
+        self._backend_scope: Any = None
+
+    def __enter__(self) -> EmulationSpec:
+        from repro.backend.base import use_backend
+
+        base = self._base if self._base is not None else get_backend()
+        if isinstance(base, PeEmuBackend):
+            base = base._delegate()
+        spec = EmulationSpec(
+            scheme=self._scheme,
+            rounding_mode=self._rounding_mode,
+            base=base,
+        )
+        _spec_stack().append(spec)
+        self._backend_scope = use_backend("pe-emu")
+        self._backend_scope.__enter__()
+        return spec
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._backend_scope.__exit__(*exc_info)
+        self._backend_scope = None
+        _spec_stack().pop()
+
+
+class PeEmuBackend(ArrayBackend):
+    """Backend routing quantized GEMMs through the emulated PE.
+
+    With no scope active this is an exact proxy for the ``numpy``
+    reference (rtol = atol = 0, certified by the conformance suite);
+    inside a scope, ``matmul`` / ``attention_scores`` /
+    ``attention_context`` run on :class:`repro.fpga.emu.EmulatedPE`
+    with the scheme's operand formats, and everything else — including
+    complex-valued inputs, which the integer datapath does not model —
+    goes to the scope's base backend.
+    """
+
+    name = "pe-emu"
+    rtol = 0.0
+    atol = 0.0
+
+    def _delegate(self) -> ArrayBackend:
+        """The backend receiving non-emulated kernels right now."""
+        spec = current_emulation()
+        if spec is not None:
+            return spec.base
+        return resolve_backend("numpy")
+
+    def _pe(
+        self,
+        spec: EmulationSpec,
+        a_role: str,
+        b_role: str,
+    ) -> "EmulatedPE":
+        """An :class:`EmulatedPE` with per-role operand formats."""
+        from repro.fpga.emu import EmulatedPE
+
+        return EmulatedPE(
+            spec.scheme.arithmetic,
+            a_format=getattr(spec.scheme, a_role),
+            b_format=getattr(spec.scheme, b_role),
+            rounding_mode=spec.rounding_mode,
+        )
+
+    def _active_spec(self, *arrays: Array) -> EmulationSpec | None:
+        """The spec to emulate under, or ``None`` to delegate.
+
+        Float schemes have no integer datapath, and complex operands
+        (the beamforming side) never enter the accelerator at all.
+        """
+        spec = current_emulation()
+        if spec is None or spec.scheme.arithmetic is None:
+            return None
+        if any(np.iscomplexobj(array) for array in arrays):
+            return None
+        return spec
+
+    # -- dtype policy ----------------------------------------------------
+
+    def asarray(self, x: Array) -> Array:
+        """Delegate dtype policy to the base backend."""
+        return self._delegate().asarray(x)
+
+    # -- emulated GEMM shapes --------------------------------------------
+
+    def matmul(self, x: Array, weight: Array) -> Array:
+        """``x @ weight`` on the emulated PE (activations x weights)."""
+        spec = self._active_spec(x, weight)
+        if spec is None:
+            return self._delegate().matmul(x, weight)
+        pe = self._pe(spec, "intermediate", "weights")
+        return pe.matmul(np.asarray(x, float), np.asarray(weight, float))
+
+    def attention_scores(
+        self, q: Array, k: Array, scale: float
+    ) -> Array:
+        """Scaled ``q k^T`` on the emulated PE (both on the
+        intermediate grid), ``scale`` folded into the final round."""
+        spec = self._active_spec(q, k)
+        if spec is None:
+            return self._delegate().attention_scores(q, k, scale)
+        pe = self._pe(spec, "intermediate", "intermediate")
+        q = np.asarray(q, float)
+        k = np.asarray(k, float)
+        return pe.matmul(q, np.swapaxes(k, -1, -2), scale=scale)
+
+    def attention_context(
+        self, attention: Array, v: Array
+    ) -> Array:
+        """Probability-weighted value sum on the emulated PE
+        (softmax grid x intermediate grid)."""
+        spec = self._active_spec(attention, v)
+        if spec is None:
+            return self._delegate().attention_context(attention, v)
+        pe = self._pe(spec, "softmax", "intermediate")
+        return pe.matmul(
+            np.asarray(attention, float), np.asarray(v, float)
+        )
+
+    def attention(
+        self, q: Array, k: Array, v: Array, scale: float
+    ) -> tuple[Array, Array]:
+        """Composed attention; emulated piecewise inside a scope."""
+        if self._active_spec(q, k, v) is None:
+            return self._delegate().attention(q, k, v, scale)
+        return ArrayBackend.attention(self, q, k, v, scale)
+
+    # -- delegated kernels -----------------------------------------------
+
+    def relu(self, x: Array) -> Array:
+        """Delegate (dedicated hardware unit, exact)."""
+        return self._delegate().relu(x)
+
+    def softmax(self, x: Array, axis: int = -1) -> Array:
+        """Delegate (dedicated hardware unit; qexec re-quantizes)."""
+        return self._delegate().softmax(x, axis=axis)
+
+    def tanh(self, x: Array) -> Array:
+        """Delegate (dedicated hardware unit; qexec re-quantizes)."""
+        return self._delegate().tanh(x)
+
+    def affine(
+        self, x: Array, weight: Array, bias: Array | None
+    ) -> Array:
+        """Delegate (the quantized executor adds biases explicitly)."""
+        return self._delegate().affine(x, weight, bias)
+
+    def affine_relu(
+        self, x: Array, weight: Array, bias: Array | None
+    ) -> Array:
+        """Delegate (float-path peephole, never on the quantized path)."""
+        return self._delegate().affine_relu(x, weight, bias)
+
+    def im2col(
+        self,
+        x: Array,
+        kernel_size: tuple[int, int],
+        in_channels: int,
+    ) -> Array:
+        """Delegate (pure data movement)."""
+        return self._delegate().im2col(x, kernel_size, in_channels)
+
+    def apply_plan(self, plan: Any, rf: Array) -> Array:
+        """Delegate (beamforming front end, outside the accelerator)."""
+        return self._delegate().apply_plan(plan, rf)
+
+    def das_sum(
+        self, tofc: Array, apodization: Array | None
+    ) -> Array:
+        """Delegate (beamforming front end, outside the accelerator)."""
+        return self._delegate().das_sum(tofc, apodization)
+
+    def prepare_mvdr_windows(self, windows: Array) -> Array:
+        """Delegate (MVDR runs on the host, not the accelerator)."""
+        return self._delegate().prepare_mvdr_windows(windows)
+
+    def mvdr_covariance(self, windows: Array) -> Array:
+        """Delegate (MVDR runs on the host, not the accelerator)."""
+        return self._delegate().mvdr_covariance(windows)
+
+    def mvdr_output(self, weights: Array, windows: Array) -> Array:
+        """Delegate (MVDR runs on the host, not the accelerator)."""
+        return self._delegate().mvdr_output(weights, windows)

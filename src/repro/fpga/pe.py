@@ -24,8 +24,14 @@ class AdderTree:
     def __init__(self, arithmetic: FixedPointFormat | None) -> None:
         self.arithmetic = arithmetic
 
-    def reduce(self, products: np.ndarray) -> float:
-        """Sum 16 products pairwise, quantizing after every level."""
+    def reduce(self, products: np.ndarray) -> float | np.ndarray:
+        """Sum 16 products pairwise, quantizing after every level.
+
+        Returns a Python ``float`` for a single lane vector and an
+        array of per-batch sums for batched ``(..., 16)`` input (the
+        historical annotation promised ``float`` but batched callers
+        received a 0-d/1-d array — the contract now says so).
+        """
         values = np.asarray(products, dtype=float)
         if values.shape[-1] != PE_LANES:
             raise ValueError(
@@ -36,7 +42,10 @@ class AdderTree:
             values = values[..., 0::2] + values[..., 1::2]
             if self.arithmetic is not None:
                 values = self.arithmetic.quantize(values)
-        return values[..., 0]
+        result = values[..., 0]
+        if result.ndim == 0:
+            return float(result)
+        return result
 
     @property
     def latency_cycles(self) -> int:

@@ -149,14 +149,51 @@ def _quantized_attention(
     return _q(scheme.intermediate, out)
 
 
-class QuantizedModel:
-    """A trained model bound to a quantization scheme."""
+#: ``pe=`` knob values -> :mod:`repro.fpga.emu` rounding modes.  ``None``
+#: keeps the modeled (fake-quantized) float path; ``"emu"`` runs the
+#: round-at-the-end integer pipeline; ``"emu-per-level"`` the legacy
+#: per-level-rounding tree.
+PE_MODES: dict[str | None, str | None] = {
+    None: None,
+    "emu": "round_at_end",
+    "emu-per-level": "per_level",
+}
 
-    def __init__(self, model, scheme: QuantizationScheme) -> None:
+
+def resolve_pe_mode(pe: str | None) -> str | None:
+    """Validate a ``pe=`` knob value, returning its rounding mode."""
+    if pe not in PE_MODES:
+        known = ", ".join(repr(key) for key in PE_MODES)
+        raise ValueError(f"pe must be one of {known}, got {pe!r}")
+    return PE_MODES[pe]
+
+
+class QuantizedModel:
+    """A trained model bound to a quantization scheme.
+
+    ``pe`` selects the execution substrate: ``None`` (default) keeps
+    the modeled fake-quantized path; ``"emu"`` / ``"emu-per-level"``
+    route every quantized GEMM through the bit-accurate integer PE
+    emulator (:mod:`repro.fpga.emu`) via an
+    :class:`~repro.backend.pe_emu.emulated_pe_scope`.
+    """
+
+    def __init__(
+        self, model, scheme: QuantizationScheme, pe: str | None = None
+    ) -> None:
         self.model = model
         self.scheme = scheme
+        self._pe_mode = resolve_pe_mode(pe)
+        self.pe = pe
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self._pe_mode is not None:
+            from repro.backend.pe_emu import emulated_pe_scope
+
+            with emulated_pe_scope(self.scheme, self._pe_mode):
+                return quantized_forward(
+                    self.model.root, np.asarray(x, float), self.scheme
+                )
         return quantized_forward(self.model.root, np.asarray(x, float),
                                  self.scheme)
 

@@ -284,6 +284,49 @@ class TestControlRatioTolerance:
         assert failures == []
 
 
+class TestEmulatedPeRatioTolerance:
+    """The emulated-PE cost ratio gates at 50 % in both modes.
+
+    ``emu_vs_qexec_forward`` (bench_pe_emu) divides the modeled
+    forward's seconds by the emulated forward's — both legs of the
+    same process on the same host, so host speed cancels.  The
+    emulator is a cost model and the healthy ratio sits well below 1;
+    the gate only exists to catch a performance cliff (a vectorized
+    path degrading to a per-element Python loop collapses the ratio by
+    an order of magnitude).
+    """
+
+    BASELINE = {"ratios": {"emu_vs_qexec_forward": 0.2}}
+
+    def _scaled(self, factor: float) -> dict:
+        return {"ratios": {"emu_vs_qexec_forward": 0.2 * factor}}
+
+    def test_ratio_is_collected(self):
+        metrics = compare_bench.collect_metrics(self.BASELINE)
+        assert metrics["ratios.emu_vs_qexec_forward"] == 0.2
+        assert (
+            compare_bench.RATIO_TOLERANCES["emu_vs_qexec_forward"]
+            == 0.5
+        )
+
+    @pytest.mark.parametrize("smoke", [False, True])
+    def test_cliff_fails_both_modes(self, smoke):
+        # Ratio 0.2 -> 0.02: the emulator fell off the vectorized
+        # path.  Must fail even under the loose smoke default.
+        failures, _ = compare_bench.compare(
+            self._scaled(0.1), self.BASELINE, 0.25, smoke=smoke
+        )
+        assert len(failures) == 1
+        assert "emu_vs_qexec_forward" in failures[0]
+
+    @pytest.mark.parametrize("smoke", [False, True])
+    def test_scheduler_noise_drift_passes_both_modes(self, smoke):
+        failures, _ = compare_bench.compare(
+            self._scaled(0.60), self.BASELINE, 0.25, smoke=smoke
+        )
+        assert failures == []
+
+
 class TestMain:
     def _write(self, tmp_path: Path, name: str, payload: dict) -> Path:
         path = tmp_path / name

@@ -1,0 +1,104 @@
+"""Hypothesis properties of the emulated PE (ISSUE 10 satellite).
+
+Each property quantifies one certification claim from
+docs/fpga-emulation.md:
+
+* the full-width accumulator never escapes its declared width,
+* the vectorized emulator is bit-equal to the slow pure-Python
+  reference on arbitrary operand lengths (both rounding modes),
+* zero-padding lanes are exact no-ops,
+* per-level vs round-at-the-end divergence stays inside the documented
+  ``(n + 1) / 2``-step envelope whenever nothing saturates.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.emu import EmulatedPE
+from repro.quant.schemes import SCHEMES
+from tests.golden.pe.reference import reference_dot
+
+QUANTIZED = [name for name, s in SCHEMES.items() if not s.is_float]
+
+
+@st.composite
+def operand_pairs(draw, max_steps=None):
+    """A scheme plus on-grid operand vectors of arbitrary length.
+
+    Operands are drawn as integer step counts (so they are exactly
+    representable by construction); ``max_steps`` caps the magnitude to
+    keep every partial sum far from saturation when a property needs
+    the saturation-free regime.
+    """
+    name = draw(st.sampled_from(QUANTIZED))
+    scheme = SCHEMES[name]
+    n = draw(st.integers(min_value=0, max_value=70))
+    half_a = 2 ** (scheme.intermediate.total_bits - 1)
+    half_b = 2 ** (scheme.weights.total_bits - 1)
+    cap_a = half_a - 1 if max_steps is None else min(max_steps, half_a - 1)
+    cap_b = half_b - 1 if max_steps is None else min(max_steps, half_b - 1)
+    steps_a = draw(
+        st.lists(
+            st.integers(min_value=-cap_a, max_value=cap_a),
+            min_size=n, max_size=n,
+        )
+    )
+    steps_b = draw(
+        st.lists(
+            st.integers(min_value=-cap_b, max_value=cap_b),
+            min_size=n, max_size=n,
+        )
+    )
+    a = np.asarray(steps_a, float) * scheme.intermediate.resolution
+    b = np.asarray(steps_b, float) * scheme.weights.resolution
+    return scheme, a, b
+
+
+@settings(max_examples=60, deadline=None)
+@given(operand_pairs())
+def test_accumulator_never_overflows_declared_width(case):
+    scheme, a, b = case
+    pe = EmulatedPE.for_scheme(scheme)
+    acc = int(pe.accumulate_steps(a, b))
+    bits = pe.accumulator_bits(a.size)
+    assert -(2 ** (bits - 1)) <= acc < 2 ** (bits - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operand_pairs(), st.sampled_from(["round_at_end", "per_level"]))
+def test_emulated_dot_equals_slow_reference(case, mode):
+    scheme, a, b = case
+    pe = EmulatedPE.for_scheme(scheme, rounding_mode=mode)
+    value, _ = pe.dot(a, b)
+    assert value == reference_dot(a, b, scheme, rounding_mode=mode)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operand_pairs(), st.integers(min_value=1, max_value=40))
+def test_zero_padding_lanes_are_exact_no_ops(case, pad):
+    scheme, a, b = case
+    for mode in ("round_at_end", "per_level"):
+        pe = EmulatedPE.for_scheme(scheme, rounding_mode=mode)
+        value, _ = pe.dot(a, b)
+        padded, _ = pe.dot(
+            np.concatenate([a, np.zeros(pad)]),
+            np.concatenate([b, np.zeros(pad)]),
+        )
+        assert value == padded
+
+
+@settings(max_examples=60, deadline=None)
+@given(operand_pairs(max_steps=127))
+def test_mode_divergence_bounded_by_ulp_envelope(case):
+    # With |operand| <= 127 steps no product, tree level or accumulator
+    # value can approach saturation for any Table-III scheme, so the
+    # modes differ only through per-product rounding: n half-step
+    # product errors plus the final half-step round.
+    scheme, a, b = case
+    rae, _ = EmulatedPE.for_scheme(scheme).dot(a, b)
+    pl, _ = EmulatedPE.for_scheme(
+        scheme, rounding_mode="per_level"
+    ).dot(a, b)
+    envelope = (a.size + 1) / 2 * scheme.arithmetic.resolution
+    assert abs(rae - pl) <= envelope

@@ -76,6 +76,32 @@ class TestProcessingElement:
         # Paper Fig. 8(b): 16 element multiplications + adder tree.
         assert PE_LANES == 16
 
+    def test_empty_vector_costs_one_chunk(self):
+        # The hardware still issues one (all-zero) chunk for a length-0
+        # stream: n_chunks is floored at 1, so the cycle count is
+        # 1 chunk + 4 tree levels + 1 accumulate.
+        value, cycles = ProcessingElement(None).dot(
+            np.array([]), np.array([])
+        )
+        assert value == 0.0
+        assert cycles == 1 + 4 + 1
+
+    @pytest.mark.parametrize("n", [1, 15, 16, 17, 31, 33, 48])
+    def test_non_multiple_of_16_cycle_accounting(self, n):
+        # Partial chunks are zero-padded to full lane occupancy; the
+        # cycle model must charge ceil(n / 16) chunks, never round down.
+        _, cycles = ProcessingElement(None).dot(np.ones(n), np.ones(n))
+        assert cycles == -(-n // PE_LANES) + 5
+
+    def test_reduce_returns_float_for_single_vector(self, arith):
+        result = AdderTree(arith).reduce(np.ones(PE_LANES))
+        assert type(result) is float
+
+    def test_reduce_returns_array_for_batched_input(self, arith):
+        batched = AdderTree(arith).reduce(np.ones((3, PE_LANES)))
+        assert isinstance(batched, np.ndarray)
+        assert batched.shape == (3,)
+
 
 class TestBram:
     def test_18bit_words_pack_two_per_row(self):

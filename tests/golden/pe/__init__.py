@@ -1,0 +1,8 @@
+"""Golden testbench for the emulated PE (see ``cases.py``).
+
+The corpus under ``data/`` pins :class:`repro.fpga.emu.EmulatedPE`
+byte-for-byte in both rounding modes, and the tests additionally replay
+every vector through the slow pure-Python reference model in
+``reference.py`` — the pe_test-style certification that the vectorized
+integer datapath computes exactly what the specification says.
+"""

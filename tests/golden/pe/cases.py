@@ -1,0 +1,151 @@
+"""The committed PE testbench corpus (random + corner-case vectors).
+
+``testbench_cases()`` deterministically rebuilds the operand vectors —
+per quantization scheme: random dots at single-chunk, chunk-boundary and
+multi-chunk lengths, saturation at the grids' extremes, sign-boundary
+operands, zero lanes, accumulator carry/overflow chains, and engineered
+half-step products where round-at-the-end *must* diverge from per-level
+rounding.  ``generate_all()`` freezes both rounding modes' outputs for
+every vector into ``data/pe_testbench.npz``; refresh intentionally
+with::
+
+    pytest tests/golden/pe --update-golden
+
+and commit the regenerated file with the change that justified it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.fpga.emu import EmulatedPE, ROUNDING_MODES
+from repro.quant.schemes import SCHEMES
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+CORPUS_FILE = "pe_testbench.npz"
+
+#: Dot lengths covered by the random vectors: single partial chunk,
+#: exactly one chunk, one chunk + one lane, and multi-chunk.
+RANDOM_LENGTHS = (1, 3, 16, 17, 48, 64)
+
+QUANTIZED_SCHEMES = tuple(
+    name for name, scheme in SCHEMES.items() if not scheme.is_float
+)
+
+
+def _scheme_cases(name: str, rng: np.random.Generator) -> list[dict]:
+    scheme = SCHEMES[name]
+    inter, weights = scheme.intermediate, scheme.weights
+    arith = scheme.arithmetic
+    cases = []
+
+    def add(kind: str, a: np.ndarray, b: np.ndarray) -> None:
+        cases.append(
+            {
+                "case_id": f"{name}|{kind}",
+                "scheme": name,
+                "a": np.asarray(a, dtype=float),
+                "b": np.asarray(b, dtype=float),
+            }
+        )
+
+    for n in RANDOM_LENGTHS:
+        add(
+            f"random-{n}",
+            inter.quantize(rng.uniform(-4.0, 4.0, n)),
+            weights.quantize(rng.uniform(-1.5, 1.5, n)),
+        )
+
+    # Saturation at +/- grid max: every product at the corner, both
+    # polarities, long enough to overflow the arithmetic range many
+    # times over.
+    top_a = np.full(32, inter.max_value)
+    top_b = np.full(32, weights.max_value)
+    add("saturate-positive", top_a, top_b)
+    add("saturate-negative", top_a, -top_b)
+    add("saturate-min-corner", np.full(32, inter.min_value),
+        np.full(32, weights.min_value))
+
+    # Sign-boundary operands: one step either side of zero, where
+    # two's-complement asymmetry and half-even ties live.
+    signs = np.tile([1.0, -1.0], 8)
+    add("sign-boundary", signs * inter.resolution,
+        signs[::-1] * weights.resolution)
+
+    # Zero lanes interleaved with live ones (must be exact no-ops).
+    a_z = inter.quantize(rng.uniform(-2.0, 2.0, 21))
+    b_z = weights.quantize(rng.uniform(-1.0, 1.0, 21))
+    a_z[::3] = 0.0
+    b_z[1::4] = 0.0
+    add("zero-lanes", a_z, b_z)
+
+    # Carry chain: maximal same-sign products so every chunk ripples
+    # carries through the full accumulator width.
+    add("carry-chain", np.full(64, inter.max_value),
+        np.full(64, weights.resolution * 3))
+
+    # Divergence pin: products landing exactly between arithmetic
+    # steps round away per product (per_level) but accumulate at full
+    # precision (round_at_end) — the corpus freezes *both* results so
+    # the modes can never be silently conflated.  One weight step times
+    # 2**(shift - 1) intermediate steps is exactly half an arithmetic
+    # step for every Table-III scheme (the hybrids' coarse 8-bit
+    # weights grid cannot represent the half-step directly).
+    shift = inter.fraction_bits + weights.fraction_bits - arith.fraction_bits
+    half_a = 2 ** (shift - 1) * inter.resolution
+    add("diverge-half-step", np.full(16, half_a),
+        np.full(16, weights.resolution))
+    add("diverge-multi-chunk", np.full(48, half_a),
+        np.full(48, weights.resolution))
+    return cases
+
+
+def testbench_cases() -> list[dict]:
+    """The full deterministic corpus, every scheme, stable order."""
+    rng = np.random.default_rng(20240601)
+    cases: list[dict] = []
+    for name in QUANTIZED_SCHEMES:
+        cases.extend(_scheme_cases(name, rng))
+    return cases
+
+
+def compute_outputs(case: dict) -> dict[str, np.ndarray]:
+    """Both rounding modes' emulated dot results for one case."""
+    scheme = SCHEMES[case["scheme"]]
+    outputs = {}
+    for mode in ROUNDING_MODES:
+        pe = EmulatedPE.for_scheme(scheme, rounding_mode=mode)
+        value, _ = pe.dot(case["a"], case["b"])
+        outputs[mode] = np.float64(value)
+    return outputs
+
+
+def generate_all(data_dir: Path | None = None) -> Path:
+    """(Re)write the frozen corpus; returns the written path.
+
+    Pins the ``numpy`` reference backend like the other golden
+    generators — the emulator itself never dispatches through the
+    backend registry, but the pin keeps an ambient ``REPRO_BACKEND``
+    from mattering if that ever changes.
+    """
+    from repro.backend import use_backend
+
+    data_dir = DATA_DIR if data_dir is None else data_dir
+    data_dir.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, np.ndarray] = {}
+    with use_backend("numpy"):
+        for case in testbench_cases():
+            key = case["case_id"]
+            payload[f"{key}|a"] = case["a"]
+            payload[f"{key}|b"] = case["b"]
+            for mode, value in compute_outputs(case).items():
+                payload[f"{key}|{mode}"] = np.asarray(value)
+    path = data_dir / CORPUS_FILE
+    np.savez(path, **payload)
+    return path
+
+
+if __name__ == "__main__":
+    print(f"wrote {generate_all()}")

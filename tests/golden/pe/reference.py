@@ -1,0 +1,108 @@
+"""Slow pure-Python reference model of the PE datapath.
+
+This is the testbench oracle: one lane at a time, one chunk at a time,
+Python integers end to end (no numpy arithmetic, no float accumulation),
+written to follow the pe_test pipeline literally — quantize operands to
+step counts, segmented multiply per lane, align, accumulate, round.  It
+is deliberately allowed to be orders of magnitude slower than
+:class:`repro.fpga.emu.EmulatedPE`; its job is to be *obviously*
+correct so the vectorized emulator can be certified bit-equal to it.
+"""
+
+from __future__ import annotations
+
+from repro.fpga.emu import SEGMENT_BITS
+from repro.fpga.pe import PE_LANES, _TREE_LEVELS
+from repro.quant.fixed_point import FixedPointFormat
+from repro.quant.schemes import QuantizationScheme
+
+
+def _to_steps(value: float, fmt: FixedPointFormat) -> int:
+    """Python-int step count of one quantized value (round-half-even)."""
+    steps = round(float(value) / fmt.resolution)  # banker's rounding
+    return _clamp(steps, fmt)
+
+
+def _clamp(steps: int, fmt: FixedPointFormat) -> int:
+    low = -(2 ** (fmt.total_bits - 1))
+    high = 2 ** (fmt.total_bits - 1) - 1
+    return max(low, min(high, steps))
+
+
+def _segmented_multiply(ia: int, ib: int) -> int:
+    """One lane's DSP-style product on Python ints."""
+    mask = (1 << SEGMENT_BITS) - 1
+    lo = ib & mask
+    hi = (ib - lo) >> SEGMENT_BITS
+    return ((ia * hi) << SEGMENT_BITS) + (ia * lo)
+
+
+def _round_half_even_shift(steps: int, shift: int) -> int:
+    """``round(steps / 2**shift)`` with ties to even, on Python ints."""
+    if shift <= 0:
+        return steps << (-shift)
+    floor, remainder = divmod(steps, 1 << shift)
+    half = 1 << (shift - 1)
+    if remainder > half or (remainder == half and floor % 2 == 1):
+        return floor + 1
+    return floor
+
+
+def reference_dot(
+    a,
+    b,
+    scheme: QuantizationScheme,
+    rounding_mode: str = "round_at_end",
+    lanes: int = PE_LANES,
+) -> float:
+    """The specified dot-product result for on-scheme operands.
+
+    ``a`` streams on the ``intermediate`` grid, ``b`` holds the
+    ``weights`` grid — the same roles as
+    :meth:`repro.fpga.emu.EmulatedPE.for_scheme`.
+    """
+    arith = scheme.arithmetic
+    inter = scheme.intermediate
+    weights = scheme.weights
+    assert arith is not None and inter is not None and weights is not None
+    ia = [_to_steps(value, inter) for value in a]
+    ib = [_to_steps(value, weights) for value in b]
+    assert len(ia) == len(ib)
+    chunks = max(1, -(-len(ia) // lanes))
+    padded = chunks * lanes
+    ia += [0] * (padded - len(ia))
+    ib += [0] * (padded - len(ib))
+    shift = inter.fraction_bits + weights.fraction_bits - arith.fraction_bits
+
+    if rounding_mode == "round_at_end":
+        accumulator = 0
+        for lane in range(padded):
+            accumulator += _segmented_multiply(ia[lane], ib[lane])
+        steps = _round_half_even_shift(accumulator, shift)
+        steps = _clamp(steps, arith)
+        return steps * arith.resolution
+
+    if rounding_mode != "per_level":
+        raise ValueError(f"unknown rounding mode {rounding_mode!r}")
+
+    accumulator = 0
+    for chunk in range(chunks):
+        level = [
+            _clamp(
+                _round_half_even_shift(
+                    _segmented_multiply(
+                        ia[chunk * lanes + lane], ib[chunk * lanes + lane]
+                    ),
+                    shift,
+                ),
+                arith,
+            )
+            for lane in range(lanes)
+        ]
+        for _ in range(_TREE_LEVELS):
+            level = [
+                _clamp(level[i] + level[i + 1], arith)
+                for i in range(0, len(level), 2)
+            ]
+        accumulator = _clamp(accumulator + level[0], arith)
+    return accumulator * arith.resolution

@@ -1,0 +1,135 @@
+"""Golden testbench for the emulated PE datapath.
+
+Three layers of certification, strongest first:
+
+1. **Frozen bytes** — every corpus vector's result in both rounding
+   modes must match ``data/pe_testbench.npz`` byte for byte.
+2. **Live oracle** — the vectorized emulator must agree exactly with
+   the slow pure-Python reference model on the full corpus (so the
+   frozen file can never hide an emulator/reference co-drift).
+3. **Divergence pins** — the engineered half-step cases must actually
+   separate the modes, proving the corpus exercises the structural
+   difference it claims to.
+
+Regenerate intentionally with ``pytest tests/golden/pe
+--update-golden`` and commit the new ``.npz`` with the change that
+justified it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fpga.emu import ROUNDING_MODES
+from repro.quant.schemes import SCHEMES
+from tests.golden.pe import cases
+from tests.golden.pe.reference import reference_dot
+
+CASES = cases.testbench_cases()
+CASE_IDS = [case["case_id"] for case in CASES]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _regenerate_if_requested(request):
+    # Module-scoped: one regeneration for the whole file, not one per
+    # test.  generate_all itself pins the numpy reference backend.
+    if request.config.getoption("--update-golden"):
+        cases.generate_all()
+    yield
+
+
+@pytest.fixture(scope="module")
+def corpus(request):
+    path = cases.DATA_DIR / cases.CORPUS_FILE
+    if not path.exists():
+        pytest.fail(
+            f"missing golden corpus {path}; generate it with "
+            "pytest tests/golden/pe --update-golden"
+        )
+    return np.load(path)
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
+class TestFrozenCorpus:
+    def test_corpus_covers_every_case_and_mode(self, corpus):
+        expected = {
+            f"{case_id}|{suffix}"
+            for case_id in CASE_IDS
+            for suffix in ("a", "b", *ROUNDING_MODES)
+        }
+        assert expected == set(corpus.files)
+
+    @pytest.mark.parametrize(
+        "case", CASES, ids=CASE_IDS,
+    )
+    def test_emulator_matches_frozen_bytes(self, case, corpus,
+                                           update_golden):
+        if update_golden:
+            pytest.skip(
+                f"regenerated {cases.CORPUS_FILE} via --update-golden"
+            )
+        key = case["case_id"]
+        # The stored operands pin the generator itself: a corpus edit
+        # that changes the vectors must be deliberate, not a seed or
+        # quantizer drift.
+        for operand in ("a", "b"):
+            frozen = corpus[f"{key}|{operand}"]
+            live = case[operand]
+            assert frozen.dtype == live.dtype
+            assert frozen.shape == live.shape
+            assert frozen.tobytes() == live.tobytes(), (
+                f"{key}|{operand}: operand vector drifted"
+            )
+        computed = cases.compute_outputs(case)
+        for mode in ROUNDING_MODES:
+            frozen = corpus[f"{key}|{mode}"]
+            live = np.asarray(computed[mode])
+            assert frozen.dtype == live.dtype
+            assert frozen.tobytes() == live.tobytes(), (
+                f"{key}|{mode}: byte-level mismatch "
+                f"(frozen {float(frozen)!r}, computed {float(live)!r})"
+            )
+
+
+class TestLiveReference:
+    @pytest.mark.parametrize(
+        "case", CASES, ids=CASE_IDS,
+    )
+    @pytest.mark.parametrize("mode", ROUNDING_MODES)
+    def test_emulator_agrees_with_slow_reference(self, case, mode):
+        scheme = SCHEMES[case["scheme"]]
+        emulated = cases.compute_outputs(case)[mode]
+        oracle = reference_dot(
+            case["a"], case["b"], scheme, rounding_mode=mode
+        )
+        assert float(emulated) == oracle, (
+            f"{case['case_id']}|{mode}: emulator {float(emulated)!r} "
+            f"!= reference {oracle!r}"
+        )
+
+
+class TestDivergencePins:
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in CASES if "diverge" in c["case_id"]],
+        ids=[c["case_id"] for c in CASES if "diverge" in c["case_id"]],
+    )
+    def test_engineered_cases_separate_the_modes(self, case):
+        outputs = cases.compute_outputs(case)
+        assert outputs["round_at_end"] != outputs["per_level"], (
+            f"{case['case_id']}: modes agree — the corpus no longer "
+            "exercises per-product rounding"
+        )
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in CASES if "saturate" in c["case_id"]],
+        ids=[c["case_id"] for c in CASES if "saturate" in c["case_id"]],
+    )
+    def test_saturation_cases_pin_the_grid_limits(self, case):
+        arith = SCHEMES[case["scheme"]].arithmetic
+        value = float(cases.compute_outputs(case)["round_at_end"])
+        assert value in (arith.max_value, arith.min_value)
